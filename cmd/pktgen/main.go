@@ -1,0 +1,115 @@
+// Command pktgen synthesises packet traces in the nbatrace format (the
+// stand-in for the paper's CAIDA dataset) for replay with `nba -trace`.
+//
+// Usage:
+//
+//	pktgen -n 100000 -o caida.nbatrace          # synthetic-CAIDA mix
+//	pktgen -n 50000 -size 256 -o fixed.nbatrace # fixed-size frames
+//	pktgen -stats caida.nbatrace                # inspect a trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"nba/internal/gen"
+	"nba/internal/packet"
+	"nba/internal/rng"
+)
+
+func main() {
+	var (
+		n     = flag.Int("n", 100000, "number of packets")
+		size  = flag.Int("size", 0, "fixed frame size (0 = CAIDA-like mix)")
+		flows = flag.Int("flows", 16384, "number of flows")
+		seed  = flag.Uint64("seed", 42, "generator seed")
+		out   = flag.String("o", "trace.nbatrace", "output path")
+		stats = flag.String("stats", "", "print statistics of an existing trace and exit")
+	)
+	flag.Parse()
+
+	if *stats != "" {
+		if err := printStats(*stats); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	var records []gen.TraceRecord
+	if *size == 0 {
+		records = gen.SynthesizeTrace(*n, *seed)
+	} else {
+		records = fixedTrace(*n, *size, *flows, *seed)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if err := gen.WriteTrace(f, records); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d packets to %s\n", len(records), *out)
+}
+
+func fixedTrace(n, size, flows int, seed uint64) []gen.TraceRecord {
+	if size < packet.EthHdrLen+packet.IPv4HdrLen+packet.UDPHdrLen || size > packet.MaxFrameLen {
+		fatal(fmt.Errorf("size %d out of range", size))
+	}
+	r := rng.New(seed)
+	records := make([]gen.TraceRecord, n)
+	for i := range records {
+		flow := uint32(r.Intn(flows))
+		records[i] = gen.TraceRecord{
+			FrameLen: uint16(size),
+			Src:      0x0A000000 + flow,
+			Dst:      flow * 2654435761,
+			SPort:    uint16(1024 + flow%50000),
+			DPort:    uint16(53 + flow%7),
+		}
+	}
+	return records
+}
+
+func printStats(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := gen.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	sizes := map[int]int{}
+	flowSet := map[uint64]int{}
+	var bytes uint64
+	for _, rec := range tr.Records {
+		sizes[int(rec.FrameLen)]++
+		flowSet[uint64(rec.Src)<<32|uint64(rec.Dst)]++
+		bytes += uint64(rec.FrameLen)
+	}
+	fmt.Printf("packets:   %d\n", len(tr.Records))
+	fmt.Printf("flows:     %d\n", len(flowSet))
+	fmt.Printf("mean size: %.1f B\n", float64(bytes)/float64(len(tr.Records)))
+	var keys []int
+	for k := range sizes {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	fmt.Println("size histogram:")
+	for _, k := range keys {
+		fmt.Printf("  %5d B: %6.2f%%\n", k, float64(sizes[k])/float64(len(tr.Records))*100)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pktgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,10 @@
+// Dual-stack router: classify by EtherType, route v4 and v6 separately.
+// Run: nba -config configs/dualstack.click -app ipv4 -gbps 10 -size 256
+cls :: Classifier("ip", "ip6");
+v4  :: IPLookup("entries=65536", "seed=42");
+v6  :: LookupIP6Route("entries=32768", "seed=43");
+out :: ToOutput();
+
+FromInput() -> cls;
+cls[0] -> CheckIPHeader()  -> v4 -> DecIPTTL()   -> out;
+cls[1] -> CheckIP6Header() -> v6 -> DecIP6HLIM() -> out;

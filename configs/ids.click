@@ -1,0 +1,9 @@
+// Intrusion detection system (paper Figure 8d), alert mode.
+// Run: nba -config configs/ids.click -app ids -gbps 5 -size 512
+FromInput()
+	-> CheckIPHeader()
+	-> LoadBalance("gpu")
+	-> IDSMatchAC("alert")
+	-> IDSMatchRE("alert")
+	-> EchoBack()
+	-> ToOutput();

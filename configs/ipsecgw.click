@@ -1,0 +1,9 @@
+// IPsec encryption gateway (paper Figure 8c).
+// Run: nba -config configs/ipsecgw.click -app ipsec -gbps 10 -size 256
+FromInput()
+	-> CheckIPHeader()
+	-> IPsecESPencap("sas=1024")
+	-> LoadBalance("adaptive")
+	-> IPsecAES("sas=1024")
+	-> IPsecHMAC("sas=1024")
+	-> ToOutput();

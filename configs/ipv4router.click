@@ -1,0 +1,8 @@
+// IPv4 router (paper Figure 8a) with CPU/GPU load balancing left adaptive.
+// Run: nba -config configs/ipv4router.click -app ipv4 -gbps 10 -size 64
+FromInput()
+	-> CheckIPHeader()
+	-> LoadBalance("adaptive")
+	-> IPLookup("entries=65536", "seed=42")
+	-> DecIPTTL()
+	-> ToOutput();

@@ -1,0 +1,3 @@
+module nba
+
+go 1.24

@@ -1,0 +1,64 @@
+package ids
+
+// DefaultSignatures is the built-in Aho-Corasick string rule set, shaped
+// after classic exploit/recon signatures (the paper uses Snort-style rules;
+// the actual rule content only affects match rates, not the data path).
+var DefaultSignatures = []string{
+	"/bin/sh",
+	"/etc/passwd",
+	"cmd.exe",
+	"powershell -enc",
+	"SELECT * FROM",
+	"UNION SELECT",
+	"DROP TABLE",
+	"<script>",
+	"javascript:alert",
+	"../../../",
+	"wget http://",
+	"curl -s http://",
+	"nc -e /bin/",
+	"bash -i >& /dev/tcp/",
+	"eval(base64_decode",
+	"xp_cmdshell",
+	"INSERT INTO users",
+	"OR 1=1--",
+	"%00%00%00%00",
+	"\\x90\\x90\\x90\\x90",
+	"AAAAAAAAAAAAAAAA",
+	"GET /admin/config",
+	"POST /cgi-bin/",
+	"User-Agent: sqlmap",
+	"User-Agent: nikto",
+	"X-Forwarded-For: 127.0.0.1",
+	"Authorization: Basic YWRtaW46",
+	"passwd=admin",
+	"uid=0(root)",
+	"TRACE / HTTP",
+	"OPTIONS * HTTP",
+	"%u9090%u6858",
+	"\\\\.\\pipe\\",
+	"HEAD /backdoor",
+	"botnet.join",
+	"irc.quakenet.org",
+	"ddos.start",
+	"exfil.begin",
+	"keylog.dump",
+	"ransom.note",
+}
+
+// DefaultRegexRules is the built-in regular-expression rule set, exercising
+// classes, alternation, repetition and escapes.
+var DefaultRegexRules = []string{
+	`GET /[a-z0-9_/]*\.php\?id=[0-9]+`,
+	`(admin|root|guest):[a-zA-Z0-9]+@`,
+	`\\x[0-9a-f][0-9a-f](\\x[0-9a-f][0-9a-f])+`,
+	`[0-9]+\.[0-9]+\.[0-9]+\.[0-9]+:[0-9]+`,
+	`(wget|curl) +https?://[a-z0-9.]+/[a-z0-9]+\.(sh|bin|exe)`,
+	`select +[a-z*, ]+ +from +[a-z_]+`,
+	`eval\([a-z_]*\(`,
+	`(%3C|<)(%73|s)(%63|c)ript`,
+	`[a-f0-9]epeat[a-f0-9]+`,
+	`beacon(ing)? +id=[0-9a-f]+`,
+	`session=[A-Za-z0-9+/]+==?`,
+	`\.onion(/|\s)`,
+}

@@ -1,0 +1,238 @@
+package ipv4
+
+import "fmt"
+
+// Dynamic updates. The static builder (NewTable) relies on inserting routes
+// in ascending prefix-length order; runtime updates cannot. DynamicTable
+// augments DIR-24-8 with per-slot owner prefix lengths, so an insert only
+// overwrites slots currently owned by an equal-or-shorter prefix, and a
+// withdraw recomputes exactly the address range the dead route covered.
+//
+// This is how a software router tracks BGP churn without rebuilding the
+// 16M-entry TBL24 on every update.
+
+// DynamicTable is a DIR-24-8 table supporting incremental route insertion
+// and withdrawal.
+type DynamicTable struct {
+	t *Table
+	// owner24[i] is 1 + the prefix length owning TBL24 slot i (0 = empty).
+	owner24 []uint8
+	// ownerLong mirrors tblLong.
+	ownerLong []uint8
+	routes    []Route
+}
+
+// NewDynamicTable creates an empty dynamic table.
+func NewDynamicTable() *DynamicTable {
+	t := &Table{tbl24: make([]uint16, 1<<24)}
+	for i := range t.tbl24 {
+		t.tbl24[i] = MissNextHop
+	}
+	return &DynamicTable{t: t, owner24: make([]uint8, 1<<24)}
+}
+
+// Lookup returns the next hop for addr, or MissNextHop.
+func (d *DynamicTable) Lookup(addr uint32) uint16 { return d.t.Lookup(addr) }
+
+// Routes returns a copy of the live route set.
+func (d *DynamicTable) Routes() []Route { return append([]Route(nil), d.routes...) }
+
+// Insert adds (or replaces) a route. Among routes with identical prefix and
+// length, the last insert wins.
+func (d *DynamicTable) Insert(r Route) error {
+	if r.PLen < 0 || r.PLen > 32 {
+		return fmt.Errorf("ipv4: prefix length %d out of range", r.PLen)
+	}
+	if r.NextHop > maxNextHop {
+		return fmt.Errorf("ipv4: next hop %d exceeds %d", r.NextHop, maxNextHop)
+	}
+	r.Prefix = maskPrefix(r.Prefix, r.PLen)
+	// Replace an identical route in place, otherwise append.
+	replaced := false
+	for i := range d.routes {
+		if d.routes[i].Prefix == r.Prefix && d.routes[i].PLen == r.PLen {
+			d.routes[i] = r
+			replaced = true
+			break
+		}
+	}
+	if !replaced {
+		d.routes = append(d.routes, r)
+	}
+	d.write(r)
+	return nil
+}
+
+// Withdraw removes a route; it reports whether the route existed.
+func (d *DynamicTable) Withdraw(prefix uint32, plen int) (bool, error) {
+	if plen < 0 || plen > 32 {
+		return false, fmt.Errorf("ipv4: prefix length %d out of range", plen)
+	}
+	prefix = maskPrefix(prefix, plen)
+	idx := -1
+	for i, r := range d.routes {
+		if r.Prefix == prefix && r.PLen == plen {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return false, nil
+	}
+	d.routes = append(d.routes[:idx], d.routes[idx+1:]...)
+
+	// Recompute exactly the covered range: clear it, then replay every
+	// remaining route that intersects it (restricted to the range).
+	lo24, hi24 := cover24(prefix, plen)
+	d.clearRange(lo24, hi24, prefix, plen)
+	for _, r := range d.routes {
+		if rangesIntersect(r, prefix, plen) {
+			d.writeRestricted(r, lo24, hi24, prefix, plen)
+		}
+	}
+	return true, nil
+}
+
+func maskPrefix(p uint32, plen int) uint32 {
+	if plen == 0 {
+		return 0
+	}
+	return p & (^uint32(0) << (32 - plen))
+}
+
+// cover24 returns the inclusive TBL24 index range a prefix covers.
+func cover24(prefix uint32, plen int) (uint32, uint32) {
+	if plen == 0 {
+		return 0, 1<<24 - 1
+	}
+	lo := prefix >> 8
+	var span uint32 = 1
+	if plen < 24 {
+		span = 1 << (24 - plen)
+	}
+	return lo, lo + span - 1
+}
+
+// rangesIntersect reports whether route r overlaps the address range of
+// (prefix, plen).
+func rangesIntersect(r Route, prefix uint32, plen int) bool {
+	min := r.PLen
+	if plen < min {
+		min = plen
+	}
+	return maskPrefix(r.Prefix, min) == maskPrefix(prefix, min)
+}
+
+// write installs route r everywhere it wins against the current owners.
+func (d *DynamicTable) write(r Route) {
+	lo, hi := cover24(r.Prefix, r.PLen)
+	d.writeRestricted(r, lo, hi, r.Prefix, r.PLen)
+}
+
+// writeRestricted installs r into TBL24 slots [lo24,hi24] (and any TBLlong
+// blocks there), but only into addresses also covered by (limPrefix,
+// limPLen) and only over owners with plen <= r.PLen.
+func (d *DynamicTable) writeRestricted(r Route, lo24, hi24 uint32, limPrefix uint32, limPLen int) {
+	t := d.t
+	own := uint8(r.PLen + 1)
+	rlo, rhi := cover24(r.Prefix, r.PLen)
+	if rlo > lo24 {
+		lo24 = rlo
+	}
+	if rhi < hi24 {
+		hi24 = rhi
+	}
+	if r.PLen <= 24 {
+		for i := lo24; i <= hi24; i++ {
+			if isExt(t.tbl24[i]) {
+				base := int(t.tbl24[i]&^extFlag) * 256
+				for j := 0; j < 256; j++ {
+					addr := i<<8 | uint32(j)
+					if d.ownerLong[base+j] <= own && addrIn(addr, limPrefix, limPLen) {
+						t.tblLong[base+j] = r.NextHop
+						d.ownerLong[base+j] = own
+					}
+				}
+			} else if d.owner24[i] <= own && addrIn(i<<8, limPrefix, min24(limPLen)) {
+				t.tbl24[i] = r.NextHop
+				d.owner24[i] = own
+			}
+		}
+		return
+	}
+	// plen 25..32: ensure the extension block exists.
+	i := lo24 // == hi24 for long prefixes
+	if !isExt(t.tbl24[i]) {
+		if len(t.tblLong)/256 >= 0x7FFF {
+			// TBLlong exhausted: drop the update. A production table would
+			// garbage-collect blocks; our synthetic workloads never hit this.
+			return
+		}
+		blockID := uint16(len(t.tblLong) / 256)
+		oldNH := t.tbl24[i]
+		oldOwn := d.owner24[i]
+		for j := 0; j < 256; j++ {
+			t.tblLong = append(t.tblLong, oldNH)
+			d.ownerLong = append(d.ownerLong, oldOwn)
+		}
+		t.tbl24[i] = extFlag | blockID
+		d.owner24[i] = 0
+	}
+	base := int(t.tbl24[i]&^extFlag) * 256
+	lowByte := int(uint8(r.Prefix))
+	count := 1 << (32 - r.PLen)
+	for j := 0; j < count; j++ {
+		slot := lowByte + j
+		addr := i<<8 | uint32(slot)
+		if d.ownerLong[base+slot] <= own && addrIn(addr, limPrefix, limPLen) {
+			t.tblLong[base+slot] = r.NextHop
+			d.ownerLong[base+slot] = own
+		}
+	}
+}
+
+// min24 caps a prefix length at 24 for TBL24-granularity containment tests.
+func min24(plen int) int {
+	if plen > 24 {
+		return 24
+	}
+	return plen
+}
+
+// addrIn reports whether addr is covered by (prefix, plen).
+func addrIn(addr, prefix uint32, plen int) bool {
+	return maskPrefix(addr, plen) == maskPrefix(prefix, plen)
+}
+
+// clearRange resets the covered slots to "no route" before a withdraw
+// replay. Only addresses inside (prefix, plen) are touched.
+func (d *DynamicTable) clearRange(lo24, hi24 uint32, prefix uint32, plen int) {
+	t := d.t
+	for i := lo24; i <= hi24; i++ {
+		if isExt(t.tbl24[i]) {
+			base := int(t.tbl24[i]&^extFlag) * 256
+			for j := 0; j < 256; j++ {
+				if addrIn(i<<8|uint32(j), prefix, plen) {
+					t.tblLong[base+j] = MissNextHop
+					d.ownerLong[base+j] = 0
+				}
+			}
+		} else if addrIn(i<<8, prefix, min24(plen)) {
+			t.tbl24[i] = MissNextHop
+			d.owner24[i] = 0
+		}
+	}
+}
+
+// NaiveLookup is the reference LPM over the live route set.
+func (d *DynamicTable) NaiveLookup(addr uint32) uint16 {
+	best := -1
+	var nh uint16 = MissNextHop
+	for _, r := range d.routes {
+		if addrIn(addr, r.Prefix, r.PLen) && r.PLen >= best {
+			best = r.PLen
+			nh = r.NextHop
+		}
+	}
+	return nh
+}

@@ -1,0 +1,200 @@
+package ipv4
+
+import (
+	"testing"
+
+	"nba/internal/rng"
+)
+
+func TestDynamicInsertWithdrawBasics(t *testing.T) {
+	d := NewDynamicTable()
+	if got := d.Lookup(0x0A000001); got != MissNextHop {
+		t.Fatalf("empty table Lookup = %d", got)
+	}
+	must := func(r Route) {
+		t.Helper()
+		if err := d.Insert(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Route{Prefix: 0x0A000000, PLen: 8, NextHop: 1})
+	must(Route{Prefix: 0x0A010000, PLen: 16, NextHop: 2})
+	must(Route{Prefix: 0x0A010180, PLen: 25, NextHop: 3})
+
+	cases := []struct {
+		addr uint32
+		want uint16
+	}{
+		{0x0A000001, 1},
+		{0x0A010001, 2},
+		{0x0A010181, 3},
+		{0x0B000000, MissNextHop},
+	}
+	for _, c := range cases {
+		if got := d.Lookup(c.addr); got != c.want {
+			t.Errorf("Lookup(%#08x) = %d, want %d", c.addr, got, c.want)
+		}
+	}
+
+	// Withdraw the /16: addresses fall back to the /8.
+	ok, err := d.Withdraw(0x0A010000, 16)
+	if err != nil || !ok {
+		t.Fatalf("Withdraw: %v %v", ok, err)
+	}
+	if got := d.Lookup(0x0A010001); got != 1 {
+		t.Errorf("after /16 withdraw: Lookup = %d, want 1 (the /8)", got)
+	}
+	// The /25 survives inside the withdrawn range's former space.
+	if got := d.Lookup(0x0A010181); got != 3 {
+		t.Errorf("after /16 withdraw: /25 lookup = %d, want 3", got)
+	}
+
+	// Withdrawing a non-existent route reports false.
+	ok, err = d.Withdraw(0x0A010000, 16)
+	if err != nil || ok {
+		t.Errorf("double withdraw: %v %v", ok, err)
+	}
+}
+
+func TestDynamicInsertOutOfOrder(t *testing.T) {
+	// The static builder requires ascending prefix lengths; the dynamic
+	// table must not. Insert long-before-short.
+	d := NewDynamicTable()
+	d.Insert(Route{Prefix: 0x0A010100, PLen: 24, NextHop: 5})
+	d.Insert(Route{Prefix: 0x0A000000, PLen: 8, NextHop: 1})
+	if got := d.Lookup(0x0A010101); got != 5 {
+		t.Errorf("shorter insert clobbered longer: got %d, want 5", got)
+	}
+	if got := d.Lookup(0x0A020202); got != 1 {
+		t.Errorf("shorter route missing: got %d, want 1", got)
+	}
+	// Long prefix after short: /28 inside the /8.
+	d.Insert(Route{Prefix: 0x0A0305F0, PLen: 28, NextHop: 7})
+	if got := d.Lookup(0x0A0305F1); got != 7 {
+		t.Errorf("/28 lookup = %d, want 7", got)
+	}
+	if got := d.Lookup(0x0A030601); got != 1 {
+		t.Errorf("neighbour of /28 = %d, want 1", got)
+	}
+}
+
+func TestDynamicReplaceRoute(t *testing.T) {
+	d := NewDynamicTable()
+	d.Insert(Route{Prefix: 0xC0A80000, PLen: 16, NextHop: 1})
+	d.Insert(Route{Prefix: 0xC0A80000, PLen: 16, NextHop: 9})
+	if got := d.Lookup(0xC0A80001); got != 9 {
+		t.Errorf("replacement: got %d, want 9", got)
+	}
+	if n := len(d.Routes()); n != 1 {
+		t.Errorf("route list has %d entries, want 1", n)
+	}
+}
+
+func TestDynamicWithdrawLongPrefix(t *testing.T) {
+	d := NewDynamicTable()
+	d.Insert(Route{Prefix: 0x0A010100, PLen: 24, NextHop: 1})
+	d.Insert(Route{Prefix: 0x0A010180, PLen: 26, NextHop: 2})
+	d.Insert(Route{Prefix: 0x0A0101C0, PLen: 30, NextHop: 3})
+	if d.Lookup(0x0A0101C1) != 3 || d.Lookup(0x0A010181) != 2 {
+		t.Fatal("setup lookups wrong")
+	}
+	ok, _ := d.Withdraw(0x0A010180, 26)
+	if !ok {
+		t.Fatal("withdraw failed")
+	}
+	// /30 still wins inside its range; the rest of the /26 range falls to /24.
+	if got := d.Lookup(0x0A0101C1); got != 3 {
+		t.Errorf("/30 after /26 withdraw = %d, want 3", got)
+	}
+	if got := d.Lookup(0x0A010181); got != 1 {
+		t.Errorf("former /26 range = %d, want 1 (/24)", got)
+	}
+}
+
+func TestDynamicValidation(t *testing.T) {
+	d := NewDynamicTable()
+	if err := d.Insert(Route{PLen: 33}); err == nil {
+		t.Error("plen 33 accepted")
+	}
+	if err := d.Insert(Route{NextHop: 0x8000}); err == nil {
+		t.Error("huge next hop accepted")
+	}
+	if _, err := d.Withdraw(0, -1); err == nil {
+		t.Error("negative plen accepted")
+	}
+}
+
+func TestDynamicMatchesNaiveUnderChurn(t *testing.T) {
+	// Property: after any sequence of inserts and withdraws, Lookup agrees
+	// with the naive LPM over the live route set — probed at prefix edges,
+	// where off-by-one slot arithmetic would show.
+	d := NewDynamicTable()
+	r := rng.New(31)
+	var live []Route
+	probe := func(step int) {
+		t.Helper()
+		for trial := 0; trial < 40; trial++ {
+			var addr uint32
+			if len(live) > 0 && r.Bool(0.7) {
+				rt := live[r.Intn(len(live))]
+				var mask uint32
+				if rt.PLen > 0 {
+					mask = ^uint32(0) << (32 - rt.PLen)
+				}
+				switch r.Intn(4) {
+				case 0:
+					addr = rt.Prefix & mask
+				case 1:
+					addr = rt.Prefix&mask | ^mask
+				case 2:
+					addr = rt.Prefix&mask + 1
+				default:
+					addr = rt.Prefix&mask - 1
+				}
+			} else {
+				addr = r.Uint32()
+			}
+			if got, want := d.Lookup(addr), d.NaiveLookup(addr); got != want {
+				t.Fatalf("step %d: Lookup(%#08x) = %d, naive %d (%d live routes)",
+					step, addr, got, want, len(live))
+			}
+		}
+	}
+	for step := 0; step < 400; step++ {
+		if len(live) == 0 || r.Bool(0.65) {
+			plen := []int{0, 8, 12, 16, 20, 24, 25, 26, 28, 30, 32}[r.Intn(11)]
+			rt := Route{
+				Prefix:  maskPrefix(r.Uint32(), plen),
+				PLen:    plen,
+				NextHop: uint16(r.Intn(100)),
+			}
+			if err := d.Insert(rt); err != nil {
+				t.Fatal(err)
+			}
+			// Mirror the replace semantics in the live list.
+			replaced := false
+			for i := range live {
+				if live[i].Prefix == rt.Prefix && live[i].PLen == rt.PLen {
+					live[i] = rt
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				live = append(live, rt)
+			}
+		} else {
+			i := r.Intn(len(live))
+			rt := live[i]
+			ok, err := d.Withdraw(rt.Prefix, rt.PLen)
+			if err != nil || !ok {
+				t.Fatalf("withdraw live route: %v %v", ok, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		if step%20 == 0 {
+			probe(step)
+		}
+	}
+	probe(400)
+}

@@ -1,0 +1,262 @@
+// Package ipv6 implements the IPv6 router application: longest prefix
+// matching by binary search on hash tables organised by prefix length
+// (Waldvogel, Varghese, Turner, Plattner — the algorithm the paper's IPv6
+// lookup uses, §4.1), and the offloadable LookupIP6Route element.
+package ipv6
+
+import (
+	"fmt"
+	"sort"
+
+	"nba/internal/packet"
+	"nba/internal/rng"
+)
+
+// MissNextHop is returned by Lookup when no route matches.
+const MissNextHop = 0xFFFF
+
+// Route is one IPv6 FIB entry.
+type Route struct {
+	Prefix  packet.IPv6Addr
+	PLen    int
+	NextHop uint16
+}
+
+// entry is one hash-table slot: a real prefix, a marker, or both. Markers
+// carry the best-matching-prefix result computed at build time so the
+// search never needs to backtrack.
+type entry struct {
+	real   bool
+	nh     uint16 // next hop when real
+	bmp    uint16 // best match at or above this level (for search guidance)
+	hasBMP bool
+}
+
+// Table performs binary search over prefix-length levels; with markers the
+// search makes at most ceil(log2(#levels)) hash probes — at most 7 for the
+// full 1..128 range, matching the paper's "at most seven random memory
+// accesses".
+type Table struct {
+	levels []int // distinct prefix lengths, ascending
+	tables []map[packet.IPv6Addr]entry
+	def    uint16 // next hop of the zero-length (default) route
+	hasDef bool
+	routes []Route
+}
+
+// NewTable builds the search structure from routes.
+func NewTable(routes []Route) (*Table, error) {
+	t := &Table{}
+	lengthSet := map[int]bool{}
+	for _, r := range routes {
+		if r.PLen < 0 || r.PLen > 128 {
+			return nil, fmt.Errorf("ipv6: prefix length %d out of range", r.PLen)
+		}
+		if r.PLen == 0 {
+			t.def = r.NextHop
+			t.hasDef = true
+			continue
+		}
+		lengthSet[r.PLen] = true
+	}
+	for l := range lengthSet {
+		t.levels = append(t.levels, l)
+	}
+	sort.Ints(t.levels)
+	t.tables = make([]map[packet.IPv6Addr]entry, len(t.levels))
+	for i := range t.tables {
+		t.tables[i] = map[packet.IPv6Addr]entry{}
+	}
+	t.routes = routes
+
+	// Build a binary trie over all prefixes so marker best-matching-prefix
+	// values can be computed in O(plen) instead of O(#routes) each — with
+	// Internet-scale FIBs the linear scan is quadratic overall.
+	trie := newBMPTrie(routes)
+
+	levelIdx := map[int]int{}
+	for i, l := range t.levels {
+		levelIdx[l] = i
+	}
+
+	// Insert real prefixes.
+	for _, r := range routes {
+		if r.PLen == 0 {
+			continue
+		}
+		key := r.Prefix.Mask(r.PLen)
+		i := levelIdx[r.PLen]
+		e := t.tables[i][key]
+		e.real = true
+		e.nh = r.NextHop
+		t.tables[i][key] = e
+	}
+
+	// Insert markers along each prefix's binary search path, with the
+	// best-matching prefix precomputed (Waldvogel's marker optimisation).
+	for _, r := range routes {
+		if r.PLen == 0 {
+			continue
+		}
+		lo, hi := 0, len(t.levels)-1
+		target := levelIdx[r.PLen]
+		for lo <= hi {
+			mid := (lo + hi) / 2
+			if mid == target {
+				break
+			}
+			if mid < target {
+				// The search must be steered right past mid: plant a marker
+				// for this prefix's mid-length key.
+				key := r.Prefix.Mask(t.levels[mid])
+				e := t.tables[mid][key]
+				if !e.hasBMP {
+					e.bmp = trie.bmpAtMost(key, t.levels[mid], t.defaultNH())
+					e.hasBMP = true
+				}
+				t.tables[mid][key] = e
+				lo = mid + 1
+			} else {
+				hi = mid - 1
+			}
+		}
+	}
+	return t, nil
+}
+
+// bmpTrie is a binary trie over route prefixes used at build time to
+// compute marker best-matching-prefix values efficiently.
+type bmpTrie struct {
+	child [2]*bmpTrie
+	hasNH bool
+	nh    uint16
+}
+
+func newBMPTrie(routes []Route) *bmpTrie {
+	root := &bmpTrie{}
+	for _, r := range routes {
+		if r.PLen == 0 {
+			continue
+		}
+		n := root
+		for bit := 0; bit < r.PLen; bit++ {
+			b := addrBit(r.Prefix, bit)
+			if n.child[b] == nil {
+				n.child[b] = &bmpTrie{}
+			}
+			n = n.child[b]
+		}
+		// Later routes of equal length overwrite earlier ones, matching
+		// the hash-table insertion semantics.
+		n.hasNH = true
+		n.nh = r.NextHop
+	}
+	return root
+}
+
+// bmpAtMost returns the next hop of the longest prefix of addr with length
+// <= maxLen, or def if none matches.
+func (t *bmpTrie) bmpAtMost(addr packet.IPv6Addr, maxLen int, def uint16) uint16 {
+	best := def
+	n := t
+	for bit := 0; bit < maxLen && n != nil; bit++ {
+		n = n.child[addrBit(addr, bit)]
+		if n != nil && n.hasNH {
+			best = n.nh
+		}
+	}
+	return best
+}
+
+func addrBit(a packet.IPv6Addr, bit int) int {
+	if bit < 64 {
+		return int(a.Hi >> (63 - bit) & 1)
+	}
+	return int(a.Lo >> (127 - bit) & 1)
+}
+
+func (t *Table) defaultNH() uint16 {
+	if t.hasDef {
+		return t.def
+	}
+	return MissNextHop
+}
+
+// Lookup returns the next hop for addr, or MissNextHop. Probes counts hash
+// accesses for diagnostics.
+func (t *Table) Lookup(addr packet.IPv6Addr) uint16 {
+	nh, _ := t.LookupCounted(addr)
+	return nh
+}
+
+// LookupCounted returns the next hop and the number of hash probes made.
+func (t *Table) LookupCounted(addr packet.IPv6Addr) (uint16, int) {
+	best := t.defaultNH()
+	lo, hi := 0, len(t.levels)-1
+	probes := 0
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		probes++
+		e, ok := t.tables[mid][addr.Mask(t.levels[mid])]
+		if !ok {
+			hi = mid - 1
+			continue
+		}
+		if e.real {
+			best = e.nh
+		} else if e.hasBMP {
+			best = e.bmp
+		}
+		lo = mid + 1
+	}
+	return best, probes
+}
+
+// NaiveLookup is the linear reference LPM for property tests.
+func (t *Table) NaiveLookup(addr packet.IPv6Addr) uint16 {
+	best := -1
+	nh := MissNextHop
+	for _, r := range t.routes {
+		if addr.Mask(r.PLen) == r.Prefix.Mask(r.PLen) && r.PLen >= best {
+			best = r.PLen
+			nh = int(r.NextHop)
+		}
+	}
+	if best == -1 && t.hasDef {
+		return t.def
+	}
+	if best == -1 {
+		return MissNextHop
+	}
+	return uint16(nh)
+}
+
+// Levels returns the number of distinct prefix-length levels.
+func (t *Table) Levels() int { return len(t.levels) }
+
+// RandomRoutes generates a synthetic IPv6 FIB with a default route and an
+// Internet-like length mix (mostly /32../48, some /49../64 and /128).
+func RandomRoutes(n int, numNextHops int, seed uint64) []Route {
+	r := rng.New(seed)
+	routes := []Route{{PLen: 0, NextHop: 0}} // default
+	for i := 0; i < n; i++ {
+		var plen int
+		switch v := r.Float64(); {
+		case v < 0.10:
+			plen = 16 + r.Intn(16) // /16../31
+		case v < 0.80:
+			plen = 32 + r.Intn(17) // /32../48
+		case v < 0.97:
+			plen = 49 + r.Intn(16) // /49../64
+		default:
+			plen = 128
+		}
+		addr := packet.IPv6Addr{Hi: r.Uint64(), Lo: r.Uint64()}
+		routes = append(routes, Route{
+			Prefix:  addr.Mask(plen),
+			PLen:    plen,
+			NextHop: uint16(r.Intn(numNextHops)),
+		})
+	}
+	return routes
+}

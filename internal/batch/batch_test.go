@@ -1,0 +1,196 @@
+package batch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nba/internal/mempool"
+	"nba/internal/packet"
+)
+
+func mkPkts(n int) []*packet.Packet {
+	pkts := make([]*packet.Packet, n)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{}
+		pkts[i].SetLength(64 + i)
+	}
+	return pkts
+}
+
+func TestBatchAddAndIteration(t *testing.T) {
+	var b Batch
+	pkts := mkPkts(5)
+	for _, p := range pkts {
+		if !b.Add(p) {
+			t.Fatal("Add failed below capacity")
+		}
+	}
+	if b.Count() != 5 || b.Live() != 5 {
+		t.Fatalf("Count=%d Live=%d, want 5,5", b.Count(), b.Live())
+	}
+	var seen []int
+	b.ForEachLive(func(i int, p *packet.Packet) { seen = append(seen, i) })
+	if len(seen) != 5 {
+		t.Errorf("iterated %d slots, want 5", len(seen))
+	}
+	if b.TotalBytes() != 64+65+66+67+68 {
+		t.Errorf("TotalBytes = %d", b.TotalBytes())
+	}
+}
+
+func TestBatchCapacity(t *testing.T) {
+	var b Batch
+	for i := 0; i < MaxBatchSize; i++ {
+		if !b.Add(&packet.Packet{}) {
+			t.Fatalf("Add %d failed below capacity", i)
+		}
+	}
+	if b.Add(&packet.Packet{}) {
+		t.Error("Add beyond capacity succeeded")
+	}
+}
+
+func TestBatchMasking(t *testing.T) {
+	var b Batch
+	for _, p := range mkPkts(4) {
+		b.Add(p)
+	}
+	b.Mask(1)
+	b.Mask(3)
+	if b.Live() != 2 {
+		t.Errorf("Live = %d, want 2", b.Live())
+	}
+	var visited []int
+	b.ForEachLive(func(i int, p *packet.Packet) { visited = append(visited, i) })
+	if len(visited) != 2 || visited[0] != 0 || visited[1] != 2 {
+		t.Errorf("visited = %v, want [0 2]", visited)
+	}
+	if !b.IsMasked(1) || b.IsMasked(0) {
+		t.Error("IsMasked wrong")
+	}
+}
+
+func TestBatchDoubleMaskPanics(t *testing.T) {
+	var b Batch
+	b.Add(&packet.Packet{})
+	b.Mask(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("double Mask did not panic")
+		}
+	}()
+	b.Mask(0)
+}
+
+func TestBatchResults(t *testing.T) {
+	var b Batch
+	for _, p := range mkPkts(6) {
+		b.Add(p)
+	}
+	for i := 0; i < 6; i++ {
+		b.SetResult(i, i%2) // alternate ports 0 and 1
+	}
+	b.SetResult(5, ResultDrop)
+	hist := b.ResultHistogram(1)
+	// hist[0]=drops, hist[1]=port0, hist[2]=port1
+	if hist[0] != 1 || hist[1] != 3 || hist[2] != 2 {
+		t.Errorf("hist = %v, want [1 3 2]", hist)
+	}
+}
+
+func TestResultHistogramSkipsMasked(t *testing.T) {
+	var b Batch
+	for _, p := range mkPkts(4) {
+		b.Add(p)
+	}
+	for i := 0; i < 4; i++ {
+		b.SetResult(i, 0)
+	}
+	b.Mask(0)
+	hist := b.ResultHistogram(0)
+	if hist[1] != 3 {
+		t.Errorf("hist[1] = %d, want 3 (masked slot excluded)", hist[1])
+	}
+}
+
+func TestResultHistogramRangePanics(t *testing.T) {
+	var b Batch
+	b.Add(&packet.Packet{})
+	b.SetResult(0, 7)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range result did not panic")
+		}
+	}()
+	b.ResultHistogram(1)
+}
+
+func TestBatchReset(t *testing.T) {
+	var b Batch
+	for _, p := range mkPkts(3) {
+		b.Add(p)
+	}
+	b.Mask(0)
+	b.Anno[AnnoDevice] = 2
+	b.Reset()
+	if b.Count() != 0 || b.Live() != 0 || b.Anno[AnnoDevice] != 0 {
+		t.Error("Reset left state behind")
+	}
+	// Reusable after reset.
+	if !b.Add(&packet.Packet{}) || b.Live() != 1 {
+		t.Error("batch unusable after Reset")
+	}
+}
+
+func TestBatchPoolRecycling(t *testing.T) {
+	pool := NewPool("test", 2)
+	b1 := pool.MustGet()
+	b1.Add(&packet.Packet{})
+	b1.Mask(0)
+	pool.Put(b1)
+	b2 := pool.MustGet()
+	if b2.Count() != 0 || b2.Live() != 0 {
+		t.Error("pooled batch not reset on Put")
+	}
+	if _, err := pool.Get(); err != nil {
+		t.Errorf("second Get failed: %v", err)
+	}
+	if _, err := pool.Get(); err != mempool.ErrExhausted {
+		t.Error("pool did not exhaust at capacity")
+	}
+}
+
+func TestLiveInvariantProperty(t *testing.T) {
+	// Property: Live() always equals Count() minus the number of masks.
+	f := func(adds uint8, maskIdx []uint8) bool {
+		var b Batch
+		n := int(adds%64) + 1
+		for i := 0; i < n; i++ {
+			b.Add(&packet.Packet{})
+		}
+		masked := map[int]bool{}
+		for _, m := range maskIdx {
+			i := int(m) % n
+			if !masked[i] {
+				b.Mask(i)
+				masked[i] = true
+			}
+		}
+		return b.Live() == n-len(masked) && b.Count() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBatchAddReset(b *testing.B) {
+	var bt Batch
+	p := &packet.Packet{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 64; j++ {
+			bt.Add(p)
+		}
+		bt.Reset()
+	}
+}

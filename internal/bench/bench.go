@@ -1,0 +1,228 @@
+// Package bench is the experiment harness: one named experiment per table
+// and figure of the paper's evaluation (§4), each regenerating the same
+// rows/series the paper reports. cmd/nbabench and the repository-root
+// benchmarks drive it.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"nba/internal/core"
+	"nba/internal/gen"
+	"nba/internal/graph"
+	"nba/internal/netio"
+	"nba/internal/packet"
+	"nba/internal/simtime"
+	"nba/internal/sysinfo"
+
+	"nba/internal/apps/ipv6"
+
+	// Register the sample applications' elements.
+	_ "nba/internal/apps/ids"
+	_ "nba/internal/apps/ipsec"
+	_ "nba/internal/apps/ipv4"
+	_ "nba/internal/lb"
+)
+
+// Options tunes experiment execution.
+type Options struct {
+	// Quick shrinks simulated durations for smoke runs and unit tests.
+	Quick bool
+	// Seed drives the run randomness.
+	Seed uint64
+}
+
+// Experiment is one reproducible paper result.
+type Experiment struct {
+	ID    string
+	Title string
+	// Paper summarises what the paper reports for this experiment.
+	Paper string
+	Run   func(o Options, w io.Writer) error
+}
+
+var experiments []Experiment
+
+func register(e Experiment) { experiments = append(experiments, e) }
+
+// All returns every registered experiment, sorted by ID.
+func All() []Experiment {
+	out := append([]Experiment(nil), experiments...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds one experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range experiments {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (try: %s)", id, ids())
+}
+
+func ids() string {
+	s := ""
+	for i, e := range All() {
+		if i > 0 {
+			s += ", "
+		}
+		s += e.ID
+	}
+	return s
+}
+
+// --- pipeline configurations (paper Figure 8) ---
+
+// AppConfig returns the pipeline text for a sample application. lbAlg is a
+// LoadBalance parameter ("cpu", "gpu", "fixed=0.8", "adaptive"); apps
+// without offloadable elements ignore it.
+func AppConfig(app, lbAlg string) (string, error) {
+	switch app {
+	case "l2fwd":
+		return `FromInput() -> L2Forward() -> ToOutput();`, nil
+	case "echo":
+		return `FromInput() -> EchoBack() -> ToOutput();`, nil
+	case "ipv4":
+		return fmt.Sprintf(`
+			FromInput() -> CheckIPHeader() -> LoadBalance("%s")
+				-> IPLookup("entries=65536", "seed=42") -> DecIPTTL() -> ToOutput();`, lbAlg), nil
+	case "ipv6":
+		return fmt.Sprintf(`
+			FromInput() -> CheckIP6Header() -> LoadBalance("%s")
+				-> LookupIP6Route("entries=65536", "seed=42") -> DecIP6HLIM() -> ToOutput();`, lbAlg), nil
+	case "ipsec":
+		return fmt.Sprintf(`
+			FromInput() -> CheckIPHeader() -> IPsecESPencap("sas=1024")
+				-> LoadBalance("%s")
+				-> IPsecAES("sas=1024") -> IPsecHMAC("sas=1024") -> ToOutput();`, lbAlg), nil
+	case "ids":
+		return fmt.Sprintf(`
+			FromInput() -> CheckIPHeader() -> LoadBalance("%s")
+				-> IDSMatchAC("alert") -> IDSMatchRE("alert") -> EchoBack() -> ToOutput();`, lbAlg), nil
+	default:
+		return "", fmt.Errorf("bench: unknown app %q", app)
+	}
+}
+
+// GeneratorFor builds the standard generator for an app and frame size.
+// size <= 0 selects the synthetic-CAIDA mix.
+func GeneratorFor(app string, size int, seed uint64) netio.Generator {
+	if size <= 0 {
+		return &gen.SyntheticCAIDA{Flows: 16384, Seed: seed}
+	}
+	if app == "ipv6" {
+		return &gen.UDP6{FrameLen: size, Flows: 16384, Seed: seed, Dsts: ipv6Dsts()}
+	}
+	return &gen.UDP4{FrameLen: size, Flows: 16384, Seed: seed}
+}
+
+// ipv6Dsts returns destination addresses drawn from the standard IPv6 FIB
+// (entries=65536, seed=42) so generated traffic spreads over real prefixes.
+var cachedIPv6Dsts []packet.IPv6Addr
+
+func ipv6Dsts() []packet.IPv6Addr {
+	if cachedIPv6Dsts == nil {
+		routes := ipv6.RandomRoutes(65536, 256, 42)
+		for i, rt := range routes {
+			if rt.PLen >= 16 && rt.PLen <= 64 && i%4 == 0 {
+				cachedIPv6Dsts = append(cachedIPv6Dsts, rt.Prefix)
+			}
+		}
+	}
+	return cachedIPv6Dsts
+}
+
+// RunSpec describes one system run for the harness.
+type RunSpec struct {
+	App           string
+	LB            string  // LoadBalance parameter
+	Size          int     // frame bytes; <=0 = CAIDA mix
+	OfferedBps    float64 // per port
+	Workers       int     // per socket; 0 = max
+	CompBatch     int     // 0 = 64
+	IOBatch       int     // 0 = 64
+	Opts          *graph.Options
+	Warmup        simtime.Time
+	Duration      simtime.Time
+	ALBObserve    simtime.Time
+	ALBUpdate     simtime.Time
+	Topology      *sysinfo.Topology
+	CostModel     *sysinfo.CostModel
+	Seed          uint64
+	LatencySample int
+	// ForceRemote emulates remote-socket memory placement (NUMA ablation).
+	ForceRemote bool
+	// Generator overrides the standard generator (e.g. trace replay).
+	Generator netio.Generator
+	// LatencyBound switches adaptive balancing to the bounded-latency
+	// controller (paper §7 extension).
+	LatencyBound simtime.Time
+	// CaptureTx records the first N transmitted frames for pcap export.
+	CaptureTx int
+	// GeneratorChanges swap the traffic mix mid-run.
+	GeneratorChanges []core.GeneratorChange
+}
+
+// Execute assembles and runs one system.
+func Execute(spec RunSpec) (*core.Report, error) {
+	cfgText, err := AppConfig(spec.App, spec.LB)
+	if err != nil {
+		return nil, err
+	}
+	return ExecuteConfig(cfgText, spec)
+}
+
+// ExecuteConfig runs an explicit pipeline text with the spec's workload.
+func ExecuteConfig(cfgText string, spec RunSpec) (*core.Report, error) {
+	if spec.Warmup == 0 {
+		spec.Warmup = 5 * simtime.Millisecond
+	}
+	if spec.Duration == 0 {
+		spec.Duration = 25 * simtime.Millisecond
+	}
+	generator := spec.Generator
+	if generator == nil {
+		generator = GeneratorFor(spec.App, spec.Size, spec.Seed+1)
+	}
+	cfg := core.Config{
+		Topology:          spec.Topology,
+		CostModel:         spec.CostModel,
+		GraphConfig:       cfgText,
+		GraphOpts:         spec.Opts,
+		WorkersPerSocket:  spec.Workers,
+		Generator:         generator,
+		OfferedBpsPerPort: spec.OfferedBps,
+		IOBatchSize:       spec.IOBatch,
+		CompBatchSize:     spec.CompBatch,
+		Warmup:            spec.Warmup,
+		Duration:          spec.Duration,
+		Seed:              spec.Seed,
+		ALBObserve:        spec.ALBObserve,
+		ALBUpdate:         spec.ALBUpdate,
+		LatencySample:     spec.LatencySample,
+		ForceRemoteMemory: spec.ForceRemote,
+		ALBLatencyBound:   spec.LatencyBound,
+		CaptureTx:         spec.CaptureTx,
+		GeneratorChanges:  spec.GeneratorChanges,
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Run()
+}
+
+// durations returns (warmup, duration) honouring Quick mode.
+func (o Options) durations(warm, dur simtime.Time) (simtime.Time, simtime.Time) {
+	if o.Quick {
+		return warm / 5, dur / 5
+	}
+	return warm, dur
+}
+
+// gbpsCell formats a throughput cell.
+func gbpsCell(g float64) string { return fmt.Sprintf("%7.2f", g) }

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nba/internal/simtime"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"tab1", "tab3", "fig1", "fig2", "composition", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14",
+		"ablation-datablock", "ablation-aggsize", "ablation-phi",
+		"ablation-numa", "ablation-boundedlat", "alb-reconverge",
+	}
+	for _, id := range want {
+		e, err := ByID(id)
+		if err != nil {
+			t.Errorf("missing experiment %q: %v", id, err)
+			continue
+		}
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete: %+v", id, e)
+		}
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if len(All()) < len(want) {
+		t.Errorf("All() returned %d experiments, want >= %d", len(All()), len(want))
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].ID > all[i].ID {
+			t.Fatalf("All() not sorted: %q before %q", all[i-1].ID, all[i].ID)
+		}
+	}
+}
+
+func TestAppConfigsParseAndBuild(t *testing.T) {
+	for _, app := range []string{"l2fwd", "echo", "ipv4", "ipv6", "ipsec", "ids"} {
+		cfgText, err := AppConfig(app, "cpu")
+		if err != nil {
+			t.Fatalf("AppConfig(%s): %v", app, err)
+		}
+		// A short run proves the configuration builds and executes.
+		spec := RunSpec{App: app, LB: "cpu", Size: 128, OfferedBps: 5e8,
+			Warmup: 200 * simtime.Microsecond, Duration: simtime.Millisecond, Seed: 1}
+		r, err := ExecuteConfig(cfgText, spec)
+		if err != nil {
+			t.Fatalf("ExecuteConfig(%s): %v", app, err)
+		}
+		if r.TxGbps <= 0 {
+			t.Errorf("%s: zero throughput", app)
+		}
+	}
+	if _, err := AppConfig("nope", "cpu"); err == nil {
+		t.Error("unknown app accepted")
+	}
+}
+
+func TestGeneratorFor(t *testing.T) {
+	if g := GeneratorFor("ipv4", 0, 1); g.MeanFrameLen() < 64 || g.MeanFrameLen() > 1500 {
+		t.Error("CAIDA generator mean out of range")
+	}
+	if g := GeneratorFor("ipv6", 128, 1); g.MeanFrameLen() != 128 {
+		t.Error("ipv6 generator wrong size")
+	}
+	if g := GeneratorFor("ipv4", 256, 1); g.MeanFrameLen() != 256 {
+		t.Error("ipv4 generator wrong size")
+	}
+}
+
+func TestIPv6DstsTargetFIB(t *testing.T) {
+	dsts := ipv6Dsts()
+	if len(dsts) < 1000 {
+		t.Fatalf("only %d IPv6 destinations", len(dsts))
+	}
+	// Deterministic across calls.
+	if &ipv6Dsts()[0] != &dsts[0] {
+		t.Error("ipv6Dsts not cached")
+	}
+}
+
+func TestQuickDurations(t *testing.T) {
+	o := Options{Quick: true}
+	w, d := o.durations(5*simtime.Millisecond, 25*simtime.Millisecond)
+	if w != simtime.Millisecond || d != 5*simtime.Millisecond {
+		t.Errorf("quick durations = %v,%v", w, d)
+	}
+	o.Quick = false
+	w, d = o.durations(5*simtime.Millisecond, 25*simtime.Millisecond)
+	if w != 5*simtime.Millisecond || d != 25*simtime.Millisecond {
+		t.Errorf("full durations = %v,%v", w, d)
+	}
+}
+
+func TestStaticTablesRender(t *testing.T) {
+	for _, id := range []string{"tab1", "tab3"} {
+		e, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := e.Run(Options{}, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		out := buf.String()
+		if id == "tab1" && !strings.Contains(out, "Adaptive load balancing") {
+			t.Errorf("tab1 missing rows:\n%s", out)
+		}
+		if id == "tab3" && !strings.Contains(out, "10 GbE") {
+			t.Errorf("tab3 missing hardware:\n%s", out)
+		}
+	}
+}
+
+func TestCloneCostModelIsolated(t *testing.T) {
+	a := cloneCostModel()
+	b := cloneCostModel()
+	a.MaxAggBatches = 99
+	if b.MaxAggBatches == 99 {
+		t.Error("cloneCostModel returned shared struct")
+	}
+}

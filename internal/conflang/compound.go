@@ -1,0 +1,187 @@
+package conflang
+
+import "fmt"
+
+// Compound elements (Click's `elementclass`) let configurations define
+// reusable sub-pipelines:
+//
+//	elementclass CheckedV4 {
+//	    input -> CheckIPHeader() -> DecIPTTL() -> output;
+//	}
+//	a :: CheckedV4;
+//	FromInput() -> a -> ToOutput();
+//
+// Instantiation is macro expansion: the body's elements are cloned with a
+// "name/" prefix and the instance's connections are spliced onto the body's
+// `input` successor and `output` predecessor. One `input` and one `output`
+// connection are supported (single-port compounds).
+
+// template is a parsed elementclass body.
+type template struct {
+	decls []*Decl
+	edges []Edge
+	// entryTo is the declared name the body's `input` connects to;
+	// exitFrom is the name connected into `output`.
+	entryTo   string
+	entryPort int // input port on the entry element
+	exitFrom  string
+	exitPort  int // output port on the exit element
+	line      int
+}
+
+// compoundRef records how a named compound instance splices into the graph.
+type compoundRef struct {
+	entryTo   string
+	entryPort int
+	exitFrom  string
+	exitPort  int
+}
+
+// parseElementClass parses `elementclass Name { ... }` after the
+// `elementclass` keyword token has been consumed.
+func (p *parser) parseElementClass() error {
+	nameTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if _, dup := p.templates[nameTok.text]; dup {
+		return &SyntaxError{Line: nameTok.line, Col: nameTok.col,
+			Msg: fmt.Sprintf("elementclass %q defined twice", nameTok.text)}
+	}
+	if _, err := p.expect(tokLBrace); err != nil {
+		return err
+	}
+
+	// Parse the body into a scratch config with `input`/`output` as
+	// implicitly declared pseudo elements.
+	body := &parser{
+		lex:       p.lex,
+		tok:       p.tok,
+		cfg:       &Config{byName: map[string]*Decl{}},
+		templates: p.templates,
+		compounds: map[string]compoundRef{},
+	}
+	for _, pseudo := range []string{"input", "output"} {
+		d := &Decl{Name: pseudo, Class: "__port__", Line: nameTok.line}
+		body.cfg.byName[pseudo] = d
+	}
+	for body.tok.kind != tokRBrace {
+		if body.tok.kind == tokEOF {
+			return &SyntaxError{Line: nameTok.line, Col: nameTok.col,
+				Msg: fmt.Sprintf("elementclass %q: missing '}'", nameTok.text)}
+		}
+		if err := body.statement(); err != nil {
+			return err
+		}
+	}
+	p.tok = body.tok
+	if err := p.advance(); err != nil { // consume }
+		return err
+	}
+
+	t := &template{line: nameTok.line}
+	for _, d := range body.cfg.Decls {
+		if d.Class == "__port__" {
+			continue
+		}
+		t.decls = append(t.decls, d)
+	}
+	for _, e := range body.cfg.Edges {
+		switch {
+		case e.From == "input" && e.To == "output":
+			return &SyntaxError{Line: e.Line, Col: 1,
+				Msg: fmt.Sprintf("elementclass %q: direct input -> output is not supported", nameTok.text)}
+		case e.From == "input":
+			if t.entryTo != "" {
+				return &SyntaxError{Line: e.Line, Col: 1,
+					Msg: fmt.Sprintf("elementclass %q: input connected twice", nameTok.text)}
+			}
+			t.entryTo = e.To
+			t.entryPort = e.ToPort
+		case e.To == "output":
+			if t.exitFrom != "" {
+				return &SyntaxError{Line: e.Line, Col: 1,
+					Msg: fmt.Sprintf("elementclass %q: output connected twice", nameTok.text)}
+			}
+			t.exitFrom = e.From
+			t.exitPort = e.FromPort
+		default:
+			t.edges = append(t.edges, e)
+		}
+	}
+	if t.entryTo == "" || t.exitFrom == "" {
+		return &SyntaxError{Line: nameTok.line, Col: nameTok.col,
+			Msg: fmt.Sprintf("elementclass %q must connect both input and output", nameTok.text)}
+	}
+	p.templates[nameTok.text] = t
+	return nil
+}
+
+// expandCompound instantiates template t under the given instance name,
+// appending prefixed declarations and internal edges to the configuration.
+func (p *parser) expandCompound(name string, t *template, line int) error {
+	prefix := name + "/"
+	for _, d := range t.decls {
+		clone := &Decl{
+			Name:   prefix + d.Name,
+			Class:  d.Class,
+			Params: append([]string(nil), d.Params...),
+			Line:   line,
+		}
+		if _, dup := p.cfg.byName[clone.Name]; dup {
+			return &SyntaxError{Line: line, Col: 1,
+				Msg: fmt.Sprintf("compound expansion name clash on %q", clone.Name)}
+		}
+		// Nested compound instantiation inside a template body.
+		if nested, ok := p.templates[d.Class]; ok {
+			if err := p.expandCompound(clone.Name, nested, line); err != nil {
+				return err
+			}
+			continue
+		}
+		p.cfg.Decls = append(p.cfg.Decls, clone)
+		p.cfg.byName[clone.Name] = clone
+	}
+	resolve := func(n string, out bool) (string, int, int, bool) {
+		// Translate an intra-template endpoint, possibly itself a nested
+		// compound instance.
+		full := prefix + n
+		if ref, ok := p.compounds[full]; ok {
+			if out {
+				return ref.exitFrom, ref.exitPort, 0, true
+			}
+			return ref.entryTo, 0, ref.entryPort, true
+		}
+		return full, 0, 0, false
+	}
+	for _, e := range t.edges {
+		from, fromPortExtra, _, fromCompound := resolve(e.From, true)
+		to, _, toPortExtra, toCompound := resolve(e.To, false)
+		fromPort := e.FromPort
+		if fromCompound {
+			fromPort = fromPortExtra
+		}
+		toPort := e.ToPort
+		if toCompound {
+			toPort = toPortExtra
+		}
+		p.cfg.Edges = append(p.cfg.Edges, Edge{
+			From: from, FromPort: fromPort, To: to, ToPort: toPort, Line: line,
+		})
+	}
+	entryTo, _, entryPort, entryCompound := resolve(t.entryTo, false)
+	exitFrom, exitPort, _, exitCompound := resolve(t.exitFrom, true)
+	ref := compoundRef{entryTo: entryTo, exitFrom: exitFrom}
+	if entryCompound {
+		ref.entryPort = entryPort
+	} else {
+		ref.entryPort = t.entryPort
+	}
+	if exitCompound {
+		ref.exitPort = exitPort
+	} else {
+		ref.exitPort = t.exitPort
+	}
+	p.compounds[name] = ref
+	return nil
+}

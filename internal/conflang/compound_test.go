@@ -1,0 +1,155 @@
+package conflang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCompoundBasicExpansion(t *testing.T) {
+	cfg, err := Parse(`
+		elementclass CheckedV4 {
+			input -> CheckIPHeader() -> DecIPTTL() -> output;
+		}
+		a :: CheckedV4;
+		FromInput() -> a -> ToOutput();
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expanded decls: CheckIPHeader + DecIPTTL (prefixed) + FromInput + ToOutput.
+	var classes []string
+	for _, d := range cfg.Decls {
+		classes = append(classes, d.Class)
+		if d.Class == "CheckIPHeader" && !strings.HasPrefix(d.Name, "a/") {
+			t.Errorf("inner element not prefixed: %q", d.Name)
+		}
+	}
+	joined := strings.Join(classes, ",")
+	for _, want := range []string{"CheckIPHeader", "DecIPTTL", "FromInput", "ToOutput"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing class %s in %v", want, classes)
+		}
+	}
+	// Edges: FromInput -> a/Check..., a/Check -> a/Dec, a/Dec -> ToOutput.
+	if len(cfg.Edges) != 3 {
+		t.Fatalf("got %d edges, want 3: %+v", len(cfg.Edges), cfg.Edges)
+	}
+	if !strings.HasPrefix(cfg.Edges[1].To, "a/") && !strings.HasPrefix(cfg.Edges[1].From, "a/") {
+		t.Errorf("middle edge not inside compound: %+v", cfg.Edges[1])
+	}
+}
+
+func TestCompoundAnonymousAndMultipleInstances(t *testing.T) {
+	cfg, err := Parse(`
+		elementclass P { input -> NoOp() -> output; }
+		x :: P;
+		FromInput() -> x -> P() -> ToOutput();
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two NoOp instances with distinct prefixes.
+	count := 0
+	names := map[string]bool{}
+	for _, d := range cfg.Decls {
+		if d.Class == "NoOp" {
+			count++
+			if names[d.Name] {
+				t.Fatalf("duplicate expanded name %q", d.Name)
+			}
+			names[d.Name] = true
+		}
+	}
+	if count != 2 {
+		t.Errorf("%d NoOp instances, want 2", count)
+	}
+}
+
+func TestCompoundWithInternalEdgesAndBranch(t *testing.T) {
+	cfg, err := Parse(`
+		elementclass Filtered {
+			b :: RandomWeightedBranch("0.1");
+			input -> b;
+			b[0] -> NoOp() -> output;
+			b[1] -> Discard();
+		}
+		FromInput() -> Filtered() -> ToOutput();
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The Discard stays inside; entry is the branch, exit is the NoOp.
+	var haveDiscard bool
+	for _, d := range cfg.Decls {
+		if d.Class == "Discard" {
+			haveDiscard = true
+		}
+	}
+	if !haveDiscard {
+		t.Error("internal Discard lost in expansion")
+	}
+	// The branch port 1 edge must be preserved.
+	found := false
+	for _, e := range cfg.Edges {
+		if e.FromPort == 1 && strings.HasSuffix(e.From, "/b") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("branch port edge lost: %+v", cfg.Edges)
+	}
+}
+
+func TestCompoundNested(t *testing.T) {
+	cfg, err := Parse(`
+		elementclass Inner { input -> NoOp() -> output; }
+		elementclass Outer {
+			i :: Inner;
+			input -> i -> output;
+		}
+		FromInput() -> Outer() -> ToOutput();
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The NoOp is doubly prefixed.
+	found := false
+	for _, d := range cfg.Decls {
+		if d.Class == "NoOp" && strings.Contains(d.Name, "/i/") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("nested expansion names wrong: %+v", cfg.Decls)
+	}
+	if len(cfg.Edges) != 2 {
+		t.Errorf("got %d edges, want 2 (FromInput->NoOp, NoOp->ToOutput): %+v", len(cfg.Edges), cfg.Edges)
+	}
+}
+
+func TestCompoundErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{`elementclass X { input -> output; } FromInput() -> X() -> ToOutput();`, "not supported"},
+		{`elementclass X { NoOp() -> output; }`, "must connect both"},
+		{`elementclass X { input -> NoOp(); }`, "must connect both"},
+		{`elementclass X { input -> NoOp() -> output; input -> NoOp(); }`, "input connected twice"},
+		{`elementclass X { input -> NoOp() -> output; NoOp() -> output; }`, "output connected twice"},
+		{`elementclass X { input -> NoOp() -> output; } elementclass X { input -> NoOp() -> output; }`, "defined twice"},
+		{`elementclass X { input -> NoOp() -> output; } a :: X("p");`, "takes no parameters"},
+		{`elementclass X { input -> NoOp() -> output; } a :: X; FromInput() -> a[1] -> ToOutput();`, "port brackets on compound"},
+		{`elementclass X { input -> NoOp() -> output`, "end of input"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}

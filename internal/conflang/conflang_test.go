@@ -1,0 +1,200 @@
+package conflang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseDeclarationAndChain(t *testing.T) {
+	cfg, err := Parse(`
+		// IPv4 router (paper Figure 8a)
+		lookup :: IPLookup("seed=42");
+		FromInput() -> CheckIPHeader() -> lookup -> DecIPTTL() -> ToOutput();
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Decls) != 5 {
+		t.Fatalf("got %d decls, want 5 (1 named + 4 anonymous)", len(cfg.Decls))
+	}
+	d := cfg.Decl("lookup")
+	if d == nil || d.Class != "IPLookup" || len(d.Params) != 1 || d.Params[0] != "seed=42" {
+		t.Fatalf("lookup decl wrong: %+v", d)
+	}
+	if len(cfg.Edges) != 4 {
+		t.Fatalf("got %d edges, want 4", len(cfg.Edges))
+	}
+	// The chain must be linear through the named element.
+	if cfg.Edges[1].To != "lookup" || cfg.Edges[2].From != "lookup" {
+		t.Errorf("edges do not pass through 'lookup': %+v", cfg.Edges)
+	}
+}
+
+func TestParseAnonymousNaming(t *testing.T) {
+	cfg, err := Parse(`FromInput() -> NoOp() -> NoOp() -> ToOutput();`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, d := range cfg.Decls {
+		if names[d.Name] {
+			t.Fatalf("duplicate auto name %q", d.Name)
+		}
+		names[d.Name] = true
+	}
+	if len(cfg.Decls) != 4 {
+		t.Errorf("got %d decls, want 4", len(cfg.Decls))
+	}
+}
+
+func TestParsePortBrackets(t *testing.T) {
+	cfg, err := Parse(`
+		cls :: Classifier("ip", "ip6");
+		FromInput() -> cls;
+		cls[0] -> ToOutput();
+		cls[1] -> Discard();
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var p0, p1 bool
+	for _, e := range cfg.Edges {
+		if e.From == "cls" && e.FromPort == 0 {
+			p0 = true
+		}
+		if e.From == "cls" && e.FromPort == 1 {
+			p1 = true
+		}
+	}
+	if !p0 || !p1 {
+		t.Errorf("output ports not parsed: %+v", cfg.Edges)
+	}
+}
+
+func TestParseInputPortBracket(t *testing.T) {
+	cfg, err := Parse(`
+		q :: Queue("64");
+		FromInput() -> [0]q;
+		q -> ToOutput();
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Edges[0].ToPort != 0 || cfg.Edges[0].To != "q" {
+		t.Errorf("input port bracket wrong: %+v", cfg.Edges[0])
+	}
+}
+
+func TestParseInlinePortAfterAnonymous(t *testing.T) {
+	cfg, err := Parse(`FromInput() -> RandomWeightedBranch("0.1")[1] -> Discard();`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := cfg.Edges[len(cfg.Edges)-1]
+	if last.FromPort != 1 {
+		t.Errorf("FromPort = %d, want 1", last.FromPort)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	cfg, err := Parse(`
+		/* block
+		   comment */
+		a :: NoOp(); // trailing
+		FromInput() -> a -> ToOutput();
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Decl("a") == nil {
+		t.Error("declaration after comments lost")
+	}
+}
+
+func TestParseStringEscapes(t *testing.T) {
+	cfg, err := Parse(`a :: NoOp("x\n\t\"\\y");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cfg.Decl("a").Params[0]; got != "x\n\t\"\\y" {
+		t.Errorf("escaped param = %q", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string
+	}{
+		{`a :: ;`, "expected identifier"},
+		{`a :: NoOp(unquoted);`, "quoted strings"},
+		{`a :: NoOp(123);`, "quoted strings"},
+		{`a :: NoOp("x" "y");`, "expected ',' or ')'"},
+		{`FromInput() -> nosuch;`, "undeclared element"},
+		{`a :: NoOp(); a :: NoOp();`, "declared twice"},
+		{`FromInput() -> `, "expected identifier"},
+		{`FromInput() ToOutput();`, "expected '->'"},
+		{`a :: NoOp("unterminated`, "unterminated string"},
+		{`/* open`, "unterminated block comment"},
+		{`a :: NoOp(); a[x] -> a;`, "bad port"},
+		{`$bad`, "unexpected character"},
+		{`a : b;`, "expected '::'"},
+		{`a - b;`, "expected '->'"},
+		{`a :: NoOp("bad\q");`, "bad escape"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil {
+			t.Errorf("Parse(%q) succeeded, want error containing %q", c.src, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.src, err, c.wantSub)
+		}
+		if se, ok := err.(*SyntaxError); !ok {
+			t.Errorf("Parse(%q) error type %T, want *SyntaxError", c.src, err)
+		} else if se.Line <= 0 {
+			t.Errorf("Parse(%q) error has no line info", c.src)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	cfg, err := Parse("  // nothing\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Decls) != 0 || len(cfg.Edges) != 0 {
+		t.Error("empty config produced content")
+	}
+}
+
+func TestParseMultipleChains(t *testing.T) {
+	cfg, err := Parse(`
+		src :: FromInput();
+		out :: ToOutput();
+		branch :: RandomWeightedBranch("0.5");
+		src -> branch;
+		branch[0] -> NoOp() -> out;
+		branch[1] -> Discard();
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Edges) != 4 {
+		t.Errorf("got %d edges, want 4", len(cfg.Edges))
+	}
+}
+
+func TestParamListEmptyAndMulti(t *testing.T) {
+	cfg, err := Parse(`a :: NoOp(); b :: NoOp("1", "2", "3");`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.Decl("a").Params) != 0 {
+		t.Error("empty param list not empty")
+	}
+	if got := cfg.Decl("b").Params; len(got) != 3 || got[2] != "3" {
+		t.Errorf("params = %v", got)
+	}
+}

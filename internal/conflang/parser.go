@@ -1,0 +1,292 @@
+package conflang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Decl is one element instance declaration.
+type Decl struct {
+	Name   string
+	Class  string
+	Params []string
+	Line   int
+}
+
+// Edge is one directed connection between element instances.
+type Edge struct {
+	From     string
+	FromPort int
+	To       string
+	ToPort   int
+	Line     int
+}
+
+// Config is the parsed configuration: named element instances (including
+// auto-named anonymous ones) and the edges between them.
+type Config struct {
+	Decls []*Decl
+	Edges []Edge
+
+	byName map[string]*Decl
+	anon   int
+}
+
+// Decl returns the declaration for name, or nil.
+func (c *Config) Decl(name string) *Decl { return c.byName[name] }
+
+// Parse parses a configuration text.
+func Parse(src string) (*Config, error) {
+	p := &parser{
+		lex:       newLexer(src),
+		cfg:       &Config{byName: map[string]*Decl{}},
+		templates: map[string]*template{},
+		compounds: map[string]compoundRef{},
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	for p.tok.kind != tokEOF {
+		if err := p.statement(); err != nil {
+			return nil, err
+		}
+	}
+	return p.cfg, nil
+}
+
+type parser struct {
+	lex *lexer
+	tok token
+	cfg *Config
+	// templates holds elementclass definitions; compounds maps instance
+	// names to their spliced entry/exit endpoints.
+	templates map[string]*template
+	compounds map[string]compoundRef
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return &SyntaxError{Line: p.tok.line, Col: p.tok.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if p.tok.kind != kind {
+		return token{}, p.errorf("expected %v, found %v %q", kind, p.tok.kind, p.tok.text)
+	}
+	t := p.tok
+	if err := p.advance(); err != nil {
+		return token{}, err
+	}
+	return t, nil
+}
+
+// statement parses either a declaration (`name :: Class(params);`) or a
+// connection chain (`ref -> ref -> ... ;`).
+func (p *parser) statement() error {
+	// A statement can begin with an input-port bracket only in connection
+	// context, which we reject at top level for clarity.
+	first, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	if first.text == "elementclass" {
+		return p.parseElementClass()
+	}
+	if p.tok.kind == tokDoubleColon {
+		return p.declaration(first)
+	}
+	return p.connection(first)
+}
+
+func (p *parser) declaration(nameTok token) error {
+	if _, exists := p.cfg.byName[nameTok.text]; exists {
+		return &SyntaxError{Line: nameTok.line, Col: nameTok.col,
+			Msg: fmt.Sprintf("element %q declared twice", nameTok.text)}
+	}
+	if _, exists := p.compounds[nameTok.text]; exists {
+		return &SyntaxError{Line: nameTok.line, Col: nameTok.col,
+			Msg: fmt.Sprintf("element %q declared twice", nameTok.text)}
+	}
+	if err := p.advance(); err != nil { // consume ::
+		return err
+	}
+	classTok, err := p.expect(tokIdent)
+	if err != nil {
+		return err
+	}
+	params, err := p.paramList()
+	if err != nil {
+		return err
+	}
+	if _, err := p.expect(tokSemicolon); err != nil {
+		return err
+	}
+	if t, ok := p.templates[classTok.text]; ok {
+		if len(params) != 0 {
+			return &SyntaxError{Line: classTok.line, Col: classTok.col,
+				Msg: fmt.Sprintf("compound %q takes no parameters", classTok.text)}
+		}
+		return p.expandCompound(nameTok.text, t, nameTok.line)
+	}
+	d := &Decl{Name: nameTok.text, Class: classTok.text, Params: params, Line: nameTok.line}
+	p.cfg.Decls = append(p.cfg.Decls, d)
+	p.cfg.byName[d.Name] = d
+	return nil
+}
+
+// paramList parses an optional parenthesised, comma-separated list of quoted
+// strings (NBA's modified Click syntax forces the quotes).
+func (p *parser) paramList() ([]string, error) {
+	if p.tok.kind != tokLParen {
+		return nil, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	var params []string
+	if p.tok.kind == tokRParen {
+		return params, p.advance()
+	}
+	for {
+		if p.tok.kind != tokString {
+			return nil, p.errorf("element parameters must be quoted strings (NBA syntax), found %v %q",
+				p.tok.kind, p.tok.text)
+		}
+		params = append(params, p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		switch p.tok.kind {
+		case tokComma:
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		case tokRParen:
+			return params, p.advance()
+		default:
+			return nil, p.errorf("expected ',' or ')' in parameter list, found %q", p.tok.text)
+		}
+	}
+}
+
+// nodeRef parses one endpoint of a connection: an existing instance name or
+// an anonymous `Class(params)` instantiation, with optional trailing
+// `[outport]`.
+func (p *parser) nodeRef(tok token) (name string, outPort int, err error) {
+	if p.tok.kind == tokLParen {
+		// Anonymous instantiation.
+		params, perr := p.paramList()
+		if perr != nil {
+			return "", 0, perr
+		}
+		p.cfg.anon++
+		name = fmt.Sprintf("%s@%d", tok.text, p.cfg.anon)
+		if t, ok := p.templates[tok.text]; ok {
+			if len(params) != 0 {
+				return "", 0, &SyntaxError{Line: tok.line, Col: tok.col,
+					Msg: fmt.Sprintf("compound %q takes no parameters", tok.text)}
+			}
+			if err := p.expandCompound(name, t, tok.line); err != nil {
+				return "", 0, err
+			}
+		} else {
+			d := &Decl{Name: name, Class: tok.text, Params: params, Line: tok.line}
+			p.cfg.Decls = append(p.cfg.Decls, d)
+			p.cfg.byName[name] = d
+		}
+	} else {
+		_, isElem := p.cfg.byName[tok.text]
+		_, isCompound := p.compounds[tok.text]
+		if !isElem && !isCompound {
+			return "", 0, &SyntaxError{Line: tok.line, Col: tok.col,
+				Msg: fmt.Sprintf("reference to undeclared element %q (declare it with ::, or instantiate with parentheses)", tok.text)}
+		}
+		name = tok.text
+	}
+	if p.tok.kind == tokLBracket {
+		if _, isCompound := p.compounds[name]; isCompound {
+			return "", 0, &SyntaxError{Line: tok.line, Col: tok.col,
+				Msg: fmt.Sprintf("port brackets on compound instance %q are not supported", name)}
+		}
+		outPort, err = p.portBracket()
+		if err != nil {
+			return "", 0, err
+		}
+	}
+	return name, outPort, nil
+}
+
+func (p *parser) portBracket() (int, error) {
+	if err := p.advance(); err != nil { // consume [
+		return 0, err
+	}
+	numTok, err := p.expect(tokIdent)
+	if err != nil {
+		return 0, err
+	}
+	n, convErr := strconv.Atoi(numTok.text)
+	if convErr != nil || n < 0 {
+		return 0, &SyntaxError{Line: numTok.line, Col: numTok.col,
+			Msg: fmt.Sprintf("bad port number %q", numTok.text)}
+	}
+	if _, err := p.expect(tokRBracket); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+func (p *parser) connection(first token) error {
+	fromName, fromPort, err := p.nodeRef(first)
+	if err != nil {
+		return err
+	}
+	for {
+		arrow, err := p.expect(tokArrow)
+		if err != nil {
+			return err
+		}
+		// Optional input-port bracket before the target.
+		toPort := 0
+		if p.tok.kind == tokLBracket {
+			toPort, err = p.portBracket()
+			if err != nil {
+				return err
+			}
+		}
+		toTok, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		toName, toOutPort, err := p.nodeRef(toTok)
+		if err != nil {
+			return err
+		}
+		edge := Edge{From: fromName, FromPort: fromPort, To: toName, ToPort: toPort, Line: arrow.line}
+		// Splice compound instances: edges into them go to their entry,
+		// edges out of them come from their exit.
+		if ref, ok := p.compounds[edge.From]; ok {
+			edge.From, edge.FromPort = ref.exitFrom, ref.exitPort
+		}
+		if ref, ok := p.compounds[edge.To]; ok {
+			edge.To, edge.ToPort = ref.entryTo, ref.entryPort
+		}
+		p.cfg.Edges = append(p.cfg.Edges, edge)
+		fromName, fromPort = toName, toOutPort
+		switch p.tok.kind {
+		case tokArrow:
+			continue
+		case tokSemicolon:
+			return p.advance()
+		default:
+			return p.errorf("expected '->' or ';', found %v %q", p.tok.kind, p.tok.text)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package conflang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Print renders a parsed configuration back into canonical NBA syntax:
+// every instance (including expanded compound internals) as an explicit
+// declaration, followed by one connection statement per edge. Parsing the
+// output reproduces the same declarations and edges, which the round-trip
+// property test relies on.
+func (c *Config) Print() string {
+	var sb strings.Builder
+	for _, d := range c.Decls {
+		fmt.Fprintf(&sb, "%s :: %s(", printableName(d.Name), d.Class)
+		for i, p := range d.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s", quoteParam(p))
+		}
+		sb.WriteString(");\n")
+	}
+	for _, e := range c.Edges {
+		from := printableName(e.From)
+		to := printableName(e.To)
+		switch {
+		case e.FromPort == 0 && e.ToPort == 0:
+			fmt.Fprintf(&sb, "%s -> %s;\n", from, to)
+		case e.ToPort == 0:
+			fmt.Fprintf(&sb, "%s[%d] -> %s;\n", from, e.FromPort, to)
+		case e.FromPort == 0:
+			fmt.Fprintf(&sb, "%s -> [%d]%s;\n", from, e.ToPort, to)
+		default:
+			fmt.Fprintf(&sb, "%s[%d] -> [%d]%s;\n", from, e.FromPort, e.ToPort, to)
+		}
+	}
+	return sb.String()
+}
+
+// printableName makes generated names ('/' from compound expansion) legal
+// identifiers again.
+func printableName(n string) string {
+	return strings.ReplaceAll(n, "/", "_")
+}
+
+func quoteParam(p string) string {
+	var sb strings.Builder
+	sb.WriteByte('"')
+	for i := 0; i < len(p); i++ {
+		switch c := p[i]; c {
+		case '"':
+			sb.WriteString(`\"`)
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		case '\t':
+			sb.WriteString(`\t`)
+		default:
+			sb.WriteByte(c)
+		}
+	}
+	sb.WriteByte('"')
+	return sb.String()
+}

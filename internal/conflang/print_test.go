@@ -1,0 +1,54 @@
+package conflang
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPrintRoundTrip(t *testing.T) {
+	srcs := []string{
+		`FromInput() -> CheckIPHeader() -> ToOutput();`,
+		`
+			a :: NoOp("x", "y\n\"z\\");
+			b :: RandomWeightedBranch("0.3");
+			FromInput() -> a -> b;
+			b[0] -> ToOutput();
+			b[1] -> Discard();
+		`,
+		`
+			elementclass P { input -> NoOp() -> output; }
+			FromInput() -> P() -> ToOutput();
+		`,
+	}
+	for _, src := range srcs {
+		cfg1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse: %v\n%s", err, src)
+		}
+		printed := cfg1.Print()
+		cfg2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-Parse failed: %v\nprinted:\n%s", err, printed)
+		}
+		if len(cfg2.Decls) != len(cfg1.Decls) {
+			t.Fatalf("decl count changed: %d -> %d\n%s", len(cfg1.Decls), len(cfg2.Decls), printed)
+		}
+		if len(cfg2.Edges) != len(cfg1.Edges) {
+			t.Fatalf("edge count changed: %d -> %d\n%s", len(cfg1.Edges), len(cfg2.Edges), printed)
+		}
+		for i := range cfg1.Decls {
+			a, b := cfg1.Decls[i], cfg2.Decls[i]
+			if printableName(a.Name) != b.Name || a.Class != b.Class ||
+				strings.Join(a.Params, "\x00") != strings.Join(b.Params, "\x00") {
+				t.Fatalf("decl %d changed: %+v -> %+v", i, a, b)
+			}
+		}
+		for i := range cfg1.Edges {
+			a, b := cfg1.Edges[i], cfg2.Edges[i]
+			if printableName(a.From) != b.From || printableName(a.To) != b.To ||
+				a.FromPort != b.FromPort || a.ToPort != b.ToPort {
+				t.Fatalf("edge %d changed: %+v -> %+v", i, a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Package core assembles the NBA framework: worker threads running
+// replicated run-to-completion pipelines over RSS-partitioned RX queues,
+// device threads driving the accelerators, the offload aggregation path,
+// and the adaptive load-balancing control loop (paper §3, Figures 3 and 6).
+package core
+
+import (
+	"fmt"
+
+	"nba/internal/batch"
+	"nba/internal/graph"
+	"nba/internal/netio"
+	"nba/internal/simtime"
+	"nba/internal/sysinfo"
+)
+
+// RateChange alters the offered load mid-run (workload-shift experiments).
+type RateChange struct {
+	At         simtime.Time
+	BpsPerPort float64
+}
+
+// GeneratorChange swaps the traffic generator mid-run (the paper's §3.4
+// scenario: the adaptive balancer must find a new convergence point when
+// the workload changes). The offered wire rate is preserved: the packet
+// rate is recomputed for the new generator's frame-size mix.
+type GeneratorChange struct {
+	At        simtime.Time
+	Generator netio.Generator
+}
+
+// Config describes one system run.
+type Config struct {
+	// Topology is the simulated machine; nil selects the paper's default.
+	Topology *sysinfo.Topology
+	// CostModel is the calibration; nil selects sysinfo.Default().
+	CostModel *sysinfo.CostModel
+	// GraphConfig is the pipeline in the NBA configuration language.
+	GraphConfig string
+	// GraphOpts toggles branch prediction / offload chaining (ablations);
+	// nil selects graph.DefaultOptions().
+	GraphOpts *graph.Options
+
+	// WorkersPerSocket <= Topology.MaxWorkersPerSocket(); 0 = maximum.
+	WorkersPerSocket int
+
+	// Generator produces traffic. Required.
+	Generator netio.Generator
+	// OfferedBpsPerPort is the offered wire rate per port.
+	OfferedBpsPerPort float64
+	// RateChanges optionally shift the offered load mid-run.
+	RateChanges []RateChange
+	// GeneratorChanges optionally swap the traffic mix mid-run.
+	GeneratorChanges []GeneratorChange
+
+	// IOBatchSize is the RX burst size (paper default 64).
+	IOBatchSize int
+	// CompBatchSize is the computation batch size (paper default 64).
+	CompBatchSize int
+
+	// Warmup is excluded from measurement; Duration is the measured span.
+	Warmup   simtime.Time
+	Duration simtime.Time
+
+	// Seed drives all run randomness (LB coin flips, etc.).
+	Seed uint64
+
+	// PacketPoolPerWorker / BatchPoolPerWorker size the mempools.
+	PacketPoolPerWorker int
+	BatchPoolPerWorker  int
+
+	// MaxInflightTasks bounds outstanding device tasks per worker; beyond
+	// it the worker stops polling RX (backpressure → NIC drops), like a
+	// real system out of pinned buffers.
+	MaxInflightTasks int
+
+	// ALBObserve / ALBUpdate control the adaptive load balancer cadence
+	// (paper: 0.2 s updates over smoothed throughput).
+	ALBObserve simtime.Time
+	ALBUpdate  simtime.Time
+	// ALBLatencyBound, when positive, switches adaptive balancing to the
+	// bounded-latency variant (paper §7): maximise throughput subject to
+	// p99 latency <= bound.
+	ALBLatencyBound simtime.Time
+
+	// LatencySample records every Nth transmitted packet (1 = all).
+	LatencySample int
+
+	// CaptureTx, when positive, records the first N transmitted frames
+	// (with virtual timestamps) into Report.Capture for pcap export.
+	CaptureTx int
+
+	// ForceRemoteMemory emulates placing packet buffers on the remote
+	// socket: every element cost is inflated by the cost model's
+	// NUMAPenalty (paper §2: remote-socket memory costs 20-30% throughput).
+	// Used by the NUMA ablation bench.
+	ForceRemoteMemory bool
+}
+
+// withDefaults validates and fills defaults, returning a copy.
+func (c Config) withDefaults() (Config, error) {
+	if c.Topology == nil {
+		c.Topology = sysinfo.DefaultTopology()
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return c, err
+	}
+	if c.CostModel == nil {
+		c.CostModel = sysinfo.Default()
+	}
+	if err := c.CostModel.Validate(); err != nil {
+		return c, err
+	}
+	if c.GraphConfig == "" {
+		return c, fmt.Errorf("core: GraphConfig is required")
+	}
+	if c.Generator == nil {
+		return c, fmt.Errorf("core: Generator is required")
+	}
+	max := c.Topology.MaxWorkersPerSocket()
+	if c.WorkersPerSocket == 0 {
+		c.WorkersPerSocket = max
+	}
+	if c.WorkersPerSocket < 1 || c.WorkersPerSocket > max {
+		return c, fmt.Errorf("core: WorkersPerSocket %d out of [1,%d]", c.WorkersPerSocket, max)
+	}
+	if c.IOBatchSize == 0 {
+		c.IOBatchSize = 64
+	}
+	if c.CompBatchSize == 0 {
+		c.CompBatchSize = 64
+	}
+	if c.CompBatchSize > batch.MaxBatchSize || c.IOBatchSize > batch.MaxBatchSize {
+		return c, fmt.Errorf("core: batch sizes exceed %d", batch.MaxBatchSize)
+	}
+	if c.CompBatchSize < 1 || c.IOBatchSize < 1 {
+		return c, fmt.Errorf("core: batch sizes must be positive")
+	}
+	if c.Duration == 0 {
+		c.Duration = 50 * simtime.Millisecond
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10 * simtime.Millisecond
+	}
+	if c.PacketPoolPerWorker == 0 {
+		c.PacketPoolPerWorker = 12288
+	}
+	if c.BatchPoolPerWorker == 0 {
+		c.BatchPoolPerWorker = 512
+	}
+	if c.MaxInflightTasks == 0 {
+		c.MaxInflightTasks = 2
+	}
+	if c.ALBObserve == 0 {
+		c.ALBObserve = 2 * simtime.Millisecond
+	}
+	if c.ALBUpdate == 0 {
+		c.ALBUpdate = 10 * simtime.Millisecond
+	}
+	if c.LatencySample == 0 {
+		c.LatencySample = 1
+	}
+	if c.OfferedBpsPerPort <= 0 {
+		return c, fmt.Errorf("core: OfferedBpsPerPort must be positive")
+	}
+	if c.GraphOpts == nil {
+		opts := graph.DefaultOptions()
+		c.GraphOpts = &opts
+	}
+	return c, nil
+}

@@ -1,0 +1,364 @@
+package core
+
+import (
+	"fmt"
+
+	"nba/internal/conflang"
+	"nba/internal/element"
+	"nba/internal/gpu"
+	"nba/internal/lb"
+	"nba/internal/netio"
+	"nba/internal/rng"
+	"nba/internal/simtime"
+	"nba/internal/stats"
+)
+
+// System is one assembled NBA instance on the virtual clock.
+type System struct {
+	cfg Config
+	eng *simtime.Engine
+
+	ports       []*netio.Port
+	devices     []*gpu.Device // parallel to cfg.Topology.Devices
+	workers     []*worker
+	nodeLocals  []*element.NodeLocal // per socket
+	controllers []*lb.Controller     // per socket (nil if no LB state)
+
+	parsed *conflang.Config
+
+	stopTime  simtime.Time // warmup + duration
+	measuring bool
+
+	tailMarkBytes []uint64
+	tailMarkTime  simtime.Time
+	tailEndBytes  []uint64
+
+	captured []netio.CapturedPacket
+}
+
+// NewSystem builds a system from the configuration.
+func NewSystem(cfg Config) (*System, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	s := &System{cfg: cfg, eng: simtime.NewEngine()}
+	s.stopTime = cfg.Warmup + cfg.Duration
+	s.tailMarkBytes = make([]uint64, len(cfg.Topology.Ports))
+	s.tailEndBytes = make([]uint64, len(cfg.Topology.Ports))
+
+	s.parsed, err = conflang.Parse(cfg.GraphConfig)
+	if err != nil {
+		return nil, err
+	}
+
+	top := cfg.Topology
+	for socket := 0; socket < top.Sockets; socket++ {
+		s.nodeLocals = append(s.nodeLocals, element.NewNodeLocal())
+	}
+
+	// Devices (one device thread per device, on a dedicated core).
+	for i, d := range top.Devices {
+		dev, err := gpu.New(d.Name, d.Kind, s.eng, cfg.CostModel, top.CoreFreqHz, cfg.WorkersPerSocket)
+		if err != nil {
+			return nil, fmt.Errorf("core: device %d: %w", i, err)
+		}
+		s.devices = append(s.devices, dev)
+	}
+
+	// Ports with one RX queue per same-socket worker (RSS).
+	for _, hw := range top.Ports {
+		pps := netio.OfferedPPS(cfg.OfferedBpsPerPort, cfg.Generator)
+		port := netio.NewPort(hw, cfg.WorkersPerSocket, cfg.Generator, pps, top.RxQueueCapacity)
+		for _, q := range port.Rx {
+			q.SetStop(s.stopTime)
+		}
+		s.ports = append(s.ports, port)
+	}
+
+	// Workers: WorkersPerSocket per socket, each with a replicated graph.
+	id := 0
+	for socket := 0; socket < top.Sockets; socket++ {
+		localPorts := top.PortsOnSocket(socket)
+		localDevs := top.DevicesOnSocket(socket)
+		for wi := 0; wi < cfg.WorkersPerSocket; wi++ {
+			w, err := newWorker(s, id, socket, wi, localPorts, localDevs)
+			if err != nil {
+				return nil, err
+			}
+			s.workers = append(s.workers, w)
+			id++
+		}
+	}
+
+	// Adaptive load balancer controllers, one per socket that has shared
+	// LB state (created by LoadBalance elements during Configure).
+	for socket := 0; socket < top.Sockets; socket++ {
+		if st, ok := s.nodeLocals[socket].Get(lb.StateKey).(*lb.State); ok && st.AdaptiveUsers > 0 {
+			ctl := lb.NewController(st)
+			ctl.Bound = cfg.ALBLatencyBound
+			s.controllers = append(s.controllers, ctl)
+		} else {
+			s.controllers = append(s.controllers, nil)
+		}
+	}
+
+	return s, nil
+}
+
+// Engine exposes the virtual clock (for tests and the bench harness).
+func (s *System) Engine() *simtime.Engine { return s.eng }
+
+// Controllers returns the per-socket adaptive controllers (nil entries for
+// sockets without LB state).
+func (s *System) Controllers() []*lb.Controller { return s.controllers }
+
+// deviceFor resolves a batch's device annotation (1 = first local device)
+// for a worker's socket.
+func (s *System) deviceFor(socket, anno int) (*gpu.Device, error) {
+	local := s.cfg.Topology.DevicesOnSocket(socket)
+	idx := anno - 1
+	if idx < 0 || idx >= len(local) {
+		return nil, fmt.Errorf("core: socket %d has no device for annotation %d", socket, anno)
+	}
+	return s.devices[local[idx]], nil
+}
+
+// Run executes the configured workload and returns the measurement report.
+func (s *System) Run() (*Report, error) {
+	// Stagger worker start times by one cycle each so their first events
+	// interleave deterministically.
+	for i, w := range s.workers {
+		w := w
+		s.eng.At(simtime.Time(i), func() { w.iterate() })
+	}
+
+	// Measurement window bracketing: Mark at the end of warmup, End when
+	// arrivals stop, so post-stop queue draining is excluded from rates.
+	s.eng.At(s.cfg.Warmup, func() {
+		s.measuring = true
+		for _, p := range s.ports {
+			p.TxM.Mark(s.eng.Now())
+		}
+	})
+	s.eng.At(s.stopTime, func() {
+		for i, p := range s.ports {
+			p.TxM.End(s.eng.Now())
+			s.tailEndBytes[i] = p.TxM.Counter.WireBytes
+		}
+	})
+	// Tail window: the last quarter of the measured duration, reported
+	// separately so adaptive runs can be judged by their converged state
+	// rather than the convergence transient.
+	tailStart := s.stopTime - s.cfg.Duration/4
+	if tailStart > s.cfg.Warmup {
+		s.eng.At(tailStart, func() {
+			for i, p := range s.ports {
+				s.tailMarkBytes[i] = p.TxM.Counter.WireBytes
+			}
+			s.tailMarkTime = s.eng.Now()
+		})
+	}
+
+	// Workload (generator) changes: swap the traffic mix, preserving the
+	// offered wire rate under the new mean frame size.
+	for _, gc := range s.cfg.GeneratorChanges {
+		gc := gc
+		if gc.At > s.stopTime || gc.Generator == nil {
+			continue
+		}
+		s.eng.At(gc.At, func() {
+			pps := netio.OfferedPPS(s.cfg.OfferedBpsPerPort, gc.Generator)
+			for _, p := range s.ports {
+				for _, q := range p.Rx {
+					q.SetGenerator(gc.Generator)
+					q.SetRate(s.eng.Now(), pps/float64(len(p.Rx)))
+				}
+			}
+		})
+	}
+
+	// Offered-load changes.
+	for _, rc := range s.cfg.RateChanges {
+		rc := rc
+		if rc.At > s.stopTime {
+			continue
+		}
+		s.eng.At(rc.At, func() {
+			for _, p := range s.ports {
+				pps := netio.OfferedPPS(rc.BpsPerPort, s.cfg.Generator)
+				for _, q := range p.Rx {
+					q.SetRate(s.eng.Now(), pps/float64(len(p.Rx)))
+				}
+			}
+		})
+	}
+
+	// ALB control loop: observe socket throughput, update the shared W.
+	for socket, ctl := range s.controllers {
+		if ctl == nil {
+			continue
+		}
+		ctl := ctl
+		socket := socket
+		var lastPkts uint64
+		var lastT simtime.Time
+		var observe func()
+		observe = func() {
+			now := s.eng.Now()
+			pkts := s.socketTxPackets(socket)
+			if now > lastT {
+				ctl.Observe(float64(pkts-lastPkts) / (now - lastT).Seconds())
+			}
+			lastPkts, lastT = pkts, now
+			if now < s.stopTime {
+				s.eng.After(s.cfg.ALBObserve, observe)
+			}
+		}
+		s.eng.After(s.cfg.ALBObserve, observe)
+
+		var update func()
+		update = func() {
+			if ctl.Bound > 0 {
+				ctl.UpdateWithLatency(s.socketRecentP99(socket))
+			} else {
+				ctl.Update()
+			}
+			if s.eng.Now() < s.stopTime {
+				s.eng.After(s.cfg.ALBUpdate, update)
+			}
+		}
+		s.eng.After(s.cfg.ALBUpdate, update)
+	}
+
+	s.eng.Run()
+
+	return s.report(), nil
+}
+
+// socketRecentP99 merges and resets the per-worker latency windows of one
+// socket, returning the p99 observed since the last ALB update.
+func (s *System) socketRecentP99(socket int) simtime.Time {
+	var merged stats.Hist
+	for _, w := range s.workers {
+		if w.socket == socket {
+			merged.Merge(&w.recentLat)
+			w.recentLat.Reset()
+		}
+	}
+	return merged.Percentile(99)
+}
+
+func (s *System) socketTxPackets(socket int) uint64 {
+	var total uint64
+	for _, w := range s.workers {
+		if w.socket == socket {
+			total += w.txPackets
+		}
+	}
+	return total
+}
+
+// Report is the outcome of a run.
+type Report struct {
+	// Measured is the measurement window length.
+	Measured simtime.Time
+	// TxGbps is the aggregate transmitted wire throughput.
+	TxGbps float64
+	// TxPPS is the aggregate transmitted packet rate.
+	TxPPS float64
+	// PerPortGbps is the per-port TX breakdown.
+	PerPortGbps []float64
+	// RxDelivered / RxDropped / AllocFailed aggregate NIC statistics over
+	// the whole run (including warmup).
+	RxDelivered uint64
+	RxDropped   uint64
+	AllocFailed uint64
+	// Latency is the end-to-end latency distribution of packets
+	// transmitted during the measurement window.
+	Latency stats.Hist
+	// FinalW is the offloading fraction at the end (adaptive runs).
+	FinalW float64
+	// LBTrace is socket 0's controller trace.
+	LBTrace []lb.TracePoint
+	// DeviceStats snapshots each accelerator.
+	DeviceStats []gpu.Stats
+	// GraphDrops counts packets dropped inside pipelines (all workers).
+	GraphDrops uint64
+	// OffloadedPackets counts packets processed via accelerators.
+	OffloadedPackets uint64
+	// TailGbps is the throughput over the last quarter of the measurement
+	// window — the converged state of adaptive runs.
+	TailGbps float64
+	// Capture holds the first Config.CaptureTx transmitted frames.
+	Capture []netio.CapturedPacket
+	// NodeStats aggregates per-element-instance counters across all worker
+	// replicas, keyed by the instance name from the configuration.
+	NodeStats map[string]NodeStat
+	// PoolOutstanding is the number of packets still outstanding at the
+	// end — must be zero after a drained run (conservation check).
+	PoolOutstanding int
+}
+
+func (s *System) report() *Report {
+	r := &Report{Measured: s.eng.Now() - s.cfg.Warmup}
+	if s.eng.Now() > s.stopTime {
+		r.Measured = s.stopTime - s.cfg.Warmup
+	}
+	for _, p := range s.ports {
+		pps, bps := p.TxM.RateWindow()
+		r.TxGbps += stats.Gbps(bps)
+		r.TxPPS += pps
+		r.PerPortGbps = append(r.PerPortGbps, stats.Gbps(bps))
+		d, dr, af := p.RxStats()
+		r.RxDelivered += d
+		r.RxDropped += dr
+		r.AllocFailed += af
+	}
+	for _, w := range s.workers {
+		r.Latency.Merge(&w.latency)
+		r.GraphDrops += w.graphDrops()
+		r.OffloadedPackets += w.offloadedPkts
+		r.PoolOutstanding += w.pktPool.Stats().Outstanding
+	}
+	for _, d := range s.devices {
+		r.DeviceStats = append(r.DeviceStats, d.Stats())
+	}
+	if dt := (s.stopTime - s.tailMarkTime).Seconds(); s.tailMarkTime > 0 && dt > 0 {
+		var bytes uint64
+		for i := range s.tailEndBytes {
+			bytes += s.tailEndBytes[i] - s.tailMarkBytes[i]
+		}
+		r.TailGbps = stats.Gbps(float64(bytes) * 8 / dt)
+	}
+	if ctl := s.controllers[0]; ctl != nil {
+		r.FinalW = ctl.W()
+		r.LBTrace = ctl.Trace
+	}
+	r.Capture = s.captured
+	r.NodeStats = map[string]NodeStat{}
+	for _, w := range s.workers {
+		for _, n := range w.g.Nodes {
+			st := r.NodeStats[n.Name]
+			st.Processed += n.Processed
+			st.Dropped += n.Dropped
+			st.Splits += n.Splits
+			st.Reuses += n.Reuses
+			r.NodeStats[n.Name] = st
+		}
+	}
+	return r
+}
+
+// NodeStat is the aggregated activity of one element instance.
+type NodeStat struct {
+	Processed uint64
+	Dropped   uint64
+	Splits    uint64
+	Reuses    uint64
+}
+
+// newWorkerRand derives a deterministic per-worker PRNG.
+func (s *System) newWorkerRand(id int) *rng.Rand {
+	return rng.New(s.cfg.Seed*0x9E3779B97F4A7C15 + uint64(id) + 1)
+}

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"fmt"
+
+	"nba/internal/batch"
+	"nba/internal/element"
+	"nba/internal/gpu"
+	"nba/internal/graph"
+	"nba/internal/mempool"
+	"nba/internal/netio"
+	"nba/internal/offload"
+	"nba/internal/packet"
+	"nba/internal/simtime"
+	"nba/internal/stats"
+)
+
+// completion carries a finished device task back to its worker.
+type completion struct {
+	pending *offload.Pending
+	task    *gpu.Task
+}
+
+// worker is one worker thread: a replicated pipeline on its own core,
+// polling its RSS RX queues in a run-to-completion IO loop (paper §3.2,
+// Figure 6).
+type worker struct {
+	sys    *System
+	id     int // global worker ID
+	socket int
+	local  int // index among the socket's workers (selects RX queues)
+
+	g    *graph.Graph
+	pctx element.ProcContext
+
+	rxqs      []*netio.RxQueue
+	portOf    []int // rxqs[i] belongs to s.ports[portOf[i]]
+	pktPool   *netio.PacketPool
+	batchPool *batch.Pool
+	agg       *offload.Aggregator
+
+	completions  *mempool.Ring[completion]
+	sockDev      *gpu.Device // first local device (admission signal), may be nil
+	inflight     int         // outstanding device tasks
+	inflightPkts int
+
+	// cycles accumulates cost within the current IO-loop iteration.
+	cycles    simtime.Cycles
+	iterStart simtime.Time
+	stopped   bool
+
+	// Stats.
+	txPackets     uint64
+	latency       stats.Hist
+	recentLat     stats.Hist // since the last ALB update (bounded-latency LB)
+	latencySkip   int
+	offloadedPkts uint64
+	splitDropped  uint64 // packets dropped because a comp batch could not be allocated
+}
+
+func newWorker(s *System, id, socket, local int, localPorts, localDevs []int) (*worker, error) {
+	w := &worker{
+		sys:    s,
+		id:     id,
+		socket: socket,
+		local:  local,
+	}
+	cctx := &element.ConfigContext{
+		Socket:     socket,
+		Worker:     id,
+		NodeLocal:  s.nodeLocals[socket],
+		NumPorts:   len(s.cfg.Topology.Ports),
+		NumDevices: len(localDevs),
+		Rand:       s.newWorkerRand(id),
+	}
+	g, err := graph.Build(s.parsed, cctx, s.cfg.CostModel, *s.cfg.GraphOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: worker %d: %w", id, err)
+	}
+	w.g = g
+	w.pctx = element.ProcContext{
+		Worker:    id,
+		Socket:    socket,
+		NodeLocal: s.nodeLocals[socket],
+		Rand:      cctx.Rand,
+		CostScale: 1,
+	}
+	// Memory-bandwidth contention: mild per-extra-worker inflation
+	// (paper Figure 11a's per-core droop).
+	w.pctx.CostScale = 1 + s.cfg.CostModel.MemContentionPerWorker*float64(s.cfg.WorkersPerSocket-1)
+	if s.cfg.ForceRemoteMemory {
+		w.pctx.CostScale *= s.cfg.CostModel.NUMAPenalty
+	}
+
+	for _, pid := range localPorts {
+		w.rxqs = append(w.rxqs, s.ports[pid].Rx[local])
+		w.portOf = append(w.portOf, pid)
+	}
+	if len(localDevs) > 0 {
+		w.sockDev = s.devices[localDevs[0]]
+	}
+	w.pktPool = netio.NewPacketPool(fmt.Sprintf("pkt.w%d", id), s.cfg.PacketPoolPerWorker)
+	w.batchPool = batch.NewPool(fmt.Sprintf("batch.w%d", id), s.cfg.BatchPoolPerWorker)
+	w.agg = offload.NewAggregator(s.cfg.CostModel)
+	w.completions = mempool.NewRing[completion](256)
+	return w, nil
+}
+
+// now returns the worker's current position in virtual time: the iteration
+// start plus the cycles consumed so far this iteration.
+func (w *worker) now() simtime.Time {
+	return w.iterStart + simtime.CyclesToTime(w.cycles, w.sys.cfg.Topology.CoreFreqHz)
+}
+
+// iterate is one run-to-completion IO loop pass: drain offload completions,
+// poll each RX queue, run batches through the pipeline, flush aged offload
+// aggregates, then reschedule after the consumed virtual time.
+func (w *worker) iterate() {
+	if w.stopped {
+		return
+	}
+	cm := w.sys.cfg.CostModel
+	w.iterStart = w.sys.eng.Now()
+	w.cycles = 0
+	w.pctx.Now = w.iterStart
+	didWork := false
+
+	// 1. Offload completions.
+	w.cycles += cm.CompletionPoll
+	for {
+		c, ok := w.completions.Pop()
+		if !ok {
+			break
+		}
+		didWork = true
+		w.handleCompletion(c)
+	}
+
+	// 2. RX polling, unless backpressured by outstanding device tasks.
+	// Iterations are bounded in virtual time so that very expensive
+	// per-packet work (e.g. IDS over MTU frames) still yields a responsive
+	// IO loop rather than multi-millisecond quanta.
+	iterBudget := simtime.TimeToCycles(cm.MaxIterTime, w.sys.cfg.Topology.CoreFreqHz)
+	backpressured := w.inflight >= w.sys.cfg.MaxInflightTasks
+	if !backpressured && w.sockDev != nil && cm.MaxDeviceBacklog > 0 &&
+		w.inflight > 0 && w.sockDev.Backlog() > cm.MaxDeviceBacklog {
+		backpressured = true
+	}
+	if !backpressured {
+		var burst [batch.MaxBatchSize]*packet.Packet
+		for _, q := range w.rxqs {
+			if iterBudget > 0 && w.cycles >= iterBudget {
+				break
+			}
+			w.cycles += cm.RxBurstFixed
+			pkts := q.Poll(w.iterStart, w.sys.cfg.IOBatchSize, w.pktPool, burst[:0])
+			if len(pkts) == 0 {
+				continue
+			}
+			didWork = true
+			w.cycles += cm.RxPerPacket * simtime.Cycles(len(pkts))
+			w.injectPackets(pkts)
+		}
+	}
+
+	// 3. Flush aged aggregates; on a genuinely idle pass (no work and no
+	// tasks in flight) flush everything pending so low loads are not stuck
+	// waiting for full aggregates. While tasks are in flight the aggregate
+	// keeps growing — flushing it early would shrink device batches and
+	// waste kernel-launch overhead.
+	for _, p := range w.agg.Expired(w.iterStart) {
+		w.flush(p)
+	}
+	if !didWork && w.inflight == 0 && w.agg.PendingCount() > 0 {
+		for _, p := range w.agg.TakeAll() {
+			w.flush(p)
+		}
+		didWork = true
+	}
+
+	// 4. Reschedule.
+	elapsed := simtime.CyclesToTime(w.cycles, w.sys.cfg.Topology.CoreFreqHz)
+	next := elapsed
+	if !didWork || elapsed == 0 {
+		next = cm.IdlePoll
+	}
+	if w.done() {
+		w.stopped = true
+		return
+	}
+	w.sys.eng.After(next, w.iterate)
+}
+
+// done reports whether the worker can retire: arrivals stopped, queues
+// drained, no pending aggregates or outstanding tasks.
+func (w *worker) done() bool {
+	if w.sys.eng.Now() < w.sys.stopTime {
+		return false
+	}
+	if w.inflight > 0 || w.agg.PendingCount() > 0 || w.completions.Len() > 0 {
+		return false
+	}
+	for _, q := range w.rxqs {
+		if q.Backlog(w.sys.eng.Now()) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// injectPackets wraps received packets into computation batches and runs
+// them through the pipeline.
+func (w *worker) injectPackets(pkts []*packet.Packet) {
+	cm := w.sys.cfg.CostModel
+	for off := 0; off < len(pkts); off += w.sys.cfg.CompBatchSize {
+		end := off + w.sys.cfg.CompBatchSize
+		if end > len(pkts) {
+			end = len(pkts)
+		}
+		b, err := w.batchPool.Get()
+		if err != nil {
+			// Batch pool exhausted: the frames are already materialised,
+			// so they are dropped here (counted separately from NIC drops).
+			for _, p := range pkts[off:end] {
+				w.splitDropped++
+				w.pktPool.Put(p)
+			}
+			continue
+		}
+		w.cycles += cm.BatchAlloc + cm.BatchInitPerPacket*simtime.Cycles(end-off)
+		for _, p := range pkts[off:end] {
+			b.Add(p)
+		}
+		w.g.Inject(w, &w.pctx, b)
+	}
+}
+
+// flush submits a pending aggregate as one device task.
+func (w *worker) flush(p *offload.Pending) {
+	cm := w.sys.cfg.CostModel
+	w.cycles += cm.OffloadEnqueue + cm.OffloadPrePerPacket*simtime.Cycles(p.NPkts)
+	dev, err := w.sys.deviceFor(w.socket, p.Device)
+	if err != nil {
+		// No such device: treat as a misconfiguration drop of the whole
+		// aggregate (exercised by failure-injection tests).
+		for _, b := range p.Batches {
+			b.ForEachLive(func(i int, pkt *packet.Packet) {
+				w.pktPool.Put(pkt)
+			})
+			b.Reset()
+			w.batchPool.Put(b)
+		}
+		return
+	}
+	w.inflight++
+	w.inflightPkts += p.NPkts
+	w.offloadedPkts += uint64(p.NPkts)
+	task := &gpu.Task{
+		Worker:     w.id,
+		NPkts:      p.NPkts,
+		H2DBytes:   p.H2DBytes,
+		D2HBytes:   p.D2HBytes,
+		KernelTime: p.KernelTime(cm),
+		Kernels:    len(p.Chain),
+	}
+	task.Execute = func() {
+		// Device-side functional computation (timed by the kernel model).
+		for _, node := range p.Chain {
+			for _, b := range p.Batches {
+				node.Offloadable().ProcessOffloaded(&w.pctx, b)
+			}
+		}
+	}
+	task.Complete = func(finish simtime.Time, t *gpu.Task) {
+		if !w.completions.Push(completion{pending: p, task: t}) {
+			panic(fmt.Sprintf("core: worker %d completion ring overflow", w.id))
+		}
+	}
+	dev.Submit(task)
+}
+
+// handleCompletion postprocesses a finished device task and resumes the
+// batches in the pipeline.
+func (w *worker) handleCompletion(c completion) {
+	cm := w.sys.cfg.CostModel
+	p := c.pending
+	w.inflight--
+	w.inflightPkts -= p.NPkts
+	w.cycles += cm.OffloadPostPerPacket * simtime.Cycles(p.NPkts)
+	head := p.Head
+	for _, b := range p.Batches {
+		// Release packets the device-side function marked for drop, then
+		// clear results for the resumed pipeline segment.
+		for i := 0; i < b.Count(); i++ {
+			if b.IsMasked(i) {
+				continue
+			}
+			if b.Result(i) == batch.ResultDrop {
+				w.pktPool.Put(b.Packet(i))
+				b.Mask(i)
+				head.Dropped++
+				continue
+			}
+			b.SetResult(i, 0)
+		}
+		w.g.RunFrom(w, &w.pctx, p.Resume, b)
+	}
+}
+
+// --- graph.Env implementation ---
+
+// Transmit implements graph.Env.
+func (w *worker) Transmit(pkt *packet.Packet) {
+	port := int(pkt.Anno[packet.AnnoOutPort]) % len(w.sys.ports)
+	if w.sys.cfg.CaptureTx > 0 && len(w.sys.captured) < w.sys.cfg.CaptureTx {
+		w.sys.captured = append(w.sys.captured, netio.CapturedPacket{
+			Time: w.now(),
+			Data: append([]byte(nil), pkt.Data()...),
+		})
+	}
+	ln := pkt.OrigLen
+	if ln == 0 {
+		ln = pkt.Length()
+	}
+	w.sys.ports[port].Transmit(ln)
+	w.txPackets++
+	if w.sys.measuring {
+		w.latencySkip++
+		if w.latencySkip >= w.sys.cfg.LatencySample {
+			w.latencySkip = 0
+			lat := w.now() - pkt.Arrival + w.sys.cfg.CostModel.ExternalRTT
+			w.latency.Record(lat)
+			if w.sys.cfg.ALBLatencyBound > 0 {
+				w.recentLat.Record(lat)
+			}
+		}
+	}
+	w.pktPool.Put(pkt)
+}
+
+// ReleasePacket implements graph.Env.
+func (w *worker) ReleasePacket(pkt *packet.Packet) { w.pktPool.Put(pkt) }
+
+// GetBatch implements graph.Env.
+func (w *worker) GetBatch() (*batch.Batch, error) { return w.batchPool.Get() }
+
+// PutBatch implements graph.Env.
+func (w *worker) PutBatch(b *batch.Batch) {
+	b.Reset()
+	w.batchPool.Put(b)
+}
+
+// Offload implements graph.Env (paper Figure 7: the framework takes over
+// batches whose device annotation selects an accelerator).
+func (w *worker) Offload(head *graph.Node, chain []*graph.Node, resume int, b *batch.Batch) {
+	full, err := w.agg.Add(w.iterStart, head, chain, resume, b)
+	if err != nil {
+		// Inconsistent aggregate (mixed devices): drop the batch.
+		b.ForEachLive(func(i int, pkt *packet.Packet) { w.pktPool.Put(pkt) })
+		w.PutBatch(b)
+		return
+	}
+	if full != nil {
+		w.flush(full)
+	}
+}
+
+// Charge implements graph.Env.
+func (w *worker) Charge(c simtime.Cycles) { w.cycles += c }
+
+// graphDrops sums packets dropped inside this worker's pipeline.
+func (w *worker) graphDrops() uint64 {
+	total := w.splitDropped + w.g.DropUnrouted
+	for _, n := range w.g.Nodes {
+		total += n.Dropped
+	}
+	return total
+}

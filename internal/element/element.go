@@ -1,0 +1,253 @@
+// Package element defines NBA's packet-processing abstraction: Click-style
+// elements extended with batch processing, scheduling and declarative GPU
+// offloading (paper §3.2-§3.3).
+//
+// Elements expose a per-packet Process function; the framework runs the
+// iteration loop over batches, handles branching, and — for offloadable
+// elements — manages datablock copies and kernel launches. Per-batch
+// elements opt into coarse-grained processing with ProcessBatch.
+package element
+
+import (
+	"fmt"
+
+	"nba/internal/batch"
+	"nba/internal/packet"
+	"nba/internal/rng"
+	"nba/internal/simtime"
+)
+
+// Drop is the Process result that discards the packet.
+const Drop = batch.ResultDrop
+
+// NodeLocal is the per-NUMA-node shared storage for large read-dominant
+// data structures such as forwarding tables (paper §3.2: "elements can
+// define and access a shared memory buffer using unique names").
+type NodeLocal struct {
+	m map[string]any
+}
+
+// NewNodeLocal returns empty node-local storage.
+func NewNodeLocal() *NodeLocal { return &NodeLocal{m: make(map[string]any)} }
+
+// Get returns the value stored under name, or nil.
+func (n *NodeLocal) Get(name string) any { return n.m[name] }
+
+// Set stores value under name.
+func (n *NodeLocal) Set(name string, value any) { n.m[name] = value }
+
+// GetOrCreate returns the value under name, invoking build to create and
+// store it on first use. This is how per-socket tables are shared across
+// the replicated per-worker pipelines.
+func GetOrCreate[T any](n *NodeLocal, name string, build func() T) T {
+	if v, ok := n.m[name]; ok {
+		return v.(T)
+	}
+	v := build()
+	n.m[name] = v
+	return v
+}
+
+// ConfigContext is passed to Configure when the graph is instantiated.
+type ConfigContext struct {
+	// Socket is the NUMA node this pipeline replica runs on.
+	Socket int
+	// Worker is the worker-thread index (replica number).
+	Worker int
+	// NodeLocal is the socket's shared storage.
+	NodeLocal *NodeLocal
+	// NumPorts is the number of NIC ports in the topology.
+	NumPorts int
+	// NumDevices is the number of accelerator devices on this socket.
+	NumDevices int
+	// Rand is a deterministic per-worker PRNG.
+	Rand *rng.Rand
+}
+
+// ProcContext is passed to Process during packet handling.
+type ProcContext struct {
+	// Now is the current virtual time.
+	Now simtime.Time
+	// Worker and Socket identify the executing pipeline replica.
+	Worker int
+	Socket int
+	// NodeLocal is the socket's shared storage.
+	NodeLocal *NodeLocal
+	// Rand is the worker's deterministic PRNG.
+	Rand *rng.Rand
+	// ExtraCycles accumulates data-dependent cost an element wants to
+	// charge beyond its class's calibrated model (rarely needed).
+	ExtraCycles simtime.Cycles
+	// CostScale multiplies element costs; the worker sets it per batch to
+	// model memory-bandwidth contention and NUMA penalties. Zero is treated
+	// as 1.
+	CostScale float64
+}
+
+// Element is the basic packet-processing module. Implementations must be
+// cheap to replicate: one instance is created per worker.
+type Element interface {
+	// Class returns the element class name used in configurations and in
+	// the cost model.
+	Class() string
+	// Configure initialises the element from its configuration parameters.
+	Configure(ctx *ConfigContext, args []string) error
+	// OutPorts returns the number of output edges.
+	OutPorts() int
+	// Process handles one packet and returns the output port index, or
+	// Drop to discard the packet.
+	Process(ctx *ProcContext, pkt *packet.Packet) int
+}
+
+// BatchElement is implemented by elements that process whole batches
+// "as-is" without decomposing them (paper §3.2: per-batch elements, e.g.
+// queues and load-balancer decision points).
+type BatchElement interface {
+	Element
+	// ProcessBatch handles the whole batch and returns the output port for
+	// all of it, or Drop to discard it entirely.
+	ProcessBatch(ctx *ProcContext, b *batch.Batch) int
+}
+
+// Sink is implemented by elements that terminate the pipeline (ToOutput,
+// Discard): after Process returns, the framework takes ownership of the
+// packet (transmit or release) instead of forwarding it along an edge.
+type Sink interface {
+	Element
+	// SinkKind distinguishes transmission from discard.
+	SinkKind() SinkKind
+}
+
+// SinkKind enumerates pipeline terminations.
+type SinkKind int
+
+const (
+	// SinkTransmit sends the packet out of the NIC port in its
+	// AnnoOutPort annotation.
+	SinkTransmit SinkKind = iota
+	// SinkDiscard releases the packet.
+	SinkDiscard
+)
+
+// Source marks the pipeline entry element (FromInput). The framework
+// injects received batches into the source's output edge.
+type Source interface {
+	Element
+	IsSource()
+}
+
+// Offloadable elements define a CPU-side function (Process) plus a
+// device-side function and declarative input/output datablocks (paper §3.3,
+// Figure 7 and Table 2).
+type Offloadable interface {
+	Element
+	// Datablocks declares the element's device IO.
+	Datablocks() []Datablock
+	// ProcessOffloaded performs the device-side computation for every live
+	// packet of the batch. It runs functionally on the host; its timing is
+	// modelled by the device's kernel cost.
+	ProcessOffloaded(ctx *ProcContext, b *batch.Batch)
+}
+
+// DatablockKind matches the paper's Table 2 IO types.
+type DatablockKind int
+
+const (
+	// PartialPacket copies a fixed byte range of each packet.
+	PartialPacket DatablockKind = iota
+	// WholePacket copies the whole frame from the given offset.
+	WholePacket
+	// UserData copies per-packet bytes produced/consumed by user pre/post
+	// processing functions.
+	UserData
+)
+
+func (k DatablockKind) String() string {
+	switch k {
+	case PartialPacket:
+		return "partial_pkt"
+	case WholePacket:
+		return "whole_pkt"
+	case UserData:
+		return "user"
+	default:
+		return fmt.Sprintf("datablock(%d)", int(k))
+	}
+}
+
+// Datablock is a declarative input/output data definition. The framework
+// uses it to size host<->device copies and to reuse device-resident data
+// between offloadable elements sharing the same Name (paper §3.3:
+// "the framework can ... extract chances of reusing GPU-resident data").
+type Datablock struct {
+	// Name identifies the datablock; elements naming the same datablock
+	// share its device buffer.
+	Name string
+	Kind DatablockKind
+	// Offset/Length describe the byte range for PartialPacket.
+	Offset, Length int
+	// SizeDelta adjusts the copied size for WholePacket (e.g. appended MAC).
+	SizeDelta int
+	// UserBytes is the per-packet size for UserData.
+	UserBytes int
+	// H2D/D2H flag the copy directions this element needs.
+	H2D, D2H bool
+}
+
+// BytesFor returns the number of bytes this datablock moves (per direction)
+// for a packet of the given frame length.
+func (d Datablock) BytesFor(frameLen int) int {
+	switch d.Kind {
+	case PartialPacket:
+		n := d.Length
+		if d.Offset+n > frameLen {
+			n = frameLen - d.Offset
+		}
+		if n < 0 {
+			n = 0
+		}
+		return n
+	case WholePacket:
+		n := frameLen - d.Offset + d.SizeDelta
+		if n < 0 {
+			n = 0
+		}
+		return n
+	case UserData:
+		return d.UserBytes
+	default:
+		return 0
+	}
+}
+
+// Factory creates a fresh element instance.
+type Factory func() Element
+
+var registry = map[string]Factory{}
+
+// Register binds an element class name to its factory. Registering the same
+// class twice panics: it indicates conflicting element libraries.
+func Register(class string, f Factory) {
+	if _, dup := registry[class]; dup {
+		panic(fmt.Sprintf("element: class %q registered twice", class))
+	}
+	registry[class] = f
+}
+
+// NewByClass instantiates an element by class name.
+func NewByClass(class string) (Element, error) {
+	f, ok := registry[class]
+	if !ok {
+		return nil, fmt.Errorf("element: unknown class %q", class)
+	}
+	return f(), nil
+}
+
+// Classes returns the registered class names (for diagnostics).
+func Classes() []string {
+	out := make([]string, 0, len(registry))
+	for k := range registry {
+		out = append(out, k)
+	}
+	return out
+}

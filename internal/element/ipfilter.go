@@ -1,0 +1,220 @@
+package element
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nba/internal/packet"
+)
+
+func init() {
+	Register("IPFilter", func() Element { return &IPFilter{} })
+}
+
+// IPFilter implements a Click-IPFilter-inspired stateless ACL. Each
+// configuration parameter is one rule; the first matching rule decides:
+//
+//	IPFilter("allow proto udp and dst port 53",
+//	         "deny src net 10.0.0.0/8",
+//	         "allow all")
+//
+// Predicates: `all`, `proto udp|tcp|esp|icmp`, `src port N`, `dst port N`,
+// `src net A.B.C.D/L`, `dst net A.B.C.D/L`, combined with `and`. Packets
+// matching no rule are denied (Click's default), as are non-IPv4 frames.
+// Allowed packets leave on port 0; denied packets are dropped.
+type IPFilter struct {
+	Base
+	rules []ipFilterRule
+
+	// Allowed / Denied count decisions.
+	Allowed uint64
+	Denied  uint64
+}
+
+type ipFilterRule struct {
+	allow bool
+	preds []ipPredicate
+}
+
+type ipPredicate func(hdr []byte, proto int, sport, dport uint16) bool
+
+// Class implements Element.
+func (*IPFilter) Class() string { return "IPFilter" }
+
+// Configure implements Element.
+func (e *IPFilter) Configure(ctx *ConfigContext, args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("IPFilter needs at least one rule")
+	}
+	for _, a := range args {
+		r, err := parseIPFilterRule(a)
+		if err != nil {
+			return fmt.Errorf("IPFilter: rule %q: %w", a, err)
+		}
+		e.rules = append(e.rules, r)
+	}
+	return nil
+}
+
+func parseIPFilterRule(s string) (ipFilterRule, error) {
+	fields := strings.Fields(s)
+	if len(fields) < 2 {
+		return ipFilterRule{}, fmt.Errorf("need '<allow|deny> <predicate>'")
+	}
+	var r ipFilterRule
+	switch fields[0] {
+	case "allow":
+		r.allow = true
+	case "deny":
+		r.allow = false
+	default:
+		return ipFilterRule{}, fmt.Errorf("unknown action %q", fields[0])
+	}
+
+	// Split the remainder on "and".
+	var clauses [][]string
+	cur := []string{}
+	for _, f := range fields[1:] {
+		if f == "and" {
+			if len(cur) == 0 {
+				return ipFilterRule{}, fmt.Errorf("dangling 'and'")
+			}
+			clauses = append(clauses, cur)
+			cur = nil
+			continue
+		}
+		cur = append(cur, f)
+	}
+	if len(cur) == 0 {
+		return ipFilterRule{}, fmt.Errorf("empty predicate")
+	}
+	clauses = append(clauses, cur)
+
+	for _, c := range clauses {
+		p, err := parseIPPredicate(c)
+		if err != nil {
+			return ipFilterRule{}, err
+		}
+		r.preds = append(r.preds, p)
+	}
+	return r, nil
+}
+
+func parseIPPredicate(c []string) (ipPredicate, error) {
+	switch {
+	case len(c) == 1 && c[0] == "all":
+		return func([]byte, int, uint16, uint16) bool { return true }, nil
+
+	case len(c) == 2 && c[0] == "proto":
+		var want int
+		switch c[1] {
+		case "udp":
+			want = packet.ProtoUDP
+		case "tcp":
+			want = 6
+		case "esp":
+			want = packet.ProtoESP
+		case "icmp":
+			want = 1
+		default:
+			return nil, fmt.Errorf("unknown protocol %q", c[1])
+		}
+		return func(_ []byte, proto int, _, _ uint16) bool { return proto == want }, nil
+
+	case len(c) == 3 && (c[0] == "src" || c[0] == "dst") && c[1] == "port":
+		port, err := strconv.Atoi(c[2])
+		if err != nil || port < 0 || port > 65535 {
+			return nil, fmt.Errorf("bad port %q", c[2])
+		}
+		isSrc := c[0] == "src"
+		return func(_ []byte, _ int, sport, dport uint16) bool {
+			if isSrc {
+				return int(sport) == port
+			}
+			return int(dport) == port
+		}, nil
+
+	case len(c) == 3 && (c[0] == "src" || c[0] == "dst") && c[1] == "net":
+		addr, plen, err := parseCIDR(c[2])
+		if err != nil {
+			return nil, err
+		}
+		var mask uint32
+		if plen > 0 {
+			mask = ^uint32(0) << (32 - plen)
+		}
+		want := addr & mask
+		isSrc := c[0] == "src"
+		return func(hdr []byte, _ int, _, _ uint16) bool {
+			a := packet.IPv4Dst(hdr)
+			if isSrc {
+				a = packet.IPv4Src(hdr)
+			}
+			return a&mask == want
+		}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown predicate %q", strings.Join(c, " "))
+	}
+}
+
+// parseCIDR parses "A.B.C.D/L" into a host-order address and prefix length.
+func parseCIDR(s string) (uint32, int, error) {
+	addrStr, lenStr, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad CIDR %q (want A.B.C.D/L)", s)
+	}
+	plen, err := strconv.Atoi(lenStr)
+	if err != nil || plen < 0 || plen > 32 {
+		return 0, 0, fmt.Errorf("bad prefix length in %q", s)
+	}
+	parts := strings.Split(addrStr, ".")
+	if len(parts) != 4 {
+		return 0, 0, fmt.Errorf("bad address in %q", s)
+	}
+	var addr uint32
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, 0, fmt.Errorf("bad octet %q in %q", p, s)
+		}
+		addr = addr<<8 | uint32(v)
+	}
+	return addr, plen, nil
+}
+
+// Process implements Element.
+func (e *IPFilter) Process(ctx *ProcContext, pkt *packet.Packet) int {
+	f := pkt.Data()
+	if len(f) < packet.EthHdrLen+packet.IPv4HdrLen || packet.EthType(f) != packet.EtherTypeIPv4 {
+		e.Denied++
+		return Drop
+	}
+	hdr := f[packet.EthHdrLen:]
+	proto := packet.IPv4Proto(hdr)
+	var sport, dport uint16
+	if ihl := packet.IPv4IHL(hdr); len(hdr) >= ihl+4 && (proto == packet.ProtoUDP || proto == 6) {
+		sport = packet.UDPSrcPort(hdr[ihl:])
+		dport = packet.UDPDstPort(hdr[ihl:])
+	}
+	for _, r := range e.rules {
+		matched := true
+		for _, p := range r.preds {
+			if !p(hdr, proto, sport, dport) {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			if r.allow {
+				e.Allowed++
+				return 0
+			}
+			e.Denied++
+			return Drop
+		}
+	}
+	e.Denied++
+	return Drop
+}

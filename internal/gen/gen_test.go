@@ -1,0 +1,242 @@
+package gen
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"nba/internal/packet"
+)
+
+func TestUDP4Deterministic(t *testing.T) {
+	g := &UDP4{FrameLen: 64, Flows: 100, Seed: 1}
+	var a, b packet.Packet
+	g.Fill(&a, 3, 42)
+	g.Fill(&b, 3, 42)
+	if !bytes.Equal(a.Data(), b.Data()) {
+		t.Error("same (port,seq) produced different frames")
+	}
+	g.Fill(&b, 3, 43)
+	if bytes.Equal(a.Data(), b.Data()) {
+		t.Error("different seq produced identical frames")
+	}
+}
+
+func TestUDP4ValidFrames(t *testing.T) {
+	g := &UDP4{FrameLen: 128, Flows: 50, Seed: 2}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var p packet.Packet
+	for seq := uint64(0); seq < 100; seq++ {
+		g.Fill(&p, 0, seq)
+		if p.Length() != 128 {
+			t.Fatalf("frame length %d, want 128", p.Length())
+		}
+		f := p.Data()
+		if packet.EthType(f) != packet.EtherTypeIPv4 {
+			t.Fatal("not IPv4")
+		}
+		if err := packet.CheckIPv4(f[packet.EthHdrLen:]); err != nil {
+			t.Fatalf("invalid IPv4 header at seq %d: %v", seq, err)
+		}
+	}
+}
+
+func TestUDP4FlowBound(t *testing.T) {
+	g := &UDP4{FrameLen: 64, Flows: 16, Seed: 3}
+	var p packet.Packet
+	seen := map[uint32]bool{}
+	for seq := uint64(0); seq < 1000; seq++ {
+		g.Fill(&p, 0, seq)
+		seen[packet.IPv4Src(p.Data()[packet.EthHdrLen:])] = true
+	}
+	if len(seen) > 16 {
+		t.Errorf("%d distinct sources, want <= 16", len(seen))
+	}
+	if len(seen) < 12 {
+		t.Errorf("only %d of 16 flows seen in 1000 packets", len(seen))
+	}
+}
+
+func TestUDP4AttackInjection(t *testing.T) {
+	pattern := []byte("EVILPATTERN")
+	g := &UDP4{FrameLen: 256, Flows: 10, Seed: 4, AttackFrac: 0.25, AttackPattern: pattern}
+	var p packet.Packet
+	hits := 0
+	const n = 4000
+	for seq := uint64(0); seq < n; seq++ {
+		g.Fill(&p, 0, seq)
+		if bytes.Contains(p.Data(), pattern) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.20 || frac > 0.30 {
+		t.Errorf("attack fraction = %v, want ~0.25", frac)
+	}
+}
+
+func TestUDP4ValidateErrors(t *testing.T) {
+	if err := (&UDP4{FrameLen: 10}).Validate(); err == nil {
+		t.Error("tiny frame accepted")
+	}
+	if err := (&UDP4{FrameLen: 64, AttackFrac: 2}).Validate(); err == nil {
+		t.Error("bad attack fraction accepted")
+	}
+	if err := (&UDP6{FrameLen: 40}).Validate(); err == nil {
+		t.Error("tiny v6 frame accepted")
+	}
+}
+
+func TestUDP6ValidFrames(t *testing.T) {
+	g := &UDP6{FrameLen: 80, Flows: 30, Seed: 5}
+	var p packet.Packet
+	for seq := uint64(0); seq < 50; seq++ {
+		g.Fill(&p, 1, seq)
+		f := p.Data()
+		if packet.EthType(f) != packet.EtherTypeIPv6 {
+			t.Fatal("not IPv6")
+		}
+		if err := packet.CheckIPv6(f[packet.EthHdrLen:]); err != nil {
+			t.Fatalf("invalid IPv6 header: %v", err)
+		}
+	}
+}
+
+func TestSyntheticCAIDASizeMix(t *testing.T) {
+	g := &SyntheticCAIDA{Flows: 1000, Seed: 6}
+	var p packet.Packet
+	counts := map[int]int{}
+	const n = 20000
+	for seq := uint64(0); seq < n; seq++ {
+		g.Fill(&p, 0, seq)
+		counts[p.Length()]++
+	}
+	small := float64(counts[64]) / n
+	if small < 0.72 || small > 0.78 {
+		t.Errorf("64B fraction = %v, want ~0.75", small)
+	}
+	big := float64(counts[1500]) / n
+	if big < 0.02 || big > 0.06 {
+		t.Errorf("1500B fraction = %v, want ~0.04", big)
+	}
+	// Empirical mean must match MeanFrameLen within 2%.
+	var sum float64
+	for ln, c := range counts {
+		sum += float64(ln * c)
+	}
+	emp := sum / n
+	if m := g.MeanFrameLen(); math.Abs(emp-m)/m > 0.02 {
+		t.Errorf("empirical mean %v vs declared %v", emp, m)
+	}
+}
+
+func TestSyntheticCAIDAFlowSkew(t *testing.T) {
+	g := &SyntheticCAIDA{Flows: 1000, Seed: 7}
+	var p packet.Packet
+	counts := map[uint32]int{}
+	const n = 20000
+	for seq := uint64(0); seq < n; seq++ {
+		g.Fill(&p, 0, seq)
+		counts[packet.IPv4Src(p.Data()[packet.EthHdrLen:])]++
+	}
+	// Heavy tail: the most popular flow must be well above uniform share.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if uniform := n / 1000; max < 4*uniform {
+		t.Errorf("max flow count %d, want >= 4x uniform share %d (heavy tail)", max, uniform)
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	records := SynthesizeTrace(500, 8)
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, records); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Records) != 500 {
+		t.Fatalf("read %d records, want 500", len(tr.Records))
+	}
+	for i := range records {
+		if tr.Records[i] != records[i] {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, tr.Records[i], records[i])
+		}
+	}
+}
+
+func TestTraceReplay(t *testing.T) {
+	tr := &Trace{Records: SynthesizeTrace(100, 9), Seed: 9}
+	var p packet.Packet
+	tr.Fill(&p, 0, 0)
+	first := append([]byte(nil), p.Data()...)
+	tr.Fill(&p, 0, 100) // wraps around to record 0
+	ipA := first[packet.EthHdrLen:]
+	ipB := p.Data()[packet.EthHdrLen:]
+	if packet.IPv4Src(ipA) != packet.IPv4Src(ipB) || len(first) != p.Length() {
+		t.Error("replay did not wrap cyclically")
+	}
+	if tr.MeanFrameLen() <= 64 || tr.MeanFrameLen() >= 1500 {
+		t.Errorf("trace mean frame len = %v", tr.MeanFrameLen())
+	}
+}
+
+func TestReadTraceErrors(t *testing.T) {
+	if _, err := ReadTrace(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("short header accepted")
+	}
+	var buf bytes.Buffer
+	WriteTrace(&buf, SynthesizeTrace(10, 1))
+	data := buf.Bytes()
+	data[0] ^= 0xff
+	if _, err := ReadTrace(bytes.NewReader(data)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	data[0] ^= 0xff
+	if _, err := ReadTrace(bytes.NewReader(data[:len(data)-5])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}
+
+func TestEmptyTraceReplayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty trace replay did not panic")
+		}
+	}()
+	var p packet.Packet
+	(&Trace{}).Fill(&p, 0, 0)
+}
+
+func TestMixedL4ProtocolFractions(t *testing.T) {
+	g := &MixedL4{FrameLen: 128, Flows: 256, Seed: 10, TCPFrac: 0.4}
+	var p packet.Packet
+	tcp := 0
+	const n = 10000
+	for seq := uint64(0); seq < n; seq++ {
+		g.Fill(&p, 0, seq)
+		ip := p.Data()[packet.EthHdrLen:]
+		if err := packet.CheckIPv4(ip); err != nil {
+			t.Fatalf("invalid frame: %v", err)
+		}
+		switch packet.IPv4Proto(ip) {
+		case packet.ProtoTCP:
+			tcp++
+		case packet.ProtoUDP:
+		default:
+			t.Fatalf("unexpected protocol %d", packet.IPv4Proto(ip))
+		}
+	}
+	frac := float64(tcp) / n
+	if frac < 0.37 || frac > 0.43 {
+		t.Errorf("tcp fraction = %v, want ~0.4", frac)
+	}
+}

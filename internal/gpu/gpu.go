@@ -1,0 +1,211 @@
+// Package gpu models the accelerator device and its device thread: command
+// queues, host<->device copies, kernel launches and completion callbacks
+// (paper §3.3, Figure 7).
+//
+// The device is a three-stage pipeline on the virtual clock:
+//
+//	host stage   — the device thread's per-task CPU work (ring dequeue,
+//	               CUDA-runtime locking; grows with the number of workers,
+//	               which is what bends GPU-only scaling, paper §4.3);
+//	copy stage   — a single half-duplex copy engine moving H2D bytes before
+//	               the kernel and D2H bytes after it;
+//	kernel stage — the compute engine, busy for the task's kernel time.
+//
+// Stages overlap across tasks like CUDA streams do: while task N computes,
+// task N+1 can copy. Throughput is set by the slowest stage; latency is the
+// sum of stage times plus queueing. "Kernels" also carry a functional
+// closure that really executes the element's device-side computation on the
+// host, so offloaded packets are still actually processed.
+package gpu
+
+import (
+	"fmt"
+
+	"nba/internal/simtime"
+	"nba/internal/sysinfo"
+)
+
+// Task is one aggregated offload task.
+type Task struct {
+	ID       uint64
+	Worker   int // submitting worker (for completion routing)
+	NPkts    int
+	H2DBytes int
+	D2HBytes int
+	// KernelTime is the unscaled total kernel execution time (the offload
+	// engine sums the chain's kernel costs).
+	KernelTime simtime.Time
+	// Kernels is the number of kernel launches in the chain (each pays the
+	// device's LaunchExtra).
+	Kernels int
+
+	// Execute performs the functional device-side computation. It runs at
+	// kernel completion time.
+	Execute func()
+	// Complete is invoked when the task fully finishes (after D2H).
+	Complete func(finish simtime.Time, t *Task)
+
+	// Timing breakdown, filled by the device.
+	Submitted  simtime.Time
+	HostDone   simtime.Time
+	H2DDone    simtime.Time
+	KernelDone simtime.Time
+	Finish     simtime.Time
+}
+
+// Stats aggregates device activity.
+type Stats struct {
+	Tasks        uint64
+	Packets      uint64
+	H2DBytes     uint64
+	D2HBytes     uint64
+	KernelBusy   simtime.Time
+	CopyBusy     simtime.Time
+	HostBusy     simtime.Time
+	LastFinish   simtime.Time
+	MaxQueueWait simtime.Time
+}
+
+// Device is one simulated accelerator plus its device thread.
+type Device struct {
+	Name string
+	Kind sysinfo.DeviceKind
+
+	eng    *simtime.Engine
+	params sysinfo.DeviceParams
+	cm     *sysinfo.CostModel
+	// hostFreqHz is the clock of the core running the device thread.
+	hostFreqHz float64
+	// nworkers scales the per-task host cost (CUDA-runtime lock contention).
+	nworkers int
+
+	hostFree   simtime.Time
+	h2dFree    simtime.Time
+	d2hFree    simtime.Time
+	kernelFree simtime.Time
+
+	nextID uint64
+	stats  Stats
+}
+
+// New creates a device on the given engine.
+func New(name string, kind sysinfo.DeviceKind, eng *simtime.Engine, cm *sysinfo.CostModel, hostFreqHz float64, nworkers int) (*Device, error) {
+	params, err := cm.DeviceParamsOf(kind)
+	if err != nil {
+		return nil, err
+	}
+	if nworkers < 1 {
+		return nil, fmt.Errorf("gpu: device %s needs at least one worker, got %d", name, nworkers)
+	}
+	return &Device{
+		Name: name, Kind: kind,
+		eng: eng, params: params, cm: cm,
+		hostFreqHz: hostFreqHz, nworkers: nworkers,
+	}, nil
+}
+
+// Submit enqueues a task at the current virtual time. The device computes
+// the full pipeline schedule immediately (all stage timelines are known)
+// and schedules Execute/Complete callbacks.
+func (d *Device) Submit(t *Task) {
+	now := d.eng.Now()
+	d.nextID++
+	t.ID = d.nextID
+	t.Submitted = now
+
+	// Host stage: device-thread CPU handling, serialised on its core.
+	hostCycles := d.cm.DeviceTaskFixed + d.cm.DeviceTaskPerWorker*simtime.Cycles(d.nworkers)
+	hostTime := simtime.CyclesToTime(hostCycles, d.hostFreqHz)
+	hostStart := maxTime(now, d.hostFree)
+	t.HostDone = hostStart + hostTime
+	d.hostFree = t.HostDone
+	d.stats.HostBusy += hostTime
+
+	// H2D copy on the host-to-device DMA engine (PCIe is full duplex, so
+	// D2H transfers of earlier tasks overlap).
+	h2dTime := d.copyTime(t.H2DBytes)
+	h2dStart := maxTime(t.HostDone, d.h2dFree)
+	t.H2DDone = h2dStart + h2dTime
+	d.h2dFree = t.H2DDone
+	d.stats.CopyBusy += h2dTime
+
+	// Kernel stage.
+	ktime := simtime.Time(float64(t.KernelTime) * d.params.KernelScale)
+	ktime += simtime.Time(t.Kernels) * d.params.LaunchExtra
+	kstart := maxTime(t.H2DDone, d.kernelFree)
+	t.KernelDone = kstart + ktime
+	d.kernelFree = t.KernelDone
+	d.stats.KernelBusy += ktime
+
+	// D2H copy on the device-to-host DMA engine.
+	d2hTime := d.copyTime(t.D2HBytes)
+	d2hStart := maxTime(t.KernelDone, d.d2hFree)
+	t.Finish = d2hStart + d2hTime
+	d.d2hFree = t.Finish
+	d.stats.CopyBusy += d2hTime
+
+	d.stats.Tasks++
+	d.stats.Packets += uint64(t.NPkts)
+	d.stats.H2DBytes += uint64(t.H2DBytes)
+	d.stats.D2HBytes += uint64(t.D2HBytes)
+	d.stats.LastFinish = t.Finish
+	if wait := hostStart - now; wait > d.stats.MaxQueueWait {
+		d.stats.MaxQueueWait = wait
+	}
+
+	d.eng.At(t.KernelDone, func() {
+		if t.Execute != nil {
+			t.Execute()
+		}
+	})
+	d.eng.At(t.Finish, func() {
+		if t.Complete != nil {
+			t.Complete(t.Finish, t)
+		}
+	})
+}
+
+func (d *Device) copyTime(bytes int) simtime.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	return simtime.Time(float64(bytes) / d.params.CopyBytesPerSec * float64(simtime.Second))
+}
+
+// Backlog returns how far the device's busiest engine is scheduled into
+// the future — the queue-depth signal used for submission admission and by
+// load balancers.
+func (d *Device) Backlog() simtime.Time {
+	busiest := d.kernelFree
+	if d.h2dFree > busiest {
+		busiest = d.h2dFree
+	}
+	if d.d2hFree > busiest {
+		busiest = d.d2hFree
+	}
+	b := busiest - d.eng.Now()
+	if b < 0 {
+		return 0
+	}
+	return b
+}
+
+// Stats returns a snapshot of device statistics.
+func (d *Device) Stats() Stats { return d.stats }
+
+// Utilization returns the busy fractions of the kernel and copy engines
+// over the given interval.
+func (d *Device) Utilization(interval simtime.Time) (kernel, copyEng float64) {
+	if interval <= 0 {
+		return 0, 0
+	}
+	return float64(d.stats.KernelBusy) / float64(interval),
+		float64(d.stats.CopyBusy) / float64(interval)
+}
+
+func maxTime(a, b simtime.Time) simtime.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,205 @@
+package gpu
+
+import (
+	"testing"
+
+	"nba/internal/simtime"
+	"nba/internal/sysinfo"
+)
+
+func newDevice(t *testing.T, workers int) (*Device, *simtime.Engine) {
+	t.Helper()
+	eng := simtime.NewEngine()
+	d, err := New("gpu0", sysinfo.DeviceGPU, eng, sysinfo.Default(), 2.6e9, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, eng
+}
+
+func TestSingleTaskTiming(t *testing.T) {
+	d, eng := newDevice(t, 1)
+	var execAt, finishAt simtime.Time
+	task := &Task{
+		NPkts: 2048, H2DBytes: 163840, D2HBytes: 163840,
+		KernelTime: 148 * simtime.Microsecond, Kernels: 2,
+		Execute:  func() { execAt = eng.Now() },
+		Complete: func(f simtime.Time, tk *Task) { finishAt = f },
+	}
+	eng.After(0, func() { d.Submit(task) })
+	eng.Run()
+
+	if task.HostDone <= 0 || task.H2DDone <= task.HostDone || task.KernelDone <= task.H2DDone || task.Finish <= task.KernelDone {
+		t.Errorf("stage ordering broken: %+v", task)
+	}
+	if execAt != task.KernelDone {
+		t.Errorf("Execute at %v, want kernel-done %v", execAt, task.KernelDone)
+	}
+	if finishAt != task.Finish {
+		t.Errorf("Complete at %v, want %v", finishAt, task.Finish)
+	}
+	// Copy time for 163840 B at 2.2 GB/s is ~74.5 us each way.
+	h2d := (task.H2DDone - task.HostDone).Micros()
+	if h2d < 70 || h2d > 80 {
+		t.Errorf("h2d = %v us, want ~74.5", h2d)
+	}
+	// The paper's minimum IPsec GPU latency is ~287 us (kernel ~140 us +
+	// copies 150-200 us); our single-task latency must land in that band.
+	total := (task.Finish - task.Submitted).Micros()
+	if total < 280 || total > 340 {
+		t.Errorf("single task latency = %v us, want ~300 us (paper: min 287 us)", total)
+	}
+}
+
+func TestPipelineOverlap(t *testing.T) {
+	// Two back-to-back tasks: the second's H2D may start while the first
+	// kernel runs, so total time < 2x single-task time.
+	mk := func() *Task {
+		return &Task{NPkts: 2048, H2DBytes: 163840, D2HBytes: 163840,
+			KernelTime: 148 * simtime.Microsecond, Kernels: 2}
+	}
+	d1, e1 := newDevice(t, 1)
+	t1 := mk()
+	e1.After(0, func() { d1.Submit(t1) })
+	e1.Run()
+	single := t1.Finish
+
+	d2, e2 := newDevice(t, 1)
+	a, b := mk(), mk()
+	e2.After(0, func() { d2.Submit(a); d2.Submit(b) })
+	e2.Run()
+	if b.Finish >= 2*single {
+		t.Errorf("no pipelining: 2 tasks took %v, single %v", b.Finish, single)
+	}
+	if b.KernelDone < a.KernelDone {
+		t.Error("kernel engine executed out of order")
+	}
+}
+
+func TestThroughputKernelBound(t *testing.T) {
+	// Submit many IPv4-style tasks (tiny copies, 83us kernels): steady-state
+	// spacing must approach the kernel time, not the sum of stages.
+	d, eng := newDevice(t, 7)
+	var finishes []simtime.Time
+	const n = 50
+	eng.After(0, func() {
+		for i := 0; i < n; i++ {
+			d.Submit(&Task{
+				NPkts: 2048, H2DBytes: 8192, D2HBytes: 8192,
+				KernelTime: 83 * simtime.Microsecond, Kernels: 1,
+				Complete: func(f simtime.Time, tk *Task) { finishes = append(finishes, f) },
+			})
+		}
+	})
+	eng.Run()
+	if len(finishes) != n {
+		t.Fatalf("%d completions, want %d", len(finishes), n)
+	}
+	// Steady-state inter-completion gap.
+	gap := (finishes[n-1] - finishes[n/2]).Micros() / float64(n-1-n/2)
+	if gap < 80 || gap > 95 {
+		t.Errorf("steady-state task gap = %.1f us, want ~83-90 (kernel bound)", gap)
+	}
+}
+
+func TestThroughputCopyBound(t *testing.T) {
+	// IDS-style 1500B tasks: copies dominate (3.1 MB at 2.2 GB/s = 1.4 ms).
+	d, eng := newDevice(t, 7)
+	var finishes []simtime.Time
+	const n = 20
+	eng.After(0, func() {
+		for i := 0; i < n; i++ {
+			d.Submit(&Task{
+				NPkts: 2048, H2DBytes: 2048 * 1500, D2HBytes: 2048 * 8,
+				KernelTime: 30 * simtime.Microsecond, Kernels: 1,
+				Complete: func(f simtime.Time, tk *Task) { finishes = append(finishes, f) },
+			})
+		}
+	})
+	eng.Run()
+	gap := (finishes[n-1] - finishes[n/2]).Seconds() / float64(n-1-n/2)
+	wantGap := float64(2048*1500+2048*8) / 2.2e9
+	if gap < wantGap*0.95 || gap > wantGap*1.15 {
+		t.Errorf("copy-bound gap = %v s, want ~%v", gap, wantGap)
+	}
+}
+
+func TestHostCostGrowsWithWorkers(t *testing.T) {
+	run := func(workers int) simtime.Time {
+		d, eng := newDevice(t, workers)
+		task := &Task{NPkts: 64, KernelTime: simtime.Microsecond, Kernels: 1}
+		eng.After(0, func() { d.Submit(task) })
+		eng.Run()
+		return task.HostDone
+	}
+	if run(7) <= run(1) {
+		t.Error("device-thread host cost did not grow with worker count")
+	}
+}
+
+func TestPhiDeviceDiffers(t *testing.T) {
+	eng := simtime.NewEngine()
+	cm := sysinfo.Default()
+	gpuDev, _ := New("g", sysinfo.DeviceGPU, eng, cm, 2.6e9, 1)
+	phiDev, _ := New("p", sysinfo.DevicePhi, eng, cm, 2.6e9, 1)
+	mk := func() *Task {
+		return &Task{NPkts: 1024, H2DBytes: 65536, D2HBytes: 65536,
+			KernelTime: 100 * simtime.Microsecond, Kernels: 1}
+	}
+	a, b := mk(), mk()
+	eng.After(0, func() { gpuDev.Submit(a); phiDev.Submit(b) })
+	eng.Run()
+	// Phi: slower kernels (2.2x) + extra launch, faster copies.
+	if b.KernelDone-b.H2DDone <= a.KernelDone-a.H2DDone {
+		t.Error("phi kernel not slower than gpu kernel")
+	}
+	if b.H2DDone-b.HostDone >= a.H2DDone-a.HostDone {
+		t.Error("phi copy not faster than gpu copy")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	d, eng := newDevice(t, 2)
+	eng.After(0, func() {
+		d.Submit(&Task{NPkts: 100, H2DBytes: 1000, D2HBytes: 500, KernelTime: simtime.Microsecond, Kernels: 1})
+		d.Submit(&Task{NPkts: 50, H2DBytes: 2000, D2HBytes: 0, KernelTime: simtime.Microsecond, Kernels: 1})
+	})
+	eng.Run()
+	s := d.Stats()
+	if s.Tasks != 2 || s.Packets != 150 || s.H2DBytes != 3000 || s.D2HBytes != 500 {
+		t.Errorf("stats wrong: %+v", s)
+	}
+	if s.KernelBusy <= 0 || s.CopyBusy <= 0 || s.HostBusy <= 0 {
+		t.Error("busy accounting missing")
+	}
+	k, c := d.Utilization(simtime.Millisecond)
+	if k <= 0 || c <= 0 {
+		t.Error("utilization zero")
+	}
+}
+
+func TestBacklogSignal(t *testing.T) {
+	d, eng := newDevice(t, 1)
+	eng.After(0, func() {
+		if d.Backlog() != 0 {
+			t.Error("idle backlog non-zero")
+		}
+		for i := 0; i < 10; i++ {
+			d.Submit(&Task{NPkts: 64, KernelTime: 100 * simtime.Microsecond, Kernels: 1})
+		}
+		if d.Backlog() < 900*simtime.Microsecond {
+			t.Errorf("backlog = %v, want ~1ms of queued kernels", d.Backlog())
+		}
+	})
+	eng.Run()
+}
+
+func TestNewValidation(t *testing.T) {
+	eng := simtime.NewEngine()
+	if _, err := New("x", sysinfo.DeviceKind(99), eng, sysinfo.Default(), 2.6e9, 1); err == nil {
+		t.Error("unknown device kind accepted")
+	}
+	if _, err := New("x", sysinfo.DeviceGPU, eng, sysinfo.Default(), 2.6e9, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+}

@@ -1,0 +1,531 @@
+// Package graph implements NBA's ElementGraph: the batch-oriented modular
+// pipeline that traverses user-defined elements until a batch is stored,
+// dropped or transmitted (paper §3.2).
+//
+// It owns the two techniques the paper introduces to make computation
+// batching cheap in the presence of branches:
+//
+//   - multi-edge branch avoidance by carrying the output NIC port as an
+//     annotation and split-forwarding at the end of the pipeline, and
+//   - batch-level branch prediction: the input batch object is reused for
+//     the output edge that took the most packets last time, with minority
+//     packets masked out and moved into newly allocated split batches.
+package graph
+
+import (
+	"fmt"
+
+	"nba/internal/batch"
+	"nba/internal/conflang"
+	"nba/internal/element"
+	"nba/internal/packet"
+	"nba/internal/simtime"
+	"nba/internal/sysinfo"
+)
+
+// unconnected marks an output port with no successor.
+const unconnected = -1
+
+// Node is one element instance in the graph.
+type Node struct {
+	ID   int
+	Name string
+	Elem element.Element
+
+	// out maps output-port index to successor node ID (or unconnected).
+	out []int
+
+	// Cached interface upgrades.
+	batchElem   element.BatchElement
+	offloadable element.Offloadable
+	sinkKind    element.SinkKind
+	isSink      bool
+	isSource    bool
+
+	cost sysinfo.ElementCost
+
+	// predCount tracks, per output port, how many packets took that port
+	// last time a real branch occurred at this node (paper §3.2: "each
+	// output port of a module tracks the number of packets who take the
+	// path starting with it").
+	predCount []uint64
+
+	// Stats.
+	Processed uint64 // packets processed
+	Dropped   uint64 // packets dropped here
+	Splits    uint64 // split batches allocated at this node
+	Reuses    uint64 // branch-predicted batch reuses
+}
+
+// Successor returns the node ID connected to output port p.
+func (n *Node) Successor(p int) int { return n.out[p] }
+
+// IsOffloadable reports whether the node's element has a device-side
+// function.
+func (n *Node) IsOffloadable() bool { return n.offloadable != nil }
+
+// Offloadable returns the node's offloadable interface (nil if none).
+func (n *Node) Offloadable() element.Offloadable { return n.offloadable }
+
+// Options control graph execution behaviour.
+type Options struct {
+	// BranchPrediction enables batch reuse at branches (paper Figure 10).
+	// When disabled, every branch splits all paths into new batches (the
+	// Figure 1 worst case).
+	BranchPrediction bool
+	// OffloadChaining fuses consecutive offloadable elements into one
+	// device task sharing datablocks (the paper's §3.3 datablock reuse
+	// optimisation). When disabled each offloadable element becomes its own
+	// task with its own copies.
+	OffloadChaining bool
+}
+
+// DefaultOptions returns the production configuration.
+func DefaultOptions() Options {
+	return Options{BranchPrediction: true, OffloadChaining: true}
+}
+
+// Env is the set of framework services the executor needs. The worker
+// loop implements it.
+type Env interface {
+	// Transmit hands a fully processed packet to the TX path.
+	Transmit(pkt *packet.Packet)
+	// ReleasePacket returns a dropped packet to its mempool.
+	ReleasePacket(pkt *packet.Packet)
+	// GetBatch allocates a batch for splitting; it may fail under pressure.
+	GetBatch() (*batch.Batch, error)
+	// PutBatch returns an empty or consumed batch to the pool.
+	PutBatch(b *batch.Batch)
+	// Offload takes ownership of a batch that the load balancer routed to a
+	// device, at the given offloadable node. The framework resumes
+	// processing at resumeNode (or finishes if resumeNode is unconnected)
+	// once the device completes.
+	Offload(head *Node, chain []*Node, resumeNode int, b *batch.Batch)
+	// Charge accounts CPU cycles to the current worker.
+	Charge(c simtime.Cycles)
+}
+
+// Graph is one replica of the element pipeline (one per worker).
+type Graph struct {
+	Nodes  []*Node
+	Source *Node
+	opts   Options
+	cm     *sysinfo.CostModel
+
+	// DropUnrouted counts packets that reached an unconnected output port.
+	DropUnrouted uint64
+}
+
+// Build instantiates a parsed configuration into an executable graph,
+// creating and configuring one element instance per declaration.
+func Build(cfg *conflang.Config, cctx *element.ConfigContext, cm *sysinfo.CostModel, opts Options) (*Graph, error) {
+	g := &Graph{opts: opts, cm: cm}
+	byName := map[string]*Node{}
+
+	for _, d := range cfg.Decls {
+		elem, err := element.NewByClass(d.Class)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", d.Line, err)
+		}
+		if err := elem.Configure(cctx, d.Params); err != nil {
+			return nil, fmt.Errorf("line %d: configuring %s (%s): %w", d.Line, d.Name, d.Class, err)
+		}
+		n := &Node{
+			ID:   len(g.Nodes),
+			Name: d.Name,
+			Elem: elem,
+			cost: cm.ElementCostOf(d.Class),
+		}
+		n.out = make([]int, elem.OutPorts())
+		for i := range n.out {
+			n.out[i] = unconnected
+		}
+		n.predCount = make([]uint64, elem.OutPorts())
+		if be, ok := elem.(element.BatchElement); ok {
+			n.batchElem = be
+		}
+		if off, ok := elem.(element.Offloadable); ok {
+			n.offloadable = off
+		}
+		if s, ok := elem.(element.Sink); ok {
+			n.isSink = true
+			n.sinkKind = s.SinkKind()
+		}
+		if _, ok := elem.(element.Source); ok {
+			n.isSource = true
+		}
+		g.Nodes = append(g.Nodes, n)
+		byName[d.Name] = n
+	}
+
+	for _, e := range cfg.Edges {
+		from, to := byName[e.From], byName[e.To]
+		if e.FromPort >= len(from.out) {
+			return nil, fmt.Errorf("line %d: %s has no output port %d (element %s has %d)",
+				e.Line, e.From, e.FromPort, from.Elem.Class(), len(from.out))
+		}
+		if from.out[e.FromPort] != unconnected {
+			return nil, fmt.Errorf("line %d: output port %d of %s connected twice", e.Line, e.FromPort, e.From)
+		}
+		if to.isSource {
+			return nil, fmt.Errorf("line %d: cannot connect into source element %s", e.Line, e.To)
+		}
+		from.out[e.FromPort] = to.ID
+	}
+
+	return g, g.validate()
+}
+
+func (g *Graph) validate() error {
+	for _, n := range g.Nodes {
+		if n.isSource {
+			if g.Source != nil {
+				return fmt.Errorf("graph: multiple source elements (%s and %s)", g.Source.Name, n.Name)
+			}
+			g.Source = n
+		}
+	}
+	if g.Source == nil {
+		return fmt.Errorf("graph: no source element (add FromInput)")
+	}
+	if g.Source.out[0] == unconnected {
+		return fmt.Errorf("graph: source %s is not connected to anything", g.Source.Name)
+	}
+	// Reject cycles: the push-only executor requires a DAG.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(g.Nodes))
+	var visit func(id int) error
+	visit = func(id int) error {
+		color[id] = grey
+		for _, s := range g.Nodes[id].out {
+			if s == unconnected {
+				continue
+			}
+			switch color[s] {
+			case grey:
+				return fmt.Errorf("graph: cycle through %s", g.Nodes[s].Name)
+			case white:
+				if err := visit(s); err != nil {
+					return err
+				}
+			}
+		}
+		color[id] = black
+		return nil
+	}
+	for _, n := range g.Nodes {
+		if color[n.ID] == white {
+			if err := visit(n.ID); err != nil {
+				return err
+			}
+		}
+	}
+	// A sink must be reachable from the source, or every packet leaks.
+	reach := map[int]bool{}
+	var walk func(id int)
+	walk = func(id int) {
+		if reach[id] {
+			return
+		}
+		reach[id] = true
+		for _, s := range g.Nodes[id].out {
+			if s != unconnected {
+				walk(s)
+			}
+		}
+	}
+	walk(g.Source.ID)
+	for id := range reach {
+		if g.Nodes[id].isSink {
+			return nil
+		}
+	}
+	return fmt.Errorf("graph: no sink (ToOutput/Discard) reachable from source")
+}
+
+// NodeByName returns the named node, or nil.
+func (g *Graph) NodeByName(name string) *Node {
+	for _, n := range g.Nodes {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// OffloadChainAt computes the maximal run of consecutive offloadable nodes
+// beginning at head (following single output edges), honouring the
+// OffloadChaining option, and the node ID processing resumes at afterwards.
+func (g *Graph) OffloadChainAt(head *Node) (chain []*Node, resume int) {
+	chain = []*Node{head}
+	cur := head
+	for {
+		if len(cur.out) != 1 {
+			return chain, unconnected
+		}
+		next := cur.out[0]
+		if next == unconnected {
+			return chain, unconnected
+		}
+		nn := g.Nodes[next]
+		if !g.opts.OffloadChaining || nn.offloadable == nil {
+			return chain, next
+		}
+		chain = append(chain, nn)
+		cur = nn
+	}
+}
+
+// workItem is one pending (node, batch) pair during traversal.
+type workItem struct {
+	node int
+	b    *batch.Batch
+}
+
+// Inject runs a freshly received batch through the pipeline, starting at
+// the source's successor. The graph takes ownership of the batch.
+func (g *Graph) Inject(env Env, pctx *element.ProcContext, b *batch.Batch) {
+	g.RunFrom(env, pctx, g.Source.out[0], b)
+}
+
+// RunFrom processes a batch beginning at the given node (used by Inject and
+// to resume after offload completion). Passing unconnected finishes the
+// batch: remaining packets are treated as unrouted drops.
+func (g *Graph) RunFrom(env Env, pctx *element.ProcContext, nodeID int, b *batch.Batch) {
+	stack := []workItem{{node: nodeID, b: b}}
+	for len(stack) > 0 {
+		item := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		g.step(env, pctx, item, &stack)
+	}
+}
+
+func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem, stack *[]workItem) {
+	b := item.b
+	if b.Live() == 0 {
+		env.Charge(g.cm.BatchFree)
+		env.PutBatch(b)
+		return
+	}
+	if item.node == unconnected {
+		g.DropUnrouted += uint64(b.Live())
+		g.dropAll(env, b, nil)
+		return
+	}
+	n := g.Nodes[item.node]
+	env.Charge(g.cm.ElementDispatch + g.cm.GraphTraverse)
+
+	// Offload interception: a batch whose device annotation selects an
+	// accelerator leaves the CPU pipeline here (paper Figure 7).
+	if n.offloadable != nil && b.Anno[batch.AnnoDevice] != batch.CPUDevice {
+		chain, resume := g.OffloadChainAt(n)
+		env.Offload(n, chain, resume, b)
+		return
+	}
+
+	// Per-batch elements run once per batch without decomposing it.
+	if n.batchElem != nil {
+		env.Charge(scaled(n.cost.Fixed+simtime.Cycles(n.cost.PerByte*float64(b.TotalBytes())), pctx))
+		r := n.batchElem.ProcessBatch(pctx, b)
+		n.Processed += uint64(b.Live())
+		if r == batch.ResultDrop {
+			n.Dropped += uint64(b.Live())
+			g.dropAll(env, b, nil)
+			return
+		}
+		if r >= len(n.out) {
+			panic(fmt.Sprintf("graph: %s returned port %d of %d", n.Name, r, len(n.out)))
+		}
+		*stack = append(*stack, workItem{node: n.out[r], b: b})
+		return
+	}
+
+	// Per-packet elements: the framework runs the iteration loop (paper
+	// §3.2: "NBA runs an iteration loop over packets in the input batch at
+	// every element whereas elements expose only a per-packet interface").
+	var cycles simtime.Cycles
+	nOut := len(n.out)
+	b.ForEachLive(func(i int, pkt *packet.Packet) {
+		pctx.ExtraCycles = 0
+		r := n.Elem.Process(pctx, pkt)
+		if r >= nOut && !n.isSink {
+			panic(fmt.Sprintf("graph: %s returned port %d of %d", n.Name, r, nOut))
+		}
+		b.SetResult(i, r)
+		cycles += n.cost.Cycles(pkt.Length()) + pctx.ExtraCycles
+		n.Processed++
+	})
+	env.Charge(scaled(cycles, pctx))
+
+	if n.isSink {
+		g.finishAtSink(env, n, b)
+		return
+	}
+
+	g.forward(env, n, b, stack)
+}
+
+// scaled applies the worker's current cost scale (memory contention, NUMA
+// penalty) to a cycle count.
+func scaled(c simtime.Cycles, pctx *element.ProcContext) simtime.Cycles {
+	if pctx.CostScale == 0 || pctx.CostScale == 1 {
+		return c
+	}
+	return simtime.Cycles(float64(c) * pctx.CostScale)
+}
+
+func (g *Graph) finishAtSink(env Env, n *Node, b *batch.Batch) {
+	if n.sinkKind == element.SinkTransmit {
+		env.Charge(g.cm.TxBatchFixed)
+		var cycles simtime.Cycles
+		b.ForEachLive(func(i int, pkt *packet.Packet) {
+			cycles += g.cm.TxPerPacket
+			env.Transmit(pkt)
+		})
+		env.Charge(cycles)
+	} else {
+		b.ForEachLive(func(i int, pkt *packet.Packet) {
+			n.Dropped++
+			env.ReleasePacket(pkt)
+		})
+	}
+	env.Charge(g.cm.BatchFree)
+	env.PutBatch(b)
+}
+
+// dropAll releases every live packet and the batch itself. If n is non-nil
+// its drop counter is charged.
+func (g *Graph) dropAll(env Env, b *batch.Batch, n *Node) {
+	b.ForEachLive(func(i int, pkt *packet.Packet) {
+		if n != nil {
+			n.Dropped++
+		}
+		env.ReleasePacket(pkt)
+	})
+	env.Charge(g.cm.BatchFree)
+	env.PutBatch(b)
+}
+
+// forward routes a processed batch to successor nodes, handling drops,
+// single-path fast forwarding, and branches with prediction or splitting.
+func (g *Graph) forward(env Env, n *Node, b *batch.Batch, stack *[]workItem) {
+	hist := b.ResultHistogram(len(n.out) - 1)
+
+	// Release dropped packets (hist[0]).
+	if hist[0] > 0 {
+		var cycles simtime.Cycles
+		for i := 0; i < b.Count(); i++ {
+			if !b.IsMasked(i) && b.Result(i) == batch.ResultDrop {
+				n.Dropped++
+				env.ReleasePacket(b.Packet(i))
+				b.Mask(i)
+				cycles += g.cm.MaskPerPacket
+			}
+		}
+		env.Charge(cycles)
+		if b.Live() == 0 {
+			env.Charge(g.cm.BatchFree)
+			env.PutBatch(b)
+			return
+		}
+	}
+
+	// Count populated output ports.
+	populated := 0
+	lastPort := 0
+	for p := 0; p < len(n.out); p++ {
+		if hist[p+1] > 0 {
+			populated++
+			lastPort = p
+		}
+	}
+
+	if populated == 1 && (g.opts.BranchPrediction || len(n.out) == 1) {
+		// Fast path: whole batch takes one edge; reuse it as-is. With
+		// branch prediction disabled, multi-edge nodes always split into
+		// fresh batches (the paper's Figure 1 worst case does no reuse at
+		// all), so the fast path only applies to single-edge nodes there.
+		*stack = append(*stack, workItem{node: n.out[lastPort], b: b})
+		return
+	}
+
+	// Real branch.
+	env.Charge(g.cm.BranchCheck)
+
+	reusePort := -1
+	if g.opts.BranchPrediction {
+		// Reuse the input batch for the port that carried the most packets
+		// last time (paper §3.2). Seed with the current histogram on the
+		// first branch.
+		var best uint64
+		for p := 0; p < len(n.out); p++ {
+			if n.predCount[p] > best {
+				best = n.predCount[p]
+				reusePort = p
+			}
+		}
+		if reusePort == -1 {
+			for p := 0; p < len(n.out); p++ {
+				if hist[p+1] > 0 && (reusePort == -1 || hist[p+1] > hist[reusePort+1]) {
+					reusePort = p
+				}
+			}
+		}
+	}
+	for p := 0; p < len(n.out); p++ {
+		n.predCount[p] = uint64(hist[p+1])
+	}
+
+	// Move packets of non-reuse ports into split batches.
+	var cycles simtime.Cycles
+	splits := make(map[int]*batch.Batch)
+	for i := 0; i < b.Count(); i++ {
+		if b.IsMasked(i) {
+			continue
+		}
+		r := b.Result(i)
+		if r == reusePort {
+			continue
+		}
+		sb := splits[r]
+		if sb == nil {
+			nb, err := env.GetBatch()
+			if err != nil {
+				// Batch pool exhausted: drop this path's packets. Counted
+				// as drops; the failure-injection tests cover this.
+				n.Dropped++
+				env.ReleasePacket(b.Packet(i))
+				b.Mask(i)
+				continue
+			}
+			env.Charge(g.cm.BatchAlloc)
+			nb.Anno = b.Anno
+			splits[r] = nb
+			sb = nb
+			n.Splits++
+		}
+		sb.Add(b.Packet(i))
+		b.Mask(i)
+		cycles += g.cm.SplitPerPacket + g.cm.MaskPerPacket
+	}
+	env.Charge(cycles)
+
+	// Dispatch split batches (in deterministic port order).
+	for p := 0; p < len(n.out); p++ {
+		if sb := splits[p]; sb != nil {
+			*stack = append(*stack, workItem{node: n.out[p], b: sb})
+		}
+	}
+
+	if reusePort >= 0 && b.Live() > 0 {
+		n.Reuses++
+		*stack = append(*stack, workItem{node: n.out[reusePort], b: b})
+	} else {
+		env.Charge(g.cm.BatchFree)
+		env.PutBatch(b)
+	}
+}

@@ -1,0 +1,287 @@
+// Package lb implements NBA's CPU/GPU load balancers (paper §3.4).
+//
+// Load balancers are per-batch elements placed ahead of offloadable
+// elements: they write the chosen computation device into the batch-level
+// device annotation, which the framework reads when the batch reaches an
+// offloadable element (paper Figure 7).
+//
+// The adaptive algorithm (ALB) maximises system throughput without any
+// application- or hardware-specific knowledge: it observes smoothed
+// throughput and moves the offloading fraction w by ±δ in the direction
+// that last improved it, with a waiting-interval ramp and continuous
+// perturbation exactly as the paper describes.
+package lb
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nba/internal/batch"
+	"nba/internal/element"
+	"nba/internal/packet"
+	"nba/internal/simtime"
+	"nba/internal/stats"
+)
+
+// StateKey is the node-local storage key of the shared balancing state.
+const StateKey = "nba.lb.state"
+
+// State is the balancing state shared between the per-worker LoadBalance
+// element replicas and the socket's adaptive controller.
+type State struct {
+	// W is the offloading fraction in [0,1]: the probability that a batch
+	// is routed to the accelerator.
+	W float64
+	// AdaptiveUsers counts LoadBalance replicas configured with the
+	// adaptive algorithm; the framework only runs a controller when > 0.
+	AdaptiveUsers int
+}
+
+// SharedState fetches (or creates) the socket's shared state.
+func SharedState(nl *element.NodeLocal) *State {
+	return element.GetOrCreate(nl, StateKey, func() *State { return &State{} })
+}
+
+// Algorithm selects the balancing policy of a LoadBalance element.
+type Algorithm int
+
+const (
+	// CPUOnly processes everything with CPU-side functions.
+	CPUOnly Algorithm = iota
+	// GPUOnly offloads every batch (other elements still run on the CPU).
+	GPUOnly
+	// Fixed offloads a fixed fraction of batches (Figure 2's sweep).
+	Fixed
+	// Adaptive follows the shared state maintained by the Controller.
+	Adaptive
+)
+
+// LoadBalance is the balancer element. Configuration parameter forms:
+//
+//	LoadBalance("cpu")        — CPU only
+//	LoadBalance("gpu")        — GPU only
+//	LoadBalance("fixed=0.8")  — offload 80% of batches
+//	LoadBalance("adaptive")   — ALB (requires a Controller ticking)
+type LoadBalance struct {
+	Alg   Algorithm
+	fixed float64
+	state *State
+	ndev  int
+
+	// Decisions counts batches routed per destination (0 = CPU).
+	Decisions [2]uint64
+}
+
+func init() {
+	element.Register("LoadBalance", func() element.Element { return &LoadBalance{} })
+}
+
+// Class implements element.Element.
+func (*LoadBalance) Class() string { return "LoadBalance" }
+
+// OutPorts implements element.Element.
+func (*LoadBalance) OutPorts() int { return 1 }
+
+// Configure implements element.Element.
+func (e *LoadBalance) Configure(ctx *element.ConfigContext, args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("LoadBalance needs exactly one parameter, got %d", len(args))
+	}
+	e.state = SharedState(ctx.NodeLocal)
+	e.ndev = ctx.NumDevices
+	arg := args[0]
+	switch {
+	case arg == "cpu":
+		e.Alg = CPUOnly
+	case arg == "gpu":
+		e.Alg = GPUOnly
+	case arg == "adaptive":
+		e.Alg = Adaptive
+		e.state.AdaptiveUsers++
+	case strings.HasPrefix(arg, "fixed="):
+		f, err := strconv.ParseFloat(strings.TrimPrefix(arg, "fixed="), 64)
+		if err != nil || f < 0 || f > 1 {
+			return fmt.Errorf("LoadBalance: bad fixed fraction %q", arg)
+		}
+		e.Alg = Fixed
+		e.fixed = f
+	default:
+		return fmt.Errorf("LoadBalance: unknown algorithm %q", arg)
+	}
+	if e.Alg != CPUOnly && e.ndev == 0 {
+		return fmt.Errorf("LoadBalance: %q requires an accelerator but the socket has none", arg)
+	}
+	return nil
+}
+
+// Process implements element.Element (unused: batches take ProcessBatch).
+func (e *LoadBalance) Process(ctx *element.ProcContext, pkt *packet.Packet) int { return 0 }
+
+// ProcessBatch stamps the device decision on the batch.
+func (e *LoadBalance) ProcessBatch(ctx *element.ProcContext, b *batch.Batch) int {
+	dev := batch.CPUDevice
+	switch e.Alg {
+	case CPUOnly:
+	case GPUOnly:
+		dev = 1
+	case Fixed:
+		if ctx.Rand.Bool(e.fixed) {
+			dev = 1
+		}
+	case Adaptive:
+		if ctx.Rand.Bool(e.state.W) {
+			dev = 1
+		}
+	}
+	b.Anno[batch.AnnoDevice] = uint64(dev)
+	if dev == batch.CPUDevice {
+		e.Decisions[0]++
+	} else {
+		e.Decisions[1]++
+	}
+	return 0
+}
+
+// Controller drives the adaptive algorithm for one socket. The framework
+// calls Observe at a fine interval (throughput sampling) and Update every
+// update interval (0.2 s in the paper).
+type Controller struct {
+	state *State
+
+	// Delta is the step size (paper: 4%).
+	Delta float64
+	// MaxWait is the waiting-interval ramp ceiling in update intervals
+	// (paper: 2 at w=0 growing to 32 at w=100%).
+	MinWait, MaxWait int
+	// Tolerance is the relative throughput drop treated as noise rather
+	// than a real degradation (guards against false direction flips).
+	Tolerance float64
+	// Bound, when positive, turns the controller into the bounded-latency
+	// variant (paper §7 future work): throughput is maximised subject to
+	// the socket's p99 latency staying under Bound. Use UpdateWithLatency.
+	Bound simtime.Time
+
+	avg     *stats.MovingAverage
+	dir     float64
+	last    float64
+	wait    int
+	bounces int // consecutive rejected perturbations at a boundary
+	// Trace records (W, throughput) after each update for diagnostics.
+	Trace []TracePoint
+}
+
+// TracePoint is one controller update observation.
+type TracePoint struct {
+	W          float64
+	Throughput float64
+}
+
+// NewController creates an adaptive controller bound to the socket state.
+func NewController(state *State) *Controller {
+	state.W = 0.5 // neutral start; the climb direction is discovered
+	return &Controller{
+		state: state,
+		Delta: 0.04,
+		// The paper waits 2..32 update intervals of 0.2 s; our virtual-time
+		// runs use millisecond update intervals, so the ramp is scaled down
+		// to keep convergence within a few hundred milliseconds.
+		MinWait:   1,
+		MaxWait:   6,
+		Tolerance: 0.01,
+		// The paper smooths over a 16384-sample history of per-10K-cycle
+		// counts; we sample throughput per observation interval, so a much
+		// smaller window gives the same smoothing span.
+		avg: stats.NewMovingAverage(16),
+		dir: +1,
+	}
+}
+
+// Observe feeds one throughput sample (e.g. pps over the last 10 ms).
+func (c *Controller) Observe(pps float64) { c.avg.Push(pps) }
+
+// W returns the current offloading fraction.
+func (c *Controller) W() float64 { return c.state.W }
+
+// Update runs one control step: move w by ±δ in the direction that last
+// improved smoothed throughput, honouring the waiting-interval ramp.
+func (c *Controller) Update() {
+	if c.wait > 0 {
+		c.wait--
+		return
+	}
+	cur := c.avg.Mean()
+	if cur < c.last*(1-c.Tolerance) {
+		c.dir = -c.dir
+	}
+	c.last = cur
+
+	// Discard samples observed under the old fraction: the paper waits for
+	// all workers to apply the updated value before the next observation.
+	c.avg.Reset()
+
+	prev := c.state.W
+	w := prev + c.dir*c.Delta
+	switch {
+	case w <= 0:
+		w = 0
+		c.dir = +1
+	case w >= 1:
+		w = 1
+		c.dir = -1
+	}
+	c.state.W = w
+	c.Trace = append(c.Trace, TracePoint{W: w, Throughput: cur})
+
+	// Waiting ramp: higher w ⇒ longer settling (paper: jitter persists
+	// longer at high offload fractions).
+	ramp := c.MinWait + int(w*float64(c.MaxWait-c.MinWait))
+	switch {
+	case w == 0 || w == 1:
+		// Converged at a boundary. The paper "gradually increases the
+		// waiting interval": every rejected perturbation doubles the dwell
+		// there, so the steady-state perturbation cost amortises away while
+		// the controller can still escape after a workload change.
+		if c.bounces < 6 {
+			c.bounces++
+		}
+		c.wait = ramp << c.bounces
+	case prev == 0 || prev == 1:
+		// Perturbation away from a boundary: judge it quickly.
+		c.wait = c.MinWait
+	default:
+		c.bounces = 0
+		c.wait = ramp
+	}
+}
+
+// UpdateWithLatency is the bounded-latency control step: while the observed
+// p99 latency exceeds Bound, the offloading fraction is pushed down
+// (accelerators add latency through aggregation, copies and kernel time);
+// once within the bound, the ordinary throughput hill-climb resumes.
+//
+// Limitation, documented deliberately: when the CPU alone cannot carry the
+// load, reducing w inflates NIC-queue latency instead — there is no feasible
+// point, and the controller parks at w=0 shedding load, which is the
+// conservative choice.
+func (c *Controller) UpdateWithLatency(p99 simtime.Time) {
+	if c.Bound <= 0 || p99 <= c.Bound {
+		c.Update()
+		return
+	}
+	if c.wait > 0 {
+		c.wait--
+		return
+	}
+	c.avg.Reset()
+	c.last = 0 // force re-learning of the throughput slope afterwards
+	w := c.state.W - c.Delta
+	if w < 0 {
+		w = 0
+	}
+	c.state.W = w
+	c.dir = -1
+	c.bounces = 0
+	c.Trace = append(c.Trace, TracePoint{W: w, Throughput: -p99.Micros()})
+	c.wait = c.MinWait
+}

@@ -1,0 +1,118 @@
+// Package mempool provides freelist-based object pools modelled on DPDK's
+// rte_mempool, which NBA relies on for allocating and releasing packet
+// buffers and batch objects "at different times with minimal overheads"
+// (paper §3.1).
+//
+// Pools are NUMA-aware in the sense that the framework creates one pool per
+// socket and never shares a pool across sockets (shared-nothing workers),
+// so no locking is needed — the simulation is single-threaded in virtual
+// time anyway.
+package mempool
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrExhausted is returned by Get when the pool is empty. Real DPDK mempools
+// fail allocation the same way; callers must handle it (typically by
+// dropping the batch), and the failure-injection tests exercise that path.
+var ErrExhausted = errors.New("mempool: exhausted")
+
+// Resetter can be implemented by pooled objects to be cleaned on release.
+type Resetter interface{ Reset() }
+
+// Stats counts pool activity.
+type Stats struct {
+	Gets        uint64
+	Puts        uint64
+	Failures    uint64 // Get calls that returned ErrExhausted
+	HighWater   int    // max objects simultaneously outstanding
+	Capacity    int
+	Outstanding int
+}
+
+// Pool is a fixed-capacity freelist of *T. All objects are allocated up
+// front; Get/Put never touch the Go heap, mirroring the "no allocation on
+// the data path" discipline of the original system.
+type Pool[T any] struct {
+	free  []*T
+	stats Stats
+	name  string
+}
+
+// New creates a pool of capacity n. If construct is non-nil it is invoked
+// once per object at creation time.
+func New[T any](name string, n int, construct func(*T)) *Pool[T] {
+	if n <= 0 {
+		panic(fmt.Sprintf("mempool %q: capacity must be positive, got %d", name, n))
+	}
+	p := &Pool[T]{
+		free: make([]*T, 0, n),
+		name: name,
+	}
+	p.stats.Capacity = n
+	backing := make([]T, n)
+	for i := n - 1; i >= 0; i-- {
+		obj := &backing[i]
+		if construct != nil {
+			construct(obj)
+		}
+		p.free = append(p.free, obj)
+	}
+	return p
+}
+
+// Name returns the pool's diagnostic name.
+func (p *Pool[T]) Name() string { return p.name }
+
+// Get pops an object from the freelist.
+func (p *Pool[T]) Get() (*T, error) {
+	if len(p.free) == 0 {
+		p.stats.Failures++
+		return nil, ErrExhausted
+	}
+	obj := p.free[len(p.free)-1]
+	p.free[len(p.free)-1] = nil
+	p.free = p.free[:len(p.free)-1]
+	p.stats.Gets++
+	p.stats.Outstanding++
+	if p.stats.Outstanding > p.stats.HighWater {
+		p.stats.HighWater = p.stats.Outstanding
+	}
+	return obj, nil
+}
+
+// MustGet is Get for callers that have sized the pool to never fail
+// (startup paths); it panics on exhaustion.
+func (p *Pool[T]) MustGet() *T {
+	obj, err := p.Get()
+	if err != nil {
+		panic(fmt.Sprintf("mempool %q: %v (capacity %d)", p.name, err, p.stats.Capacity))
+	}
+	return obj
+}
+
+// Put returns an object to the freelist. If the object implements Resetter
+// it is reset first. Returning more objects than the capacity panics: it
+// always indicates a double-free bug.
+func (p *Pool[T]) Put(obj *T) {
+	if obj == nil {
+		panic(fmt.Sprintf("mempool %q: Put(nil)", p.name))
+	}
+	if len(p.free) >= p.stats.Capacity {
+		panic(fmt.Sprintf("mempool %q: overflow on Put — double free?", p.name))
+	}
+	if r, ok := any(obj).(Resetter); ok {
+		r.Reset()
+	}
+	p.free = append(p.free, obj)
+	p.stats.Puts++
+	p.stats.Outstanding--
+}
+
+// Available returns the number of objects currently free.
+func (p *Pool[T]) Available() int { return len(p.free) }
+
+// Stats returns a snapshot of pool statistics.
+func (p *Pool[T]) Stats() Stats { return p.stats }

@@ -1,0 +1,205 @@
+package mempool
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+type thing struct {
+	n     int
+	reset bool
+}
+
+func (t *thing) Reset() { t.reset = true; t.n = 0 }
+
+func TestPoolGetPut(t *testing.T) {
+	p := New[thing]("t", 4, func(th *thing) { th.n = 7 })
+	if p.Available() != 4 {
+		t.Fatalf("Available = %d, want 4", p.Available())
+	}
+	a := p.MustGet()
+	if a.n != 7 {
+		t.Errorf("construct not applied: n=%d", a.n)
+	}
+	a.n = 42
+	p.Put(a)
+	if !a.reset {
+		t.Error("Put did not reset the object")
+	}
+	if p.Available() != 4 {
+		t.Errorf("Available after Put = %d, want 4", p.Available())
+	}
+}
+
+func TestPoolExhaustion(t *testing.T) {
+	p := New[thing]("t", 2, nil)
+	x := p.MustGet()
+	y := p.MustGet()
+	if _, err := p.Get(); err != ErrExhausted {
+		t.Errorf("Get on empty pool: err = %v, want ErrExhausted", err)
+	}
+	s := p.Stats()
+	if s.Failures != 1 {
+		t.Errorf("Failures = %d, want 1", s.Failures)
+	}
+	if s.HighWater != 2 || s.Outstanding != 2 {
+		t.Errorf("HighWater=%d Outstanding=%d, want 2,2", s.HighWater, s.Outstanding)
+	}
+	p.Put(x)
+	p.Put(y)
+	if p.Stats().Outstanding != 0 {
+		t.Errorf("Outstanding after returns = %d, want 0", p.Stats().Outstanding)
+	}
+}
+
+func TestPoolMustGetPanicsWhenEmpty(t *testing.T) {
+	p := New[thing]("t", 1, nil)
+	p.MustGet()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet on empty pool did not panic")
+		}
+	}()
+	p.MustGet()
+}
+
+func TestPoolDoubleFreePanics(t *testing.T) {
+	p := New[thing]("t", 1, nil)
+	x := p.MustGet()
+	p.Put(x)
+	defer func() {
+		if recover() == nil {
+			t.Error("overflowing Put did not panic")
+		}
+	}()
+	p.Put(x)
+}
+
+func TestPoolPutNilPanics(t *testing.T) {
+	p := New[thing]("t", 1, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("Put(nil) did not panic")
+		}
+	}()
+	p.Put(nil)
+}
+
+func TestPoolNeverHandsOutDuplicates(t *testing.T) {
+	// Property: a sequence of Get/Put operations never yields the same
+	// pointer twice while it is outstanding.
+	f := func(ops []bool) bool {
+		p := New[thing]("t", 8, nil)
+		out := map[*thing]bool{}
+		for _, get := range ops {
+			if get {
+				obj, err := p.Get()
+				if err != nil {
+					continue
+				}
+				if out[obj] {
+					return false // duplicate!
+				}
+				out[obj] = true
+			} else {
+				for o := range out {
+					p.Put(o)
+					delete(out, o)
+					break
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingFIFO(t *testing.T) {
+	r := NewRing[int](4)
+	for i := 1; i <= 4; i++ {
+		if !r.Push(i) {
+			t.Fatalf("Push(%d) failed", i)
+		}
+	}
+	if r.Push(5) {
+		t.Error("Push on full ring succeeded")
+	}
+	if r.Drops() != 1 {
+		t.Errorf("Drops = %d, want 1", r.Drops())
+	}
+	if v, ok := r.Peek(); !ok || v != 1 {
+		t.Errorf("Peek = %v,%v, want 1,true", v, ok)
+	}
+	for i := 1; i <= 4; i++ {
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Errorf("Pop = %v,%v, want %d,true", v, ok, i)
+		}
+	}
+	if _, ok := r.Pop(); ok {
+		t.Error("Pop on empty ring succeeded")
+	}
+}
+
+func TestRingRoundsUpToPowerOfTwo(t *testing.T) {
+	r := NewRing[int](5)
+	if r.Cap() != 8 {
+		t.Errorf("Cap = %d, want 8", r.Cap())
+	}
+}
+
+func TestRingWrapAround(t *testing.T) {
+	r := NewRing[int](4)
+	// Push/pop more than capacity to exercise index wrapping.
+	for i := 0; i < 100; i++ {
+		if !r.Push(i) {
+			t.Fatalf("Push(%d) failed", i)
+		}
+		v, ok := r.Pop()
+		if !ok || v != i {
+			t.Fatalf("Pop = %v,%v, want %d", v, ok, i)
+		}
+	}
+	if r.Len() != 0 {
+		t.Errorf("Len = %d, want 0", r.Len())
+	}
+}
+
+func TestRingOrderProperty(t *testing.T) {
+	f := func(vals []int) bool {
+		r := NewRing[int](len(vals) + 1)
+		for _, v := range vals {
+			r.Push(v)
+		}
+		for _, want := range vals {
+			got, ok := r.Pop()
+			if !ok || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkPoolGetPut(b *testing.B) {
+	p := New[thing]("bench", 64, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		obj := p.MustGet()
+		p.Put(obj)
+	}
+}
+
+func BenchmarkRingPushPop(b *testing.B) {
+	r := NewRing[int](1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Push(i)
+		r.Pop()
+	}
+}

@@ -1,0 +1,207 @@
+// Package netio is the simulation substitute for the DPDK packet IO layer:
+// multi-queue NIC ports with RSS, batched RX polling, line-rate accounting
+// and drop counting (paper §3.1).
+//
+// Arrival processes are lazy: instead of scheduling one event per packet
+// (15 Mpps would swamp the event queue), each RX queue computes how many
+// packets have arrived since its last poll and materialises only the ones
+// actually delivered in a burst. Deterministic arrival timestamps
+// (k-th packet at start + (k+1)/rate) make latency measurements exact.
+//
+// RSS is modelled as a uniform spread of flows over a port's RX queues,
+// which packet.FlowHash5's measured spread justifies; each queue owns
+// 1/nqueues of the port's offered rate.
+package netio
+
+import (
+	"fmt"
+	"math"
+
+	"nba/internal/mempool"
+	"nba/internal/packet"
+	"nba/internal/simtime"
+	"nba/internal/stats"
+	"nba/internal/sysinfo"
+)
+
+// Generator produces packet contents. Implementations live in internal/gen.
+type Generator interface {
+	// Fill writes the frame for the seq-th packet of the given port into p
+	// and sets any metadata it wants. It must be deterministic in
+	// (port, seq).
+	Fill(p *packet.Packet, port int, seq uint64)
+	// MeanFrameLen returns the average frame length in bytes, used to
+	// convert offered Gbps to packets per second.
+	MeanFrameLen() float64
+}
+
+// PacketPool is the mempool type RX queues draw buffers from.
+type PacketPool = mempool.Pool[packet.Packet]
+
+// NewPacketPool creates a packet mempool.
+func NewPacketPool(name string, n int) *PacketPool {
+	return mempool.New[packet.Packet](name, n, nil)
+}
+
+// RxQueue is one hardware RX queue of a port, owned by exactly one worker
+// (shared-nothing).
+type RxQueue struct {
+	Port  int
+	Queue int
+
+	gen      Generator
+	capacity int
+
+	// Arrival process state. The rate may change (workload shifts); each
+	// segment accumulates arrivals from its base.
+	rate      float64 // packets per second arriving at this queue
+	baseTime  simtime.Time
+	baseCount uint64       // arrivals before baseTime
+	stopTime  simtime.Time // no arrivals after this (0 = unbounded)
+
+	arrivalsSeen uint64 // arrivals accounted so far
+	delivered    uint64
+	dropped      uint64 // queue overflow drops
+	allocFailed  uint64 // mempool exhaustion drops
+}
+
+// NewRxQueue creates a queue fed by gen at the given per-queue packet rate.
+func NewRxQueue(port, queue int, gen Generator, ratePPS float64, capacity int) *RxQueue {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netio: rx queue capacity %d", capacity))
+	}
+	return &RxQueue{
+		Port: port, Queue: queue,
+		gen: gen, rate: ratePPS, capacity: capacity,
+	}
+}
+
+// SetRate changes the arrival rate from time now on (workload change).
+func (q *RxQueue) SetRate(now simtime.Time, ratePPS float64) {
+	q.baseCount = q.totalArrivals(now)
+	q.baseTime = now
+	q.rate = ratePPS
+}
+
+// SetStop stops arrivals at time t.
+func (q *RxQueue) SetStop(t simtime.Time) { q.stopTime = t }
+
+// SetGenerator swaps the traffic generator (workload-change experiments).
+// Sequence numbering continues, so determinism is preserved.
+func (q *RxQueue) SetGenerator(gen Generator) { q.gen = gen }
+
+// totalArrivals returns how many packets have arrived by time now.
+func (q *RxQueue) totalArrivals(now simtime.Time) uint64 {
+	if q.stopTime > 0 && now > q.stopTime {
+		now = q.stopTime
+	}
+	if now <= q.baseTime || q.rate <= 0 {
+		return q.baseCount
+	}
+	dt := (now - q.baseTime).Seconds()
+	return q.baseCount + uint64(dt*q.rate)
+}
+
+// arrivalTime returns when the k-th arrival (0-based, in the current rate
+// segment accounting) occurred. Exact for a constant-rate segment; after a
+// rate change it is exact for packets arriving in the new segment.
+func (q *RxQueue) arrivalTime(k uint64) simtime.Time {
+	if k < q.baseCount || q.rate <= 0 {
+		return q.baseTime
+	}
+	idx := k - q.baseCount
+	return q.baseTime + simtime.Time(math.Round(float64(idx+1)/q.rate*float64(simtime.Second)))
+}
+
+// Backlog returns the packets waiting in the queue at time now (also
+// advancing overflow accounting).
+func (q *RxQueue) Backlog(now simtime.Time) int {
+	q.advance(now)
+	return int(q.arrivalsSeen - q.delivered - q.dropped)
+}
+
+// advance brings arrival and overflow accounting up to now. Overflowing
+// packets are dropped from the head of the queue (oldest first), which
+// keeps delivered sequence numbers contiguous with arrival order.
+func (q *RxQueue) advance(now simtime.Time) {
+	q.arrivalsSeen = q.totalArrivals(now)
+	backlog := q.arrivalsSeen - q.delivered - q.dropped
+	if backlog > uint64(q.capacity) {
+		q.dropped += backlog - uint64(q.capacity)
+	}
+}
+
+// Poll delivers up to burst packets into out, drawing buffers from pool.
+// It returns the packets received. Buffer-pool exhaustion drops packets
+// (and counts them in AllocFailed).
+func (q *RxQueue) Poll(now simtime.Time, burst int, pool *PacketPool, out []*packet.Packet) []*packet.Packet {
+	q.advance(now)
+	backlog := q.arrivalsSeen - q.delivered - q.dropped
+	n := uint64(burst)
+	if n > backlog {
+		n = backlog
+	}
+	for i := uint64(0); i < n; i++ {
+		p, err := pool.Get()
+		if err != nil {
+			q.allocFailed++
+			q.dropped++ // the frame is lost, like an rx_nombuf drop
+			continue
+		}
+		seq := q.delivered + q.dropped
+		q.gen.Fill(p, q.Port, seq)
+		p.OrigLen = p.Length()
+		p.Arrival = q.arrivalTime(seq)
+		p.InPort = q.Port
+		p.Seq = seq
+		p.Anno[packet.AnnoTimestamp] = uint64(p.Arrival)
+		p.Anno[packet.AnnoInPort] = uint64(q.Port)
+		out = append(out, p)
+		q.delivered++
+	}
+	return out
+}
+
+// Stats returns (delivered, overflow+alloc drops, alloc failures).
+func (q *RxQueue) Stats() (delivered, dropped, allocFailed uint64) {
+	return q.delivered, q.dropped, q.allocFailed
+}
+
+// Port is one simulated NIC port: RX queues plus TX accounting.
+type Port struct {
+	HW  sysinfo.Port
+	Rx  []*RxQueue
+	TxM stats.Meter
+}
+
+// NewPort creates a port with one RX queue per worker on its socket,
+// splitting offeredPPS evenly (the RSS model).
+func NewPort(hw sysinfo.Port, nqueues int, gen Generator, offeredPPS float64, queueCap int) *Port {
+	p := &Port{HW: hw}
+	for qi := 0; qi < nqueues; qi++ {
+		p.Rx = append(p.Rx, NewRxQueue(hw.ID, qi, gen, offeredPPS/float64(nqueues), queueCap))
+	}
+	return p
+}
+
+// Transmit accounts one outgoing frame.
+func (p *Port) Transmit(frameLen int) {
+	p.TxM.Counter.Add(1, frameLen+sysinfo.WireOverheadBytes)
+}
+
+// RxStats sums the port's queue statistics.
+func (p *Port) RxStats() (delivered, dropped, allocFailed uint64) {
+	for _, q := range p.Rx {
+		d, dr, af := q.Stats()
+		delivered += d
+		dropped += dr
+		allocFailed += af
+	}
+	return
+}
+
+// OfferedPPS converts an offered wire-rate (bits per second) into packets
+// per second for the generator's frame-size mix.
+func OfferedPPS(offeredBps float64, gen Generator) float64 {
+	return offeredBps / ((gen.MeanFrameLen() + sysinfo.WireOverheadBytes) * 8)
+}

@@ -1,0 +1,190 @@
+package netio
+
+import (
+	"math"
+	"testing"
+
+	"nba/internal/gen"
+	"nba/internal/packet"
+	"nba/internal/simtime"
+	"nba/internal/sysinfo"
+)
+
+func newQueue(rate float64, capacity int) (*RxQueue, *PacketPool) {
+	g := &gen.UDP4{FrameLen: 64, Flows: 64, Seed: 1}
+	return NewRxQueue(0, 0, g, rate, capacity), NewPacketPool("test", 8192)
+}
+
+func TestRxQueueArrivalRate(t *testing.T) {
+	// 1 Mpps for 1 ms => 1000 packets.
+	q, pool := newQueue(1e6, 4096)
+	var out []*packet.Packet
+	out = q.Poll(simtime.Millisecond, 4096, pool, out)
+	if len(out) != 1000 {
+		t.Fatalf("received %d packets, want 1000", len(out))
+	}
+	// Timestamps are evenly spaced at 1us.
+	for i, p := range out {
+		want := simtime.Time(i+1) * simtime.Microsecond
+		if p.Arrival != want {
+			t.Fatalf("packet %d arrival %v, want %v", i, p.Arrival, want)
+		}
+		if p.Seq != uint64(i) || p.InPort != 0 {
+			t.Fatalf("packet %d metadata wrong: seq=%d port=%d", i, p.Seq, p.InPort)
+		}
+	}
+	for _, p := range out {
+		pool.Put(p)
+	}
+}
+
+func TestRxQueueBurstLimit(t *testing.T) {
+	q, pool := newQueue(1e6, 4096)
+	out := q.Poll(simtime.Millisecond, 64, pool, nil)
+	if len(out) != 64 {
+		t.Fatalf("burst returned %d, want 64", len(out))
+	}
+	if got := q.Backlog(simtime.Millisecond); got != 936 {
+		t.Errorf("backlog = %d, want 936", got)
+	}
+	for _, p := range out {
+		pool.Put(p)
+	}
+}
+
+func TestRxQueueOverflowDrops(t *testing.T) {
+	q, pool := newQueue(1e6, 100) // tiny queue
+	// After 10 ms without polling, 10000 packets arrived into 100 slots.
+	if got := q.Backlog(10 * simtime.Millisecond); got != 100 {
+		t.Errorf("backlog = %d, want 100 (capacity)", got)
+	}
+	_, dropped, _ := q.Stats()
+	if dropped != 9900 {
+		t.Errorf("dropped = %d, want 9900", dropped)
+	}
+	out := q.Poll(10*simtime.Millisecond, 4096, pool, nil)
+	if len(out) != 100 {
+		t.Errorf("delivered %d, want 100", len(out))
+	}
+	for _, p := range out {
+		pool.Put(p)
+	}
+}
+
+func TestRxQueuePoolExhaustion(t *testing.T) {
+	g := &gen.UDP4{FrameLen: 64, Seed: 1}
+	q := NewRxQueue(0, 0, g, 1e6, 4096)
+	pool := NewPacketPool("tiny", 10)
+	out := q.Poll(simtime.Millisecond, 64, pool, nil)
+	if len(out) != 10 {
+		t.Errorf("delivered %d, want 10 (pool size)", len(out))
+	}
+	_, _, allocFailed := q.Stats()
+	if allocFailed != 54 {
+		t.Errorf("allocFailed = %d, want 54", allocFailed)
+	}
+}
+
+func TestRxQueueRateChange(t *testing.T) {
+	q, pool := newQueue(1e6, 100000)
+	out := q.Poll(simtime.Millisecond, 100000, pool, nil) // 1000 pkts
+	for _, p := range out {
+		pool.Put(p)
+	}
+	q.SetRate(simtime.Millisecond, 2e6)
+	out = q.Poll(2*simtime.Millisecond, 100000, pool, nil)
+	if len(out) != 2000 {
+		t.Errorf("after rate change received %d, want 2000", len(out))
+	}
+	// New-segment timestamps restart from the change point.
+	if first := out[0].Arrival; first <= simtime.Millisecond {
+		t.Errorf("first new-rate arrival %v, want > 1ms", first)
+	}
+	for _, p := range out {
+		pool.Put(p)
+	}
+}
+
+func TestRxQueueStopTime(t *testing.T) {
+	q, pool := newQueue(1e6, 100000)
+	q.SetStop(simtime.Millisecond)
+	out := q.Poll(5*simtime.Millisecond, 100000, pool, nil)
+	if len(out) != 1000 {
+		t.Errorf("received %d after stop, want 1000", len(out))
+	}
+	for _, p := range out {
+		pool.Put(p)
+	}
+}
+
+func TestRxQueueZeroRate(t *testing.T) {
+	q, pool := newQueue(0, 100)
+	if out := q.Poll(simtime.Second, 64, pool, nil); len(out) != 0 {
+		t.Errorf("zero-rate queue delivered %d packets", len(out))
+	}
+}
+
+func TestPortQueueSplit(t *testing.T) {
+	g := &gen.UDP4{FrameLen: 64, Seed: 2}
+	hw := sysinfo.Port{ID: 3, Socket: 0, LineRateBps: 10e9}
+	p := NewPort(hw, 7, g, 14e6, 4096)
+	if len(p.Rx) != 7 {
+		t.Fatalf("%d queues, want 7", len(p.Rx))
+	}
+	pool := NewPacketPool("t", 65536)
+	total := 0
+	for _, q := range p.Rx {
+		out := q.Poll(simtime.Millisecond, 65536, pool, nil)
+		total += len(out)
+		for _, pk := range out {
+			pool.Put(pk)
+		}
+	}
+	if total != 7*2000 {
+		t.Errorf("total delivered %d, want 14000 (14 Mpps over 1 ms)", total)
+	}
+}
+
+func TestPortTransmitAccounting(t *testing.T) {
+	hw := sysinfo.Port{ID: 0, Socket: 0, LineRateBps: 10e9}
+	p := NewPort(hw, 1, &gen.UDP4{FrameLen: 64, Seed: 1}, 0, 64)
+	p.TxM.Mark(0)
+	for i := 0; i < 1000; i++ {
+		p.Transmit(64)
+	}
+	pps, bps := p.TxM.RateSince(simtime.Millisecond)
+	if math.Abs(pps-1e6) > 1 {
+		t.Errorf("tx pps = %v, want 1e6", pps)
+	}
+	// 84 wire bytes per frame.
+	if math.Abs(bps-672e6) > 1 {
+		t.Errorf("tx bps = %v, want 672e6", bps)
+	}
+}
+
+func TestOfferedPPS(t *testing.T) {
+	g := &gen.UDP4{FrameLen: 64}
+	pps := OfferedPPS(10e9, g)
+	if math.Abs(pps-14_880_952.38) > 1 {
+		t.Errorf("OfferedPPS = %v, want 14.88M", pps)
+	}
+}
+
+func TestGeneratedPacketsParseAndSpread(t *testing.T) {
+	// End-to-end sanity: polled packets are valid IPv4 and carry the RX
+	// timestamp annotation.
+	q, pool := newQueue(1e6, 4096)
+	out := q.Poll(100*simtime.Microsecond, 256, pool, nil)
+	if len(out) != 100 {
+		t.Fatalf("got %d packets", len(out))
+	}
+	for _, p := range out {
+		if err := packet.CheckIPv4(p.Data()[packet.EthHdrLen:]); err != nil {
+			t.Fatalf("generated packet invalid: %v", err)
+		}
+		if p.Anno[packet.AnnoTimestamp] != uint64(p.Arrival) {
+			t.Fatal("timestamp annotation not set")
+		}
+		pool.Put(p)
+	}
+}

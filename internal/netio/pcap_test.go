@@ -1,0 +1,70 @@
+package netio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"nba/internal/simtime"
+)
+
+func TestPcapRoundTrip(t *testing.T) {
+	in := []CapturedPacket{
+		{Time: 1500 * simtime.Microsecond, Data: []byte{1, 2, 3, 4, 5}},
+		{Time: 2*simtime.Second + 7*simtime.Microsecond, Data: bytes.Repeat([]byte{0xAB}, 64)},
+	}
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadPcap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("read %d packets, want 2", len(out))
+	}
+	for i := range in {
+		if !bytes.Equal(out[i].Data, in[i].Data) {
+			t.Errorf("packet %d data mismatch", i)
+		}
+		// Timestamps round to microseconds.
+		if out[i].Time != in[i].Time {
+			t.Errorf("packet %d time %v, want %v", i, out[i].Time, in[i].Time)
+		}
+	}
+}
+
+func TestPcapHeaderFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WritePcap(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	hdr := buf.Bytes()
+	if len(hdr) != 24 {
+		t.Fatalf("header length %d, want 24", len(hdr))
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != 0xa1b2c3d4 {
+		t.Error("bad magic")
+	}
+	if binary.LittleEndian.Uint32(hdr[20:24]) != LinkTypeEthernet {
+		t.Error("bad link type")
+	}
+}
+
+func TestPcapReadErrors(t *testing.T) {
+	if _, err := ReadPcap(bytes.NewReader([]byte{1, 2})); err == nil {
+		t.Error("short header accepted")
+	}
+	var buf bytes.Buffer
+	WritePcap(&buf, []CapturedPacket{{Time: 0, Data: []byte{1}}})
+	data := buf.Bytes()
+	data[0] ^= 0xff
+	if _, err := ReadPcap(bytes.NewReader(data)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	data[0] ^= 0xff
+	if _, err := ReadPcap(bytes.NewReader(data[:len(data)-1])); err == nil {
+		t.Error("truncated record accepted")
+	}
+}

@@ -1,0 +1,191 @@
+// Package offload implements the worker-side offloading machinery: batch
+// aggregation ahead of kernel launches and datablock-based copy accounting
+// (paper §3.3).
+//
+// The paper aggregates up to 32 packet batches per device task because GPU
+// efficiency needs thousands of packets, far more than the 64-packet
+// computation batch. This package tracks pending aggregates per offloadable
+// chain, computes the host<->device byte volumes from the chain's declared
+// datablocks (deduplicated by name, which implements the datablock-reuse
+// optimisation the paper proposes), and sums the chain's kernel costs.
+package offload
+
+import (
+	"fmt"
+
+	"nba/internal/batch"
+	"nba/internal/element"
+	"nba/internal/graph"
+	"nba/internal/packet"
+	"nba/internal/simtime"
+	"nba/internal/sysinfo"
+)
+
+// Pending is one under-construction device task.
+type Pending struct {
+	Head   *graph.Node
+	Chain  []*graph.Node
+	Resume int
+	Device int // device annotation value (device index + 1)
+
+	Batches  []*batch.Batch
+	NPkts    int
+	H2DBytes int
+	D2HBytes int
+	// KernelBytes tracks, per chain element, the payload bytes its kernel
+	// touches (for per-byte kernel cost terms).
+	KernelBytes []int
+
+	FirstAdd simtime.Time
+
+	// datablocks is the chain's deduplicated datablock set.
+	datablocks []element.Datablock
+}
+
+// KernelTime returns the summed kernel execution time for the aggregate.
+func (p *Pending) KernelTime(cm *sysinfo.CostModel) simtime.Time {
+	var total simtime.Time
+	for i, n := range p.Chain {
+		kc := cm.KernelCostOf(n.Elem.Class())
+		total += kc.Duration(p.NPkts, p.KernelBytes[i])
+	}
+	return total
+}
+
+// Aggregator manages pending aggregates for one worker.
+type Aggregator struct {
+	cm      *sysinfo.CostModel
+	pending map[int]*Pending // keyed by head node ID
+	heads   []int            // deterministic iteration order
+}
+
+// NewAggregator creates an empty aggregator.
+func NewAggregator(cm *sysinfo.CostModel) *Aggregator {
+	return &Aggregator{cm: cm, pending: map[int]*Pending{}}
+}
+
+// Add appends a batch to the aggregate for the given chain. It returns a
+// non-nil Pending when the aggregate reached the configured limit and must
+// be flushed now.
+func (a *Aggregator) Add(now simtime.Time, head *graph.Node, chain []*graph.Node, resume int, b *batch.Batch) (*Pending, error) {
+	dev := int(b.Anno[batch.AnnoDevice])
+	p := a.pending[head.ID]
+	if p == nil {
+		p = &Pending{
+			Head: head, Chain: chain, Resume: resume, Device: dev,
+			FirstAdd: now, KernelBytes: make([]int, len(chain)),
+		}
+		seen := map[string]element.Datablock{}
+		for _, n := range chain {
+			off := n.Offloadable()
+			if off == nil {
+				return nil, fmt.Errorf("offload: node %s in chain is not offloadable", n.Name)
+			}
+			for _, db := range off.Datablocks() {
+				if prev, dup := seen[db.Name]; dup {
+					// Shared datablock: widen directions, copy bytes once.
+					prev.H2D = prev.H2D || db.H2D
+					prev.D2H = prev.D2H || db.D2H
+					seen[db.Name] = prev
+					continue
+				}
+				seen[db.Name] = db
+			}
+		}
+		for _, name := range sortedNames(seen) {
+			p.datablocks = append(p.datablocks, seen[name])
+		}
+		a.pending[head.ID] = p
+		a.heads = append(a.heads, head.ID)
+	}
+	if p.Device != dev {
+		return nil, fmt.Errorf("offload: aggregate for %s mixes devices %d and %d", head.Name, p.Device, dev)
+	}
+	if p.Resume != resume {
+		return nil, fmt.Errorf("offload: aggregate for %s mixes resume points %d and %d", head.Name, p.Resume, resume)
+	}
+
+	p.Batches = append(p.Batches, b)
+	return a.account(p, b), nil
+}
+
+// account updates byte/packet tallies for a newly added batch and reports
+// the Pending if it is now full.
+func (a *Aggregator) account(p *Pending, b *batch.Batch) *Pending {
+	b.ForEachLive(func(i int, pkt *packet.Packet) {
+		frameLen := pkt.Length()
+		p.NPkts++
+		for _, db := range p.datablocks {
+			n := db.BytesFor(frameLen)
+			if db.H2D {
+				p.H2DBytes += n
+			}
+			if db.D2H {
+				p.D2HBytes += n
+			}
+		}
+		for i, node := range p.Chain {
+			for _, db := range node.Offloadable().Datablocks() {
+				if db.H2D {
+					p.KernelBytes[i] += db.BytesFor(frameLen)
+				}
+			}
+		}
+	})
+	if len(p.Batches) >= a.cm.MaxAggBatches {
+		a.remove(p.Head.ID)
+		return p
+	}
+	return nil
+}
+
+// Expired removes and returns aggregates older than MaxAggDelay.
+func (a *Aggregator) Expired(now simtime.Time) []*Pending {
+	var out []*Pending
+	for _, id := range append([]int(nil), a.heads...) {
+		p := a.pending[id]
+		if p != nil && now-p.FirstAdd >= a.cm.MaxAggDelay {
+			a.remove(id)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// TakeAll removes and returns every pending aggregate (idle flush).
+func (a *Aggregator) TakeAll() []*Pending {
+	var out []*Pending
+	for _, id := range append([]int(nil), a.heads...) {
+		if p := a.pending[id]; p != nil {
+			a.remove(id)
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// PendingCount returns the number of open aggregates.
+func (a *Aggregator) PendingCount() int { return len(a.pending) }
+
+func (a *Aggregator) remove(id int) {
+	delete(a.pending, id)
+	for i, h := range a.heads {
+		if h == id {
+			a.heads = append(a.heads[:i], a.heads[i+1:]...)
+			break
+		}
+	}
+}
+
+func sortedNames(m map[string]element.Datablock) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	return names
+}

@@ -1,0 +1,193 @@
+package offload
+
+import (
+	"testing"
+
+	"nba/internal/batch"
+	"nba/internal/conflang"
+	"nba/internal/element"
+	"nba/internal/graph"
+	"nba/internal/packet"
+	"nba/internal/rng"
+	"nba/internal/simtime"
+	"nba/internal/sysinfo"
+)
+
+// twoKernel elements share a "payload" datablock; only the first also reads
+// a private header block.
+type offElemA struct{ element.Base }
+
+func (*offElemA) Class() string                                             { return "OffA" }
+func (*offElemA) Process(ctx *element.ProcContext, p *packet.Packet) int    { return 0 }
+func (*offElemA) ProcessOffloaded(ctx *element.ProcContext, b *batch.Batch) {}
+func (*offElemA) Datablocks() []element.Datablock {
+	return []element.Datablock{
+		{Name: "payload", Kind: element.WholePacket, Offset: 14, H2D: true},
+		{Name: "hdr", Kind: element.PartialPacket, Offset: 14, Length: 20, H2D: true},
+	}
+}
+
+type offElemB struct{ element.Base }
+
+func (*offElemB) Class() string                                             { return "OffB" }
+func (*offElemB) Process(ctx *element.ProcContext, p *packet.Packet) int    { return 0 }
+func (*offElemB) ProcessOffloaded(ctx *element.ProcContext, b *batch.Batch) {}
+func (*offElemB) Datablocks() []element.Datablock {
+	return []element.Datablock{
+		{Name: "payload", Kind: element.WholePacket, Offset: 14, H2D: true, D2H: true},
+	}
+}
+
+func init() {
+	element.Register("OffA", func() element.Element { return &offElemA{} })
+	element.Register("OffB", func() element.Element { return &offElemB{} })
+}
+
+func buildChain(t *testing.T) (*graph.Graph, *graph.Node, []*graph.Node, int) {
+	t.Helper()
+	cfg, err := conflang.Parse(`FromInput() -> OffA() -> OffB() -> ToOutput();`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx := &element.ConfigContext{NodeLocal: element.NewNodeLocal(), NumPorts: 4, Rand: rng.New(1)}
+	g, err := graph.Build(cfg, cctx, sysinfo.Default(), graph.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := g.NodeByName("OffA@2")
+	if head == nil {
+		for _, n := range g.Nodes {
+			if n.Elem.Class() == "OffA" {
+				head = n
+			}
+		}
+	}
+	chain, resume := g.OffloadChainAt(head)
+	if len(chain) != 2 {
+		t.Fatalf("chain length %d, want 2", len(chain))
+	}
+	return g, head, chain, resume
+}
+
+func mkDevBatch(n, frameLen int) *batch.Batch {
+	b := &batch.Batch{}
+	for i := 0; i < n; i++ {
+		p := &packet.Packet{}
+		ln := packet.BuildUDP4(p.Buf(), [6]byte{2}, [6]byte{4}, uint32(i), uint32(i*7), 1, 2, frameLen)
+		p.SetLength(ln)
+		b.Add(p)
+	}
+	b.Anno[batch.AnnoDevice] = 1
+	return b
+}
+
+func TestAggregatorByteAccounting(t *testing.T) {
+	_, head, chain, resume := buildChain(t)
+	agg := NewAggregator(sysinfo.Default())
+	b := mkDevBatch(10, 64)
+	full, err := agg.Add(0, head, chain, resume, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != nil {
+		t.Fatal("one batch reported full (limit is 32)")
+	}
+	if agg.PendingCount() != 1 {
+		t.Fatalf("PendingCount = %d", agg.PendingCount())
+	}
+	ps := agg.TakeAll()
+	if len(ps) != 1 {
+		t.Fatalf("TakeAll returned %d", len(ps))
+	}
+	p := ps[0]
+	if p.NPkts != 10 {
+		t.Errorf("NPkts = %d, want 10", p.NPkts)
+	}
+	// Deduplicated datablocks: payload (50 B/pkt, H2D+D2H) + hdr (20 B/pkt, H2D).
+	wantH2D := 10 * (50 + 20)
+	wantD2H := 10 * 50
+	if p.H2DBytes != wantH2D {
+		t.Errorf("H2DBytes = %d, want %d (payload datablock copied once despite two users)", p.H2DBytes, wantH2D)
+	}
+	if p.D2HBytes != wantD2H {
+		t.Errorf("D2HBytes = %d, want %d", p.D2HBytes, wantD2H)
+	}
+	if p.KernelTime(sysinfo.Default()) <= 0 {
+		t.Error("kernel time not positive")
+	}
+}
+
+func TestAggregatorFullFlush(t *testing.T) {
+	_, head, chain, resume := buildChain(t)
+	cm := sysinfo.Default()
+	agg := NewAggregator(cm)
+	var flushed *Pending
+	for i := 0; i < cm.MaxAggBatches; i++ {
+		p, err := agg.Add(0, head, chain, resume, mkDevBatch(4, 64))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != nil {
+			if i != cm.MaxAggBatches-1 {
+				t.Fatalf("flushed at batch %d, want %d", i, cm.MaxAggBatches-1)
+			}
+			flushed = p
+		}
+	}
+	if flushed == nil {
+		t.Fatal("aggregate never flushed at limit")
+	}
+	if len(flushed.Batches) != cm.MaxAggBatches || flushed.NPkts != 4*cm.MaxAggBatches {
+		t.Errorf("flushed %d batches %d pkts", len(flushed.Batches), flushed.NPkts)
+	}
+	if agg.PendingCount() != 0 {
+		t.Error("pending not cleared after flush")
+	}
+}
+
+func TestAggregatorExpiry(t *testing.T) {
+	_, head, chain, resume := buildChain(t)
+	cm := sysinfo.Default()
+	agg := NewAggregator(cm)
+	if _, err := agg.Add(simtime.Microsecond, head, chain, resume, mkDevBatch(2, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if got := agg.Expired(simtime.Microsecond + cm.MaxAggDelay/2); len(got) != 0 {
+		t.Errorf("expired too early: %d", len(got))
+	}
+	got := agg.Expired(simtime.Microsecond + cm.MaxAggDelay)
+	if len(got) != 1 {
+		t.Fatalf("expired = %d, want 1", len(got))
+	}
+	if agg.PendingCount() != 0 {
+		t.Error("expired aggregate still pending")
+	}
+}
+
+func TestAggregatorRejectsMixedDevices(t *testing.T) {
+	_, head, chain, resume := buildChain(t)
+	agg := NewAggregator(sysinfo.Default())
+	b1 := mkDevBatch(2, 64)
+	if _, err := agg.Add(0, head, chain, resume, b1); err != nil {
+		t.Fatal(err)
+	}
+	b2 := mkDevBatch(2, 64)
+	b2.Anno[batch.AnnoDevice] = 2
+	if _, err := agg.Add(0, head, chain, resume, b2); err == nil {
+		t.Error("mixed-device aggregate accepted")
+	}
+}
+
+func TestKernelTimeScalesWithPackets(t *testing.T) {
+	_, head, chain, resume := buildChain(t)
+	cm := sysinfo.Default()
+	agg := NewAggregator(cm)
+	agg.Add(0, head, chain, resume, mkDevBatch(8, 64))
+	small := agg.TakeAll()[0].KernelTime(cm)
+	agg2 := NewAggregator(cm)
+	agg2.Add(0, head, chain, resume, mkDevBatch(64, 64))
+	large := agg2.TakeAll()[0].KernelTime(cm)
+	if large <= small {
+		t.Errorf("kernel time did not grow with packets: %v vs %v", small, large)
+	}
+}

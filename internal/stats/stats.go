@@ -1,0 +1,300 @@
+// Package stats provides the measurement primitives used by the framework
+// and the experiment harness: counters, interval throughput meters, moving
+// averages (for the adaptive load balancer) and latency histograms (for the
+// paper's latency CDFs, Figure 14).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nba/internal/simtime"
+)
+
+// TrafficCounter accumulates packet and wire-byte counts.
+type TrafficCounter struct {
+	Packets   uint64
+	WireBytes uint64 // frame bytes + per-frame wire overhead
+	Drops     uint64
+}
+
+// Add records n packets of the given per-frame wire bytes.
+func (c *TrafficCounter) Add(pkts int, wireBytes int) {
+	c.Packets += uint64(pkts)
+	c.WireBytes += uint64(wireBytes)
+}
+
+// Meter measures throughput over an interval of virtual time.
+type Meter struct {
+	Counter   TrafficCounter
+	markTime  simtime.Time
+	markPkts  uint64
+	markBytes uint64
+	endTime   simtime.Time
+	endPkts   uint64
+	endBytes  uint64
+}
+
+// Mark starts a measurement interval at time now.
+func (m *Meter) Mark(now simtime.Time) {
+	m.markTime = now
+	m.markPkts = m.Counter.Packets
+	m.markBytes = m.Counter.WireBytes
+}
+
+// RateSince returns (pps, bps) over the interval from the last Mark to now.
+func (m *Meter) RateSince(now simtime.Time) (pps, bps float64) {
+	dt := (now - m.markTime).Seconds()
+	if dt <= 0 {
+		return 0, 0
+	}
+	pps = float64(m.Counter.Packets-m.markPkts) / dt
+	bps = float64(m.Counter.WireBytes-m.markBytes) * 8 / dt
+	return pps, bps
+}
+
+// End freezes the measurement window at time now. Traffic counted after End
+// (e.g. packets drained from queues after arrivals stop) is excluded from
+// RateWindow.
+func (m *Meter) End(now simtime.Time) {
+	m.endTime = now
+	m.endPkts = m.Counter.Packets
+	m.endBytes = m.Counter.WireBytes
+}
+
+// RateWindow returns (pps, bps) over the Mark..End window. It requires both
+// Mark and End to have been called.
+func (m *Meter) RateWindow() (pps, bps float64) {
+	dt := (m.endTime - m.markTime).Seconds()
+	if dt <= 0 {
+		return 0, 0
+	}
+	pps = float64(m.endPkts-m.markPkts) / dt
+	bps = float64(m.endBytes-m.markBytes) * 8 / dt
+	return pps, bps
+}
+
+// MovingAverage is a fixed-window mean, used by the adaptive load balancer
+// to smooth throughput observations (paper §3.4: history size 16384).
+type MovingAverage struct {
+	buf  []float64
+	sum  float64
+	next int
+	full bool
+}
+
+// NewMovingAverage creates a window of size n.
+func NewMovingAverage(n int) *MovingAverage {
+	if n <= 0 {
+		panic(fmt.Sprintf("stats: moving average window must be positive, got %d", n))
+	}
+	return &MovingAverage{buf: make([]float64, n)}
+}
+
+// Push adds a sample.
+func (m *MovingAverage) Push(v float64) {
+	m.sum -= m.buf[m.next]
+	m.buf[m.next] = v
+	m.sum += v
+	m.next++
+	if m.next == len(m.buf) {
+		m.next = 0
+		m.full = true
+	}
+}
+
+// Mean returns the window mean (over the filled portion).
+func (m *MovingAverage) Mean() float64 {
+	n := m.Count()
+	if n == 0 {
+		return 0
+	}
+	return m.sum / float64(n)
+}
+
+// Reset discards all samples.
+func (m *MovingAverage) Reset() {
+	for i := range m.buf {
+		m.buf[i] = 0
+	}
+	m.sum = 0
+	m.next = 0
+	m.full = false
+}
+
+// Count returns the number of samples in the window.
+func (m *MovingAverage) Count() int {
+	if m.full {
+		return len(m.buf)
+	}
+	return m.next
+}
+
+// Hist is a latency histogram with logarithmic buckets spanning 100 ns to
+// ~10 s, sufficient for the paper's microsecond-to-millisecond CDFs.
+type Hist struct {
+	buckets [bucketCount]uint64
+	count   uint64
+	sum     simtime.Time
+	min     simtime.Time
+	max     simtime.Time
+}
+
+const (
+	bucketCount = 256
+	histBase    = 100 * simtime.Nanosecond
+	// histGrowth is chosen so bucketCount buckets cover ~8 decades:
+	// each bucket is ~7.5% wider than the previous.
+	histGrowth = 1.075
+)
+
+var bucketBounds = func() [bucketCount]simtime.Time {
+	var b [bucketCount]simtime.Time
+	v := float64(histBase)
+	for i := range b {
+		b[i] = simtime.Time(v)
+		v *= histGrowth
+	}
+	return b
+}()
+
+func bucketOf(t simtime.Time) int {
+	if t <= histBase {
+		return 0
+	}
+	i := int(math.Log(float64(t)/float64(histBase)) / math.Log(histGrowth))
+	if i >= bucketCount {
+		return bucketCount - 1
+	}
+	// Guard against fp rounding at bucket edges.
+	for i > 0 && bucketBounds[i] > t {
+		i--
+	}
+	for i < bucketCount-1 && bucketBounds[i+1] <= t {
+		i++
+	}
+	return i
+}
+
+// Record adds one latency observation.
+func (h *Hist) Record(t simtime.Time) {
+	if t < 0 {
+		t = 0
+	}
+	h.buckets[bucketOf(t)]++
+	h.count++
+	h.sum += t
+	if h.count == 1 || t < h.min {
+		h.min = t
+	}
+	if t > h.max {
+		h.max = t
+	}
+}
+
+// Reset discards all observations.
+func (h *Hist) Reset() { *h = Hist{} }
+
+// Count returns the number of observations.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Min returns the smallest observation.
+func (h *Hist) Min() simtime.Time { return h.min }
+
+// Max returns the largest observation.
+func (h *Hist) Max() simtime.Time { return h.max }
+
+// Mean returns the average observation.
+func (h *Hist) Mean() simtime.Time {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / simtime.Time(h.count)
+}
+
+// Percentile returns an upper bound on the p-th percentile (0 < p <= 100):
+// the upper edge of the bucket containing it.
+func (h *Hist) Percentile(p float64) simtime.Time {
+	if h.count == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(p / 100 * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			if i+1 < bucketCount {
+				return bucketBounds[i+1]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// CDFPoint is one point of a cumulative distribution dump.
+type CDFPoint struct {
+	Latency simtime.Time
+	Frac    float64
+}
+
+// CDF returns the cumulative distribution as (bucket upper bound, fraction)
+// points, skipping empty leading/trailing regions.
+func (h *Hist) CDF() []CDFPoint {
+	if h.count == 0 {
+		return nil
+	}
+	var pts []CDFPoint
+	var cum uint64
+	for i, c := range h.buckets {
+		if c == 0 && cum == 0 {
+			continue
+		}
+		cum += c
+		upper := h.max
+		if i+1 < bucketCount {
+			upper = bucketBounds[i+1]
+		}
+		pts = append(pts, CDFPoint{Latency: upper, Frac: float64(cum) / float64(h.count)})
+		if cum == h.count {
+			break
+		}
+	}
+	return pts
+}
+
+// Merge adds the contents of other into h.
+func (h *Hist) Merge(other *Hist) {
+	if other.count == 0 {
+		return
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Gbps converts bits per second to Gbps for display.
+func Gbps(bps float64) float64 { return bps / 1e9 }
+
+// SortedKeys returns the sorted keys of a string-keyed map, for stable
+// report output.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

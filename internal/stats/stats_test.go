@@ -1,0 +1,192 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nba/internal/simtime"
+)
+
+func TestMeterRate(t *testing.T) {
+	var m Meter
+	m.Mark(0)
+	// 1000 packets of 84 wire bytes over 1 ms => 1 Mpps, 672 Mbps.
+	for i := 0; i < 1000; i++ {
+		m.Counter.Add(1, 84)
+	}
+	pps, bps := m.RateSince(simtime.Millisecond)
+	if math.Abs(pps-1e6) > 1 {
+		t.Errorf("pps = %v, want 1e6", pps)
+	}
+	if math.Abs(bps-672e6) > 1 {
+		t.Errorf("bps = %v, want 672e6", bps)
+	}
+}
+
+func TestMeterRateZeroInterval(t *testing.T) {
+	var m Meter
+	m.Mark(5)
+	if pps, bps := m.RateSince(5); pps != 0 || bps != 0 {
+		t.Error("zero interval should yield zero rates")
+	}
+}
+
+func TestMeterMarkExcludesHistory(t *testing.T) {
+	var m Meter
+	m.Counter.Add(500, 500*84)
+	m.Mark(simtime.Second)
+	m.Counter.Add(100, 100*84)
+	pps, _ := m.RateSince(simtime.Second + simtime.Millisecond)
+	if math.Abs(pps-1e5) > 1 {
+		t.Errorf("pps = %v, want 1e5 (pre-Mark traffic excluded)", pps)
+	}
+}
+
+func TestMovingAverage(t *testing.T) {
+	m := NewMovingAverage(4)
+	if m.Mean() != 0 || m.Count() != 0 {
+		t.Error("empty window not zero")
+	}
+	m.Push(2)
+	m.Push(4)
+	if m.Mean() != 3 || m.Count() != 2 {
+		t.Errorf("Mean=%v Count=%d, want 3,2", m.Mean(), m.Count())
+	}
+	m.Push(6)
+	m.Push(8)
+	m.Push(100) // evicts the 2
+	if m.Count() != 4 {
+		t.Errorf("Count = %d, want 4", m.Count())
+	}
+	if want := (4 + 6 + 8 + 100) / 4.0; m.Mean() != want {
+		t.Errorf("Mean = %v, want %v", m.Mean(), want)
+	}
+}
+
+func TestMovingAverageInvalidWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero window did not panic")
+		}
+	}()
+	NewMovingAverage(0)
+}
+
+func TestHistBasics(t *testing.T) {
+	var h Hist
+	h.Record(10 * simtime.Microsecond)
+	h.Record(20 * simtime.Microsecond)
+	h.Record(30 * simtime.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+	if h.Min() != 10*simtime.Microsecond || h.Max() != 30*simtime.Microsecond {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if h.Mean() != 20*simtime.Microsecond {
+		t.Errorf("Mean = %v, want 20us", h.Mean())
+	}
+}
+
+func TestHistPercentileAccuracy(t *testing.T) {
+	// With 7.5% bucket growth, percentiles must be within ~10% of truth.
+	var h Hist
+	for i := 1; i <= 1000; i++ {
+		h.Record(simtime.Time(i) * simtime.Microsecond)
+	}
+	for _, p := range []float64{50, 90, 99, 99.9} {
+		want := p / 100 * 1000 // true percentile in us
+		got := h.Percentile(p).Micros()
+		if got < want*0.95 || got > want*1.15 {
+			t.Errorf("p%g = %.1fus, want within [%.1f, %.1f]", p, got, want*0.95, want*1.15)
+		}
+	}
+}
+
+func TestHistCDFMonotone(t *testing.T) {
+	var h Hist
+	for i := 0; i < 500; i++ {
+		h.Record(simtime.Time(1+i*i) * simtime.Microsecond)
+	}
+	pts := h.CDF()
+	if len(pts) == 0 {
+		t.Fatal("empty CDF")
+	}
+	prev := 0.0
+	for _, p := range pts {
+		if p.Frac < prev {
+			t.Fatalf("CDF not monotone at %v: %v < %v", p.Latency, p.Frac, prev)
+		}
+		prev = p.Frac
+	}
+	if last := pts[len(pts)-1].Frac; last != 1.0 {
+		t.Errorf("CDF tail = %v, want 1.0", last)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b Hist
+	a.Record(10 * simtime.Microsecond)
+	b.Record(1 * simtime.Microsecond)
+	b.Record(100 * simtime.Microsecond)
+	a.Merge(&b)
+	if a.Count() != 3 {
+		t.Errorf("merged Count = %d, want 3", a.Count())
+	}
+	if a.Min() != 1*simtime.Microsecond || a.Max() != 100*simtime.Microsecond {
+		t.Errorf("merged Min/Max = %v/%v", a.Min(), a.Max())
+	}
+	var empty Hist
+	a.Merge(&empty) // must not disturb
+	if a.Count() != 3 {
+		t.Error("merging empty changed count")
+	}
+}
+
+func TestHistBucketMonotoneProperty(t *testing.T) {
+	// Property: bucketOf is monotone in t and Percentile(100) >= Max ever
+	// recorded... verified via recording pairs.
+	f := func(aUs, bUs uint16) bool {
+		a := simtime.Time(aUs+1) * simtime.Microsecond
+		b := simtime.Time(bUs+1) * simtime.Microsecond
+		if a > b {
+			a, b = b, a
+		}
+		return bucketOf(a) <= bucketOf(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistZeroAndNegative(t *testing.T) {
+	var h Hist
+	h.Record(0)
+	h.Record(-5) // clamped
+	if h.Count() != 2 || h.Min() != 0 {
+		t.Errorf("Count=%d Min=%v", h.Count(), h.Min())
+	}
+}
+
+func TestGbps(t *testing.T) {
+	if Gbps(10e9) != 10 {
+		t.Error("Gbps conversion wrong")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+}
+
+func BenchmarkHistRecord(b *testing.B) {
+	var h Hist
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(simtime.Time(i%10000) * simtime.Microsecond)
+	}
+}
