@@ -1,0 +1,171 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+const batchPkgPath = "nba/internal/batch"
+
+// batchaliasAnalyzer flags *packet.Packet values obtained from
+// batch.Batch.Packet(i) or a ForEachLive callback being stored into a struct
+// field or a package-level variable. Batches and packets are pooled: after
+// the batch is Put back, Reset() clears the slots and the pointer dangles
+// into memory the pool will hand to someone else — the Go analogue of
+// use-after-free on DPDK mbufs. Elements that need per-flow state must copy
+// the bytes they need, not retain the packet.
+var batchaliasAnalyzer = &analyzer{
+	name: "batchalias",
+	doc:  "flag pooled *packet.Packet values escaping into fields or globals",
+	applies: func(path string) bool {
+		// The batch package itself owns the slot arrays.
+		return path != batchPkgPath
+	},
+	run: runBatchalias,
+}
+
+func runBatchalias(p *pass) {
+	info := p.pkg.Info
+	for _, f := range p.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBatchAlias(p, info, fd.Body)
+		}
+	}
+}
+
+// checkBatchAlias runs the per-function taint pass: seed taints from
+// Batch.Packet results and ForEachLive callback parameters, propagate
+// through simple local assignments, then flag stores of tainted values into
+// struct fields or package-level variables.
+func checkBatchAlias(p *pass, info *types.Info, body *ast.BlockStmt) {
+	tainted := map[types.Object]bool{}
+
+	// ForEachLive callback packet parameters are tainted at declaration.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !isMethodOn(info.Selections[sel], batchPkgPath, "Batch", "ForEachLive") {
+			return true
+		}
+		if len(call.Args) != 1 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.FuncLit)
+		if !ok || len(lit.Type.Params.List) != 2 {
+			return true
+		}
+		for _, name := range lit.Type.Params.List[1].Names {
+			if obj := info.Defs[name]; obj != nil {
+				tainted[obj] = true
+			}
+		}
+		return true
+	})
+
+	isTaintedExpr := func(e ast.Expr) bool {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return tainted[info.Uses[x]]
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok {
+				return isMethodOn(info.Selections[sel], batchPkgPath, "Batch", "Packet")
+			}
+		}
+		return false
+	}
+
+	// Propagate taint through direct local assignments until stable. The
+	// pass is flow-insensitive on purpose: retaining the pointer anywhere in
+	// the function is already suspect once it reaches a field or global.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || !isTaintedExpr(as.Rhs[i]) {
+					continue
+				}
+				obj := info.Defs[id]
+				if obj == nil {
+					obj = info.Uses[id]
+				}
+				if obj != nil && isLocalVar(obj) && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	// Flag escaping stores.
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			if i >= len(as.Rhs) || !isTaintedExpr(as.Rhs[i]) {
+				continue
+			}
+			if kind := escapeKind(info, lhs); kind != "" {
+				p.report(as.Pos(), "batchalias",
+					"storing a pooled *packet.Packet from Batch.Packet/ForEachLive into a "+kind+
+						" aliases memory reclaimed on Reset(); copy the bytes you need instead")
+			}
+		}
+		return true
+	})
+}
+
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return false
+	}
+	if pkg := v.Pkg(); pkg != nil && v.Parent() == pkg.Scope() {
+		return false
+	}
+	return true
+}
+
+// escapeKind classifies an lvalue as a long-lived destination: "struct
+// field" for selector stores (possibly through indexing), "package-level
+// variable" for globals. Local destinations return "".
+func escapeKind(info *types.Info, lhs ast.Expr) string {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[x.Sel].(*types.Var); ok && v.IsField() {
+			return "struct field"
+		}
+	case *ast.Ident:
+		obj := info.Uses[x]
+		if obj == nil {
+			obj = info.Defs[x]
+		}
+		if v, ok := obj.(*types.Var); ok {
+			if pkg := v.Pkg(); pkg != nil && v.Parent() == pkg.Scope() {
+				return "package-level variable"
+			}
+		}
+	case *ast.IndexExpr:
+		// Indexed stores escape if the indexed container itself does
+		// (s.pkts[i] = p, globalSlice[i] = p).
+		return escapeKind(info, x.X)
+	}
+	return ""
+}

@@ -1,0 +1,87 @@
+// Parsing of //nbalint:allow escape-hatch directives.
+//
+// A directive has the form
+//
+//	//nbalint:allow <rule> <reason...>
+//
+// and suppresses findings of <rule> on the same source line (trailing
+// comment) or on the line immediately following (comment on its own line).
+// A reason is mandatory: unexplained suppressions are themselves findings.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+const directivePrefix = "nbalint:"
+
+// directive is one parsed //nbalint:allow comment.
+type directive struct {
+	rule   string
+	reason string
+	pos    token.Pos
+	line   int
+}
+
+// fileDirectives indexes the valid allow directives of one file by line.
+type fileDirectives struct {
+	byLine map[int][]directive
+}
+
+// parseDirectives scans a file's comments for nbalint directives. Malformed
+// directives (unknown verb, unknown rule, missing reason) are reported
+// through report as findings of the pseudo-rule "directive", which cannot
+// itself be suppressed.
+func parseDirectives(fset *token.FileSet, f *ast.File, knownRules map[string]bool, report func(pos token.Pos, rule, msg string)) *fileDirectives {
+	fd := &fileDirectives{byLine: map[int][]directive{}}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "//"+directivePrefix)
+			if !ok {
+				continue
+			}
+			verb, rest, _ := strings.Cut(strings.TrimSpace(text), " ")
+			if verb != "allow" {
+				report(c.Pos(), "directive", "unknown nbalint directive //nbalint:"+verb+" (only \"allow\" is supported)")
+				continue
+			}
+			rule, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+			if rule == "" {
+				report(c.Pos(), "directive", "//nbalint:allow needs a rule name and a reason")
+				continue
+			}
+			if !knownRules[rule] {
+				report(c.Pos(), "directive", fmt.Sprintf("//nbalint:allow names unknown rule %q", rule))
+				continue
+			}
+			if strings.TrimSpace(reason) == "" {
+				report(c.Pos(), "directive", "//nbalint:allow "+rule+" needs a reason (why is this safe?)")
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			fd.byLine[line] = append(fd.byLine[line], directive{
+				rule:   rule,
+				reason: strings.TrimSpace(reason),
+				pos:    c.Pos(),
+				line:   line,
+			})
+		}
+	}
+	return fd
+}
+
+// allows reports whether a finding of rule at the given line is suppressed:
+// a matching directive must sit on the same line or the one directly above.
+func (fd *fileDirectives) allows(rule string, line int) bool {
+	for _, l := range [2]int{line, line - 1} {
+		for _, d := range fd.byLine[l] {
+			if d.rule == rule {
+				return true
+			}
+		}
+	}
+	return false
+}

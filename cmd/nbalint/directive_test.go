@@ -1,0 +1,121 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const directiveFixture = "nba/internal/directivefix"
+
+// fixtureLines reads the directive fixture and returns its lines (1-based
+// access via lineWhere).
+func fixtureLines(t *testing.T) []string {
+	t.Helper()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(cwd, "testdata", "src", filepath.FromSlash(directiveFixture), "directive.go")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return strings.Split(string(data), "\n")
+}
+
+// lineWhere returns the 1-based line number of the first line containing
+// substr, offset by delta.
+func lineWhere(t *testing.T, lines []string, substr string, delta int) int {
+	t.Helper()
+	for i, l := range lines {
+		if strings.Contains(l, substr) {
+			return i + 1 + delta
+		}
+	}
+	t.Fatalf("fixture has no line containing %q", substr)
+	return 0
+}
+
+// TestDirectives exercises //nbalint:allow parsing end to end: placement
+// (same line, preceding line, too far away), unknown rule, missing reason,
+// and unknown verb.
+func TestDirectives(t *testing.T) {
+	l := testLoader(t)
+	lp, err := l.load(directiveFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := runPackage(l.fset, lp)
+	lines := fixtureLines(t)
+
+	at := func(rule string, line int) bool {
+		for _, f := range findings {
+			if f.rule == rule && f.pos.Line == line {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Suppression placement.
+	sameLine := lineWhere(t, lines, "same-line suppression", 0)
+	if at("maprange", sameLine) {
+		t.Errorf("same-line directive at line %d did not suppress the finding", sameLine)
+	}
+	preceding := lineWhere(t, lines, "preceding-line suppression", +1)
+	if at("maprange", preceding) {
+		t.Errorf("preceding-line directive did not suppress the finding at line %d", preceding)
+	}
+	tooFar := lineWhere(t, lines, "two lines up", +2)
+	if !at("maprange", tooFar) {
+		t.Errorf("directive two lines above must NOT suppress the finding at line %d", tooFar)
+	}
+	unannotated := lineWhere(t, lines, "func unannotated", +2)
+	if !at("maprange", unannotated) {
+		t.Errorf("missing expected maprange finding at unannotated loop, line %d", unannotated)
+	}
+
+	// Malformed directives are findings of the pseudo-rule "directive".
+	unknownRule := lineWhere(t, lines, "nosuchrule", 0)
+	if !at("directive", unknownRule) {
+		t.Errorf("unknown rule: no directive finding at line %d", unknownRule)
+	}
+	assertMsg(t, findings, unknownRule, "unknown rule")
+
+	missingReason := exactLine(t, lines, "//nbalint:allow maprange")
+	if !at("directive", missingReason) {
+		t.Errorf("missing reason: no directive finding at line %d", missingReason)
+	}
+	assertMsg(t, findings, missingReason, "needs a reason")
+
+	unknownVerb := lineWhere(t, lines, "nbalint:deny", 0)
+	if !at("directive", unknownVerb) {
+		t.Errorf("unknown verb: no directive finding at line %d", unknownVerb)
+	}
+	assertMsg(t, findings, unknownVerb, "unknown nbalint directive")
+}
+
+// exactLine returns the 1-based number of the line whose trimmed content
+// equals want exactly.
+func exactLine(t *testing.T, lines []string, want string) int {
+	t.Helper()
+	for i, l := range lines {
+		if strings.TrimSpace(l) == want {
+			return i + 1
+		}
+	}
+	t.Fatalf("fixture has no exact line %q", want)
+	return 0
+}
+
+func assertMsg(t *testing.T, findings []finding, line int, sub string) {
+	t.Helper()
+	for _, f := range findings {
+		if f.pos.Line == line && strings.Contains(f.msg, sub) {
+			return
+		}
+	}
+	t.Errorf("no finding at line %d with message containing %q", line, sub)
+}

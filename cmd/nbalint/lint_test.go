@@ -1,0 +1,195 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// testLoader builds a loader rooted at the real module with testdata/src as
+// an extra import root, so fixtures can both mimic framework package paths
+// and import the real framework packages.
+func testLoader(t *testing.T) *loader {
+	t.Helper()
+	moduleRoot, err := findModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	modulePath, err := readModulePath(moduleRoot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newLoader(moduleRoot, modulePath, filepath.Join(cwd, "testdata", "src"))
+}
+
+func findingKey(f finding) string {
+	return fmt.Sprintf("%s:%d %s", filepath.Base(f.pos.Filename), f.pos.Line, f.rule)
+}
+
+// wantFindings scans a fixture directory for "// want <rule>..." markers and
+// returns the expected multiset of "file:line rule" keys.
+func wantFindings(t *testing.T, dir string) map[string]int {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			_, marker, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, rule := range strings.Fields(marker) {
+				want[fmt.Sprintf("%s:%d %s", e.Name(), i+1, rule)]++
+			}
+		}
+	}
+	return want
+}
+
+// TestAnalyzers runs every analyzer fixture package and compares the
+// reported findings against the fixtures' want markers.
+func TestAnalyzers(t *testing.T) {
+	l := testLoader(t)
+	tests := []struct {
+		name string
+		pkg  string
+	}{
+		{"nondeterminism", "nba/internal/core/nondetfix"},
+		{"nondeterminism-scope", "nba/internal/wallclockok"},
+		{"maprange", "nba/internal/stats/maprangefix"},
+		{"batchalias", "nba/internal/apps/aliasfix"},
+		{"mempoolerr", "nba/internal/poolfix"},
+		{"mempoolerr-cmd-exempt", "nba/cmd/poolcmdfix"},
+		{"printban", "nba/internal/printfix"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			lp, err := l.load(tt.pkg)
+			if err != nil {
+				t.Fatalf("loading %s: %v", tt.pkg, err)
+			}
+			got := map[string]int{}
+			for _, f := range runPackage(l.fset, lp) {
+				got[findingKey(f)]++
+			}
+			want := wantFindings(t, lp.Dir)
+			for k, n := range want {
+				if got[k] != n {
+					t.Errorf("want %d finding(s) %q, got %d", n, k, got[k])
+				}
+			}
+			for k, n := range got {
+				if want[k] == 0 {
+					t.Errorf("unexpected finding %q (x%d)", k, n)
+				}
+			}
+		})
+	}
+}
+
+// TestRealTreeApplicability pins the package-path scoping rules the
+// analyzers key off.
+func TestRealTreeApplicability(t *testing.T) {
+	tests := []struct {
+		path string
+		sim  bool
+		intl bool
+		cmd  bool
+	}{
+		{"nba/internal/simtime", true, true, false},
+		{"nba/internal/core", true, true, false},
+		{"nba/internal/apps/ipsec", true, true, false},
+		{"nba/internal/gpu", true, true, false},
+		{"nba/internal/lb", true, true, false},
+		{"nba/internal/netio", true, true, false},
+		{"nba/internal/stats", false, true, false},
+		{"nba/internal/corelike", false, true, false},
+		{"nba/cmd/nba", false, false, true},
+		{"nba", false, false, false},
+		{"nba/examples/router", false, false, false},
+	}
+	for _, tt := range tests {
+		if got := isSimPackage(tt.path); got != tt.sim {
+			t.Errorf("isSimPackage(%q) = %v, want %v", tt.path, got, tt.sim)
+		}
+		if got := isInternalPackage(tt.path); got != tt.intl {
+			t.Errorf("isInternalPackage(%q) = %v, want %v", tt.path, got, tt.intl)
+		}
+		if got := isCmdPackage(tt.path); got != tt.cmd {
+			t.Errorf("isCmdPackage(%q) = %v, want %v", tt.path, got, tt.cmd)
+		}
+	}
+}
+
+// TestPackageDirs checks that default walks skip testdata while explicit
+// walks into testdata do not.
+func TestPackageDirs(t *testing.T) {
+	moduleRoot, err := findModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := packageDirs(moduleRoot + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no package dirs found under module root")
+	}
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("default walk must skip testdata, found %s", d)
+		}
+	}
+	fixDirs, err := packageDirs(filepath.Join(moduleRoot, "cmd", "nbalint", "testdata") + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fixDirs) == 0 {
+		t.Error("explicit testdata walk found no fixture packages")
+	}
+}
+
+// TestFixtureTreeFails mirrors the CLI acceptance requirement: linting the
+// fixture tree must produce findings (non-zero exit in the CLI).
+func TestFixtureTreeFails(t *testing.T) {
+	l := testLoader(t)
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := packageDirs(filepath.Join(cwd, "testdata") + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, dir := range dirs {
+		path, err := importPathFor(dir, l.moduleRoot, l.modulePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lp, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		total += len(runPackage(l.fset, lp))
+	}
+	if total == 0 {
+		t.Fatal("fixture tree produced no findings; the CLI would exit 0 on it")
+	}
+}

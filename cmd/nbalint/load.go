@@ -1,0 +1,226 @@
+// Package-loading support for nbalint.
+//
+// go/packages is not available offline, so nbalint brings its own minimal
+// loader: it parses a package directory with go/parser (honouring build
+// constraints via go/build.MatchFile), resolves module-local imports
+// ("nba/...") recursively from the module root, resolves fixture imports
+// from extra roots (testdata/src layouts), and delegates standard-library
+// imports to the compiler's export-data importer.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// lintPackage is one type-checked package ready for analysis.
+type lintPackage struct {
+	Path  string // import path, e.g. "nba/internal/core"
+	Dir   string // absolute directory
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// loader parses and type-checks packages on demand, caching by import path.
+type loader struct {
+	fset       *token.FileSet
+	moduleRoot string   // absolute path of the directory containing go.mod
+	modulePath string   // module path from go.mod, e.g. "nba"
+	extraRoots []string // additional roots laid out as <root>/<importpath>/
+
+	std      types.Importer
+	pkgs     map[string]*lintPackage
+	checking map[string]bool // import-cycle guard
+}
+
+func newLoader(moduleRoot, modulePath string, extraRoots ...string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:       fset,
+		moduleRoot: moduleRoot,
+		modulePath: modulePath,
+		extraRoots: extraRoots,
+		std:        importer.ForCompiler(fset, "gc", nil),
+		pkgs:       map[string]*lintPackage{},
+		checking:   map[string]bool{},
+	}
+}
+
+// readModulePath extracts the module path from the go.mod in dir.
+func readModulePath(dir string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s/go.mod", dir)
+}
+
+// findModuleRoot walks upward from dir until it finds a go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// dirFor maps an import path to the directory holding its source, checking
+// extra roots (fixtures) before the module tree.
+func (l *loader) dirFor(path string) (string, bool) {
+	for _, root := range l.extraRoots {
+		dir := filepath.Join(root, filepath.FromSlash(path))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+	}
+	if path == l.modulePath {
+		return l.moduleRoot, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.modulePath+"/"); ok {
+		dir := filepath.Join(l.moduleRoot, filepath.FromSlash(rest))
+		if hasGoFiles(dir) {
+			return dir, true
+		}
+	}
+	return "", false
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// Import implements types.Importer so the loader can feed itself to
+// types.Config: module-local and fixture paths load from source; everything
+// else is assumed to be standard library.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if _, ok := l.dirFor(path); ok {
+		lp, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.Pkg, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the package at the given import path.
+func (l *loader) load(path string) (*lintPackage, error) {
+	if lp, ok := l.pkgs[path]; ok {
+		return lp, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("cannot resolve import %q", path)
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErr error
+	conf := types.Config{
+		Importer: l,
+		Error: func(err error) {
+			if typeErr == nil {
+				typeErr = err
+			}
+		},
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if typeErr != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErr)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	lp := &lintPackage{Path: path, Dir: dir, Files: files, Pkg: pkg, Info: info}
+	l.pkgs[path] = lp
+	return lp, nil
+}
+
+// parseDir parses the non-test, build-constraint-satisfying Go files of a
+// directory, in deterministic (sorted) order.
+func (l *loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		match, err := build.Default.MatchFile(dir, name)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", filepath.Join(dir, name), err)
+		}
+		if match {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}

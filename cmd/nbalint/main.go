@@ -1,0 +1,341 @@
+// Command nbalint is NBA's framework-specific static analyzer suite.
+//
+// The simulation's headline guarantee is determinism in virtual time: every
+// figure must be exactly reproducible from a config and a seed. Nothing in
+// the language enforces that, so nbalint does. It walks the module with
+// go/parser + go/types (stdlib only; go/packages is unavailable offline)
+// and applies five analyzers:
+//
+//	nondeterminism  wall-clock time, global math/rand, go statements and
+//	                select in simulation packages
+//	maprange        unordered iteration over maps in internal packages
+//	batchalias      *packet.Packet values from Batch.Packet/ForEachLive
+//	                escaping into struct fields or globals (use-after-Reset)
+//	mempoolerr      discarded mempool.Pool.Get errors; MustGet outside cmd/
+//	printban        fmt.Print* and builtin print/println in internal/
+//
+// Findings print as "file:line: [rule] message" and make the exit status
+// non-zero. A finding can be suppressed with a justified directive on the
+// same or the preceding line:
+//
+//	//nbalint:allow <rule> <reason>
+//
+// See DESIGN.md, section "Determinism contract & static enforcement".
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// pass is the per-package context handed to each analyzer.
+type pass struct {
+	fset   *token.FileSet
+	pkg    *lintPackage
+	report func(pos token.Pos, rule, msg string)
+}
+
+// analyzer is one nbalint rule.
+type analyzer struct {
+	name    string
+	doc     string
+	applies func(pkgPath string) bool
+	run     func(*pass)
+}
+
+// finding is one reported problem.
+type finding struct {
+	pos  token.Position
+	rule string
+	msg  string
+}
+
+// simPackagePrefixes are the packages that execute inside virtual time and
+// therefore must be bit-for-bit deterministic (the nondeterminism rule).
+var simPackagePrefixes = []string{
+	"nba/internal/simtime",
+	"nba/internal/core",
+	"nba/internal/apps",
+	"nba/internal/gpu",
+	"nba/internal/lb",
+	"nba/internal/netio",
+}
+
+func hasPathPrefix(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}
+
+func isSimPackage(path string) bool {
+	for _, p := range simPackagePrefixes {
+		if hasPathPrefix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+func isInternalPackage(path string) bool { return hasPathPrefix(path, "nba/internal") }
+
+func isCmdPackage(path string) bool { return hasPathPrefix(path, "nba/cmd") }
+
+// analyzers is the rule registry, in reporting order.
+var analyzers = []*analyzer{
+	nondeterminismAnalyzer,
+	maprangeAnalyzer,
+	batchaliasAnalyzer,
+	mempoolerrAnalyzer,
+	printbanAnalyzer,
+}
+
+func knownRuleNames() map[string]bool {
+	m := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		m[a.name] = true
+	}
+	return m
+}
+
+// runPackage applies every applicable analyzer to one package and returns
+// the surviving (non-suppressed) findings.
+func runPackage(fset *token.FileSet, lp *lintPackage) []finding {
+	var raw []finding
+	report := func(pos token.Pos, rule, msg string) {
+		raw = append(raw, finding{pos: fset.Position(pos), rule: rule, msg: msg})
+	}
+	known := knownRuleNames()
+	dirs := map[string]*fileDirectives{} // filename → directives
+	var directiveFindings []finding
+	for _, f := range lp.Files {
+		fd := parseDirectives(fset, f, known, func(pos token.Pos, rule, msg string) {
+			directiveFindings = append(directiveFindings, finding{pos: fset.Position(pos), rule: rule, msg: msg})
+		})
+		dirs[fset.Position(f.Pos()).Filename] = fd
+	}
+	p := &pass{fset: fset, pkg: lp, report: report}
+	for _, a := range analyzers {
+		if a.applies(lp.Path) {
+			a.run(p)
+		}
+	}
+	out := directiveFindings
+	for _, f := range raw {
+		if fd := dirs[f.pos.Filename]; fd != nil && fd.allows(f.rule, f.pos.Line) {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// packageDirs expands a CLI pattern into package directories. Patterns are
+// directory paths, optionally ending in "/...". Directories named testdata
+// are skipped unless the walk starts inside one (so the fixtures themselves
+// can be linted to demonstrate a failing run).
+func packageDirs(pattern string) ([]string, error) {
+	recursive := false
+	if rest, ok := strings.CutSuffix(pattern, "/..."); ok {
+		recursive = true
+		pattern = rest
+	}
+	if pattern == "" || pattern == "." {
+		pattern = "."
+	}
+	root, err := filepath.Abs(pattern)
+	if err != nil {
+		return nil, err
+	}
+	if !recursive {
+		if !hasGoFiles(root) {
+			return nil, fmt.Errorf("no Go files in %s", pattern)
+		}
+		return []string{root}, nil
+	}
+	var dirs []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		if hasGoFiles(path) {
+			dirs = append(dirs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return dirs, nil
+}
+
+// importPathFor maps a package directory to its import path. Directories
+// under a testdata/src fixture root use the path relative to that root so
+// rule applicability (which keys off package paths) works on fixtures too.
+func importPathFor(dir, moduleRoot, modulePath string) (string, error) {
+	if i := strings.Index(dir, string(filepath.Separator)+filepath.Join("testdata", "src")+string(filepath.Separator)); i >= 0 {
+		rel := dir[i+len(string(filepath.Separator)+filepath.Join("testdata", "src"))+1:]
+		return filepath.ToSlash(rel), nil
+	}
+	rel, err := filepath.Rel(moduleRoot, dir)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return modulePath, nil
+	}
+	if strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("%s is outside module %s", dir, moduleRoot)
+	}
+	return modulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// fixtureRootFor returns the testdata/src root containing dir, if any.
+func fixtureRootFor(dir string) (string, bool) {
+	marker := string(filepath.Separator) + filepath.Join("testdata", "src")
+	if i := strings.Index(dir, marker+string(filepath.Separator)); i >= 0 {
+		return dir[:i+len(marker)], true
+	}
+	return "", false
+}
+
+func main() {
+	patterns := os.Args[1:]
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	moduleRoot, err := findModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nbalint:", err)
+		os.Exit(2)
+	}
+	modulePath, err := readModulePath(moduleRoot)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nbalint:", err)
+		os.Exit(2)
+	}
+
+	var dirs []string
+	for _, p := range patterns {
+		d, err := packageDirs(p)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nbalint:", err)
+			os.Exit(2)
+		}
+		dirs = append(dirs, d...)
+	}
+
+	// Any fixture roots seen in the patterns become import-resolution roots.
+	var extraRoots []string
+	seenRoot := map[string]bool{}
+	for _, d := range dirs {
+		if root, ok := fixtureRootFor(d); ok && !seenRoot[root] {
+			seenRoot[root] = true
+			extraRoots = append(extraRoots, root)
+		}
+	}
+
+	l := newLoader(moduleRoot, modulePath, extraRoots...)
+	var all []finding
+	loadFailed := false
+	for _, dir := range dirs {
+		path, err := importPathFor(dir, moduleRoot, modulePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nbalint:", err)
+			loadFailed = true
+			continue
+		}
+		lp, err := l.load(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nbalint:", err)
+			loadFailed = true
+			continue
+		}
+		all = append(all, runPackage(l.fset, lp)...)
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.rule < b.rule
+	})
+	cwd, _ := os.Getwd()
+	for _, f := range all {
+		name := f.pos.Filename
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", name, f.pos.Line, f.rule, f.msg)
+	}
+	switch {
+	case loadFailed:
+		os.Exit(2)
+	case len(all) > 0:
+		os.Exit(1)
+	}
+}
+
+// --- shared type helpers used by several analyzers ---
+
+// namedOrigin returns the origin named type behind t, unwrapping pointers,
+// aliases and generic instantiations.
+func namedOrigin(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	t = types.Unalias(t)
+	n, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	return n.Origin()
+}
+
+// isMethodOn reports whether sel is a selection of the named method on the
+// named type defined in pkgPath.
+func isMethodOn(sel *types.Selection, pkgPath, typeName, method string) bool {
+	if sel == nil || sel.Kind() != types.MethodVal {
+		return false
+	}
+	fn, ok := sel.Obj().(*types.Func)
+	if !ok || fn.Name() != method {
+		return false
+	}
+	n := namedOrigin(sel.Recv())
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == typeName && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// pkgNameOf resolves the package an identifier refers to when it names an
+// import (e.g. the "time" in time.Now), or "" otherwise.
+func pkgNameOf(info *types.Info, x ast.Expr) string {
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}

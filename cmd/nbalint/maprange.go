@@ -1,0 +1,143 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// maprangeAnalyzer flags `for range` over map values anywhere under
+// internal/. Map iteration order is randomized by the runtime, so any map
+// range whose effects are order-sensitive (building a report line, picking
+// the first error, appending to a slice) makes output differ between runs
+// even when the simulation itself is deterministic.
+//
+// The canonical collect-then-sort idiom is recognised and allowed without a
+// directive: a loop whose body only appends keys/values to slices,
+// immediately followed by a sort call on one of those slices.
+var maprangeAnalyzer = &analyzer{
+	name:    "maprange",
+	doc:     "flag unordered iteration over maps in internal packages",
+	applies: isInternalPackage,
+	run:     runMaprange,
+}
+
+func runMaprange(p *pass) {
+	info := p.pkg.Info
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmts := stmtList(n)
+			if stmts == nil {
+				return true
+			}
+			for i, s := range stmts {
+				rs, ok := s.(*ast.RangeStmt)
+				if !ok || !isMapRange(info, rs) {
+					continue
+				}
+				if isCollectThenSort(info, rs, stmts[i+1:]) {
+					continue
+				}
+				p.report(rs.Pos(), "maprange",
+					"iteration over a map is nondeterministically ordered; iterate sorted keys (see stats.SortedKeys) or annotate //nbalint:allow maprange <reason>")
+			}
+			return true
+		})
+	}
+}
+
+// stmtList returns the statement list a node holds, if any.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isCollectThenSort reports whether the range loop only appends to local
+// slices and one of those slices is sorted by the statement immediately
+// following the loop.
+func isCollectThenSort(info *types.Info, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	targets := map[types.Object]bool{}
+	for _, s := range rs.Body.List {
+		as, ok := s.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || info.Uses[fn] == nil || info.Uses[fn].Name() != "append" {
+			return false
+		}
+		if _, isBuiltin := info.Uses[fn].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		if obj := rootObject(info, as.Lhs[0]); obj != nil {
+			targets[obj] = true
+		}
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	if len(rest) == 0 {
+		return false
+	}
+	es, ok := rest[0].(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch pkgNameOf(info, sel.X) {
+	case "sort", "slices":
+	default:
+		return false
+	}
+	return targets[rootObject(info, call.Args[0])]
+}
+
+// rootObject resolves the base identifier of an lvalue-ish expression
+// (x, x.f, x[i], *x) to its types.Object.
+func rootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"go/ast"
+)
+
+const mempoolPkgPath = "nba/internal/mempool"
+
+// mempoolerrAnalyzer enforces the pool-exhaustion contract: Pool.Get can
+// fail (ErrExhausted) and the data path must handle it — typically by
+// dropping the batch and counting the drop, exactly like rx_nombuf in DPDK.
+// Discarding the error turns exhaustion into a nil-pointer crash later.
+// MustGet (panic on failure) is reserved for cmd/ startup paths that sized
+// their pools; on the data path it is a latent abort.
+var mempoolerrAnalyzer = &analyzer{
+	name: "mempoolerr",
+	doc:  "flag discarded Pool.Get errors and MustGet outside cmd/",
+	applies: func(path string) bool {
+		return !isCmdPackage(path) && path != mempoolPkgPath
+	},
+	run: runMempoolerr,
+}
+
+func runMempoolerr(p *pass) {
+	info := p.pkg.Info
+
+	isPoolMethodCall := func(e ast.Expr, method string) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return isMethodOn(info.Selections[sel], mempoolPkgPath, "Pool", method)
+	}
+
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if isPoolMethodCall(n.X, "Get") {
+					p.report(n.Pos(), "mempoolerr",
+						"result and error of mempool Get discarded; handle ErrExhausted (drop and count) or the object leaks")
+				}
+			case *ast.AssignStmt:
+				if len(n.Rhs) != 1 || len(n.Lhs) != 2 || !isPoolMethodCall(n.Rhs[0], "Get") {
+					return true
+				}
+				if id, ok := n.Lhs[1].(*ast.Ident); ok && id.Name == "_" {
+					p.report(n.Pos(), "mempoolerr",
+						"error from mempool Get discarded; handle ErrExhausted (drop and count) instead of blanking it")
+				}
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok &&
+					isMethodOn(info.Selections[sel], mempoolPkgPath, "Pool", "MustGet") {
+					p.report(n.Pos(), "mempoolerr",
+						"MustGet panics on exhaustion; outside cmd/ startup paths use Get and handle ErrExhausted")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nondeterminismAnalyzer forbids the four classic determinism killers inside
+// simulation packages: wall-clock time, the global math/rand source,
+// goroutines, and select. The event engine runs single-threaded in virtual
+// time (internal/simtime); any of these silently breaks replayability.
+var nondeterminismAnalyzer = &analyzer{
+	name:    "nondeterminism",
+	doc:     "forbid wall-clock time, global math/rand, go statements and select in simulation packages",
+	applies: isSimPackage,
+	run:     runNondeterminism,
+}
+
+// bannedTimeFuncs are the wall-clock entry points of package time. Types
+// like time.Duration remain usable — virtual time is still expressed in
+// durations.
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Sleep": true,
+	"Until": true,
+	"Tick":  true,
+	"After": true,
+}
+
+// allowedRandFuncs are math/rand(/v2) package-level functions that do NOT
+// touch the shared global source: constructors for explicitly-seeded
+// generators, which is exactly what internal/rng wraps.
+var allowedRandFuncs = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+}
+
+func runNondeterminism(p *pass) {
+	info := p.pkg.Info
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				p.report(n.Pos(), "nondeterminism",
+					"go statement in a simulation package; the event engine is single-threaded in virtual time")
+			case *ast.SelectStmt:
+				p.report(n.Pos(), "nondeterminism",
+					"select in a simulation package; channel scheduling order is nondeterministic")
+			case *ast.SelectorExpr:
+				switch pkgNameOf(info, n.X) {
+				case "time":
+					if bannedTimeFuncs[n.Sel.Name] {
+						p.report(n.Pos(), "nondeterminism",
+							"time."+n.Sel.Name+" reads the wall clock; use internal/simtime virtual time")
+					}
+				case "math/rand", "math/rand/v2":
+					if _, isFunc := info.Uses[n.Sel].(*types.Func); isFunc && !allowedRandFuncs[n.Sel.Name] {
+						p.report(n.Pos(), "nondeterminism",
+							"rand."+n.Sel.Name+" uses the global math/rand source; use a seeded internal/rng generator")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// printbanAnalyzer forbids direct terminal output from internal packages.
+// All user-visible output flows through internal/stats and the cmd/ layers,
+// which know about report formats and quiet modes; a stray fmt.Println in a
+// hot element both corrupts reports and costs cycles.
+var printbanAnalyzer = &analyzer{
+	name:    "printban",
+	doc:     "forbid fmt.Print* and builtin print/println in internal packages",
+	applies: isInternalPackage,
+	run:     runPrintban,
+}
+
+var bannedFmtFuncs = map[string]bool{
+	"Print":   true,
+	"Printf":  true,
+	"Println": true,
+}
+
+func runPrintban(p *pass) {
+	info := p.pkg.Info
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch fun := call.Fun.(type) {
+			case *ast.SelectorExpr:
+				if pkgNameOf(info, fun.X) == "fmt" && bannedFmtFuncs[fun.Sel.Name] {
+					p.report(call.Pos(), "printban",
+						"fmt."+fun.Sel.Name+" writes to stdout from an internal package; report through internal/stats or return data to the cmd layer")
+				}
+			case *ast.Ident:
+				if b, ok := info.Uses[fun].(*types.Builtin); ok && (b.Name() == "print" || b.Name() == "println") {
+					p.report(call.Pos(), "printban",
+						"builtin "+b.Name()+" writes to stderr; report through internal/stats or return data to the cmd layer")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,10 @@
+// Package poolcmdfix is an nbalint test fixture: MustGet is allowed in cmd/
+// startup paths, so nothing here may be flagged.
+package poolcmdfix
+
+import "nba/internal/mempool"
+
+func setup() *int {
+	p := mempool.New[int]("fixture", 8, nil)
+	return p.MustGet()
+}

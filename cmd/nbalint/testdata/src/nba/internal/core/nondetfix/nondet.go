@@ -1,0 +1,39 @@
+// Package nondetfix is an nbalint test fixture: it sits under a simulation
+// package path, so every determinism sin here must be flagged.
+package nondetfix
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t := time.Now()           // want nondeterminism
+	d := time.Since(t)        // want nondeterminism
+	time.Sleep(time.Second)   // want nondeterminism
+	<-time.After(time.Second) // want nondeterminism
+	return d
+}
+
+func globalRand() int {
+	n := rand.Intn(4)                  // want nondeterminism
+	rand.Shuffle(n, func(i, j int) {}) // want nondeterminism
+	return n
+}
+
+func seededRandIsFine() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}
+
+func concurrency(c chan int) {
+	go func() { c <- 1 }() // want nondeterminism
+	select {               // want nondeterminism
+	case <-c:
+	default:
+	}
+}
+
+func annotated() time.Time {
+	return time.Now() //nbalint:allow nondeterminism fixture exercising suppression
+}

@@ -1,0 +1,45 @@
+// Package directivefix is an nbalint test fixture for //nbalint:allow
+// directive parsing: malformed directives are findings themselves, and a
+// valid directive only reaches the same line or the line directly below.
+package directivefix
+
+func sameLine(m map[string]int) int {
+	n := 0
+	for range m { //nbalint:allow maprange same-line suppression
+		n++
+	}
+	return n
+}
+
+func precedingLine(m map[string]int) int {
+	n := 0
+	//nbalint:allow maprange preceding-line suppression
+	for range m {
+		n++
+	}
+	return n
+}
+
+func tooFarAway(m map[string]int) int {
+	n := 0
+	//nbalint:allow maprange directive is two lines up so it must not apply
+
+	for range m {
+		n++
+	}
+	return n
+}
+
+//nbalint:allow nosuchrule this rule name does not exist
+
+//nbalint:allow maprange
+
+//nbalint:deny maprange unknown verb
+
+func unannotated(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

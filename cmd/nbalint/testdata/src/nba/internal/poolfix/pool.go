@@ -1,0 +1,21 @@
+// Package poolfix is an nbalint test fixture for the mempoolerr rule.
+package poolfix
+
+import "nba/internal/mempool"
+
+func use(p *mempool.Pool[int]) int {
+	p.Get()         // want mempoolerr
+	v, _ := p.Get() // want mempoolerr
+	_ = v
+	x := p.MustGet() // want mempoolerr
+	_ = x
+	y, err := p.Get()
+	if err != nil {
+		return 0
+	}
+	return *y
+}
+
+func annotated(p *mempool.Pool[int]) *int {
+	return p.MustGet() //nbalint:allow mempoolerr fixture pool sized at startup
+}

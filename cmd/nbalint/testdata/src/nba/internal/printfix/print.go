@@ -1,0 +1,24 @@
+// Package printfix is an nbalint test fixture for the printban rule.
+package printfix
+
+import (
+	"fmt"
+	"os"
+)
+
+func noisy(n int) {
+	fmt.Println("hello")  // want printban
+	fmt.Printf("%d\n", n) // want printban
+	fmt.Print(n)          // want printban
+	println("builtin")    // want printban
+	print(n)              // want printban
+}
+
+func quiet(n int) string {
+	fmt.Fprintf(os.Stderr, "fprintf is fine: %d\n", n)
+	return fmt.Sprintf("%d", n)
+}
+
+func annotated() {
+	fmt.Println("allowed") //nbalint:allow printban fixture exercising suppression
+}

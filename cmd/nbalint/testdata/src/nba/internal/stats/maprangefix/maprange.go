@@ -1,0 +1,46 @@
+// Package maprangefix is an nbalint test fixture for the maprange rule.
+package maprangefix
+
+import "sort"
+
+func unsorted(m map[string]int) int {
+	sum := 0
+	for _, v := range m { // want maprange
+		sum += v
+	}
+	return sum
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectWithoutSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want maprange
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func sliceRangeIsFine(s []int) int {
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	return sum
+}
+
+func annotated(m map[string]bool) int {
+	n := 0
+	//nbalint:allow maprange order-insensitive count in fixture
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,10 @@
+// Package wallclockok is an nbalint test fixture: it is internal but NOT a
+// simulation package, so wall-clock use is out of the nondeterminism rule's
+// scope and nothing here may be flagged.
+package wallclockok
+
+import "time"
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}

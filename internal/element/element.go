@@ -10,6 +10,7 @@ package element
 
 import (
 	"fmt"
+	"sort"
 
 	"nba/internal/batch"
 	"nba/internal/packet"
@@ -249,5 +250,6 @@ func Classes() []string {
 	for k := range registry {
 		out = append(out, k)
 	}
+	sort.Strings(out)
 	return out
 }

@@ -239,8 +239,8 @@ func (g *Graph) validate() error {
 		}
 	}
 	walk(g.Source.ID)
-	for id := range reach {
-		if g.Nodes[id].isSink {
+	for _, n := range g.Nodes {
+		if reach[n.ID] && n.isSink {
 			return nil
 		}
 	}

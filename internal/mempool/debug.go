@@ -1,0 +1,30 @@
+package mempool
+
+// Debug checks are the dynamic complement to nbalint's mempoolerr static
+// rule: the analyzer catches discarded Get errors at compile time, the
+// checks here catch double-Put and use-after-Put at run time. They are off
+// by default (the data path pays only a nil-map check) and can be switched
+// on per pool with EnableDebugChecks, or for every pool by building with
+// `-tags debugChecks`.
+
+// EnableDebugChecks switches the pool into checked mode from this point on:
+// Put panics on objects already on the freelist (double free) and AssertLive
+// panics on objects that are on it (use after Put).
+func (p *Pool[T]) EnableDebugChecks() {
+	p.inFree = make(map[*T]bool, p.stats.Capacity)
+	for _, obj := range p.free {
+		p.inFree[obj] = true
+	}
+}
+
+// DebugChecksEnabled reports whether the pool is in checked mode.
+func (p *Pool[T]) DebugChecksEnabled() bool { return p.inFree != nil }
+
+// AssertLive panics if obj currently sits on the freelist — i.e. the caller
+// holds a pointer it already returned with Put, the pooled analogue of
+// use-after-free. A no-op when debug checks are disabled.
+func (p *Pool[T]) AssertLive(obj *T) {
+	if p.inFree != nil && p.inFree[obj] {
+		panic("mempool \"" + p.name + "\": use after Put — object is on the freelist")
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !debugChecks
+
+package mempool
+
+// debugChecksDefault controls whether New enables debug checks on every
+// pool. Build with `-tags debugChecks` to flip it on globally.
+const debugChecksDefault = false

@@ -1,0 +1,7 @@
+//go:build debugChecks
+
+package mempool
+
+// debugChecksDefault is flipped on by the debugChecks build tag: every pool
+// created by New starts in checked mode (double-Put / use-after-Put panics).
+const debugChecksDefault = true

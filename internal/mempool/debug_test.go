@@ -1,0 +1,94 @@
+package mempool
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustPanic(t *testing.T, wantSub string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("expected panic containing %q, got none", wantSub)
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %v is not a string", r)
+		}
+		if !strings.Contains(msg, wantSub) {
+			t.Fatalf("panic %q does not contain %q", msg, wantSub)
+		}
+	}()
+	fn()
+}
+
+// TestDebugDoublePut: with checks enabled, returning the same object twice
+// panics with a double-Put diagnostic even while the pool is not full (the
+// case the capacity-overflow panic in Put cannot catch).
+func TestDebugDoublePut(t *testing.T) {
+	p := New[int]("dbg", 4, nil)
+	p.EnableDebugChecks()
+	a := mustGetForTest(t, p)
+	b := mustGetForTest(t, p) // keep one outstanding so the pool stays non-full
+	p.Put(a)
+	mustPanic(t, "double Put", func() { p.Put(a) })
+	_ = b
+}
+
+// TestDebugUseAfterPut: AssertLive is silent for held objects and panics
+// once the object is back on the freelist.
+func TestDebugUseAfterPut(t *testing.T) {
+	p := New[int]("dbg", 2, nil)
+	p.EnableDebugChecks()
+	a := mustGetForTest(t, p)
+	p.AssertLive(a) // held: must not panic
+	p.Put(a)
+	mustPanic(t, "use after Put", func() { p.AssertLive(a) })
+}
+
+// TestDebugChecksRoundTrip: normal get/put cycles raise no false positives
+// and the free-set tracking stays consistent across reuse.
+func TestDebugChecksRoundTrip(t *testing.T) {
+	p := New[int]("dbg", 2, nil)
+	p.EnableDebugChecks()
+	if !p.DebugChecksEnabled() {
+		t.Fatal("checks should be enabled")
+	}
+	for i := 0; i < 10; i++ {
+		a := mustGetForTest(t, p)
+		b := mustGetForTest(t, p)
+		p.AssertLive(a)
+		p.AssertLive(b)
+		p.Put(a)
+		p.Put(b)
+	}
+	if got := p.Available(); got != 2 {
+		t.Fatalf("available = %d, want 2", got)
+	}
+}
+
+// TestDebugChecksDisabledByDefault: without the build tag or the explicit
+// option, pools stay unchecked and AssertLive is a no-op.
+func TestDebugChecksDisabledByDefault(t *testing.T) {
+	if debugChecksDefault {
+		// Built with -tags debugChecks: the default is intentionally on.
+		t.Skip("debugChecks build tag active")
+	}
+	p := New[int]("plain", 2, nil)
+	if p.DebugChecksEnabled() {
+		t.Fatal("checks must be off by default")
+	}
+	a := mustGetForTest(t, p)
+	p.Put(a)
+	p.AssertLive(a) // no-op without checks: must not panic
+}
+
+func mustGetForTest(t *testing.T, p *Pool[int]) *int {
+	t.Helper()
+	obj, err := p.Get()
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	return obj
+}

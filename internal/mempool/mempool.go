@@ -39,6 +39,11 @@ type Pool[T any] struct {
 	free  []*T
 	stats Stats
 	name  string
+
+	// inFree tracks which objects are currently on the freelist when debug
+	// checks are enabled (see EnableDebugChecks); nil in normal operation,
+	// so the hot path pays only a nil check.
+	inFree map[*T]bool
 }
 
 // New creates a pool of capacity n. If construct is non-nil it is invoked
@@ -60,6 +65,9 @@ func New[T any](name string, n int, construct func(*T)) *Pool[T] {
 		}
 		p.free = append(p.free, obj)
 	}
+	if debugChecksDefault {
+		p.EnableDebugChecks()
+	}
 	return p
 }
 
@@ -75,6 +83,9 @@ func (p *Pool[T]) Get() (*T, error) {
 	obj := p.free[len(p.free)-1]
 	p.free[len(p.free)-1] = nil
 	p.free = p.free[:len(p.free)-1]
+	if p.inFree != nil {
+		delete(p.inFree, obj)
+	}
 	p.stats.Gets++
 	p.stats.Outstanding++
 	if p.stats.Outstanding > p.stats.HighWater {
@@ -100,6 +111,9 @@ func (p *Pool[T]) Put(obj *T) {
 	if obj == nil {
 		panic(fmt.Sprintf("mempool %q: Put(nil)", p.name))
 	}
+	if p.inFree != nil && p.inFree[obj] {
+		panic(fmt.Sprintf("mempool %q: double Put of %p", p.name, obj))
+	}
 	if len(p.free) >= p.stats.Capacity {
 		panic(fmt.Sprintf("mempool %q: overflow on Put — double free?", p.name))
 	}
@@ -107,6 +121,9 @@ func (p *Pool[T]) Put(obj *T) {
 		r.Reset()
 	}
 	p.free = append(p.free, obj)
+	if p.inFree != nil {
+		p.inFree[obj] = true
+	}
 	p.stats.Puts++
 	p.stats.Outstanding--
 }

@@ -12,6 +12,7 @@ package offload
 
 import (
 	"fmt"
+	"sort"
 
 	"nba/internal/batch"
 	"nba/internal/element"
@@ -182,10 +183,6 @@ func sortedNames(m map[string]element.Datablock) []string {
 	for n := range m {
 		names = append(names, n)
 	}
-	for i := 1; i < len(names); i++ {
-		for j := i; j > 0 && names[j] < names[j-1]; j-- {
-			names[j], names[j-1] = names[j-1], names[j]
-		}
-	}
+	sort.Strings(names)
 	return names
 }

@@ -2,6 +2,7 @@ package sysinfo
 
 import (
 	"fmt"
+	"sort"
 
 	"nba/internal/simtime"
 )
@@ -303,7 +304,16 @@ func (m *CostModel) Validate() error {
 	if m.IdlePoll <= 0 {
 		return fmt.Errorf("sysinfo: IdlePoll must be positive, have %v", m.IdlePoll)
 	}
-	for k, d := range m.Devices {
+	// Iterate device kinds in sorted order so the first-reported error is
+	// stable across runs (map order would make it flap).
+	kinds := make([]int, 0, len(m.Devices))
+	for k := range m.Devices {
+		kinds = append(kinds, int(k))
+	}
+	sort.Ints(kinds)
+	for _, ki := range kinds {
+		k := DeviceKind(ki)
+		d := m.Devices[k]
 		if d.CopyBytesPerSec <= 0 {
 			return fmt.Errorf("sysinfo: device %v has non-positive copy bandwidth", k)
 		}

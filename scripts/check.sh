@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# check.sh — the one-command tier-1+ gate.
+#
+# Runs, in order:
+#   1. gofmt -l           formatting (whole tree, fixtures included)
+#   2. go vet ./...       stdlib vet analyzers
+#   3. go build ./...     everything compiles
+#   4. nbalint ./...      framework determinism & invariant lint (cmd/nbalint)
+#   5. go test -race ...  full test suite under the race detector
+#
+# The race run doubles as the regression tripwire for future parallel-worker
+# PRs: the engine is single-threaded by design, so any data race is new code
+# breaking the simulation contract.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> gofmt"
+unformatted=$(gofmt -l .)
+if [[ -n "$unformatted" ]]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> nbalint ./..."
+go run ./cmd/nbalint ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all gates passed"
