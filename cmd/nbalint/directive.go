@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -24,6 +25,7 @@ type directive struct {
 	reason string
 	pos    token.Pos
 	line   int
+	used   bool // suppressed at least one finding this run
 }
 
 // fileDirectives indexes the valid allow directives of one file by line.
@@ -75,13 +77,34 @@ func parseDirectives(fset *token.FileSet, f *ast.File, knownRules map[string]boo
 
 // allows reports whether a finding of rule at the given line is suppressed:
 // a matching directive must sit on the same line or the one directly above.
+// Matching directives are marked used for the -audit-allows pass.
 func (fd *fileDirectives) allows(rule string, line int) bool {
+	hit := false
 	for _, l := range [2]int{line, line - 1} {
-		for _, d := range fd.byLine[l] {
-			if d.rule == rule {
-				return true
+		ds := fd.byLine[l]
+		for i := range ds {
+			if ds[i].rule == rule {
+				ds[i].used = true
+				hit = true
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// unused returns the directives that suppressed nothing, in line order.
+func (fd *fileDirectives) unused() []directive {
+	var out []directive
+	for _, ds := range fd.byLine {
+		for _, d := range ds {
+			if !d.used {
+				out = append(out, d)
+			}
+		}
+	}
+	// Deterministic order for reporting (map iteration above is unordered;
+	// the caller sorts all findings by position anyway, but keep this stable
+	// on its own too).
+	sort.Slice(out, func(i, j int) bool { return out[i].line < out[j].line })
+	return out
 }

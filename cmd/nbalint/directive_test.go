@@ -47,7 +47,7 @@ func TestDirectives(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings := runPackage(l.fset, lp)
+	findings := runPackage(l.fset, lp, false)
 	lines := fixtureLines(t)
 
 	at := func(rule string, line int) bool {
@@ -95,6 +95,44 @@ func TestDirectives(t *testing.T) {
 		t.Errorf("unknown verb: no directive finding at line %d", unknownVerb)
 	}
 	assertMsg(t, findings, unknownVerb, "unknown nbalint directive")
+}
+
+// TestAuditAllows covers the -audit-allows pass: a well-formed directive
+// that suppresses nothing (here: placed two lines above its target, so out
+// of range) is flagged as stale, while directives that did suppress a
+// finding are not.
+func TestAuditAllows(t *testing.T) {
+	l := testLoader(t)
+	lp, err := l.load(directiveFixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := fixtureLines(t)
+
+	// Without the audit, the stale directive is silent.
+	stale := lineWhere(t, lines, "two lines up so it must not apply", 0)
+	for _, f := range runPackage(l.fset, lp, false) {
+		if f.pos.Line == stale && strings.Contains(f.msg, "suppresses nothing") {
+			t.Fatal("unused allow reported without -audit-allows")
+		}
+	}
+
+	findings := runPackage(l.fset, lp, true)
+	found := false
+	for _, f := range findings {
+		if !strings.Contains(f.msg, "suppresses nothing") {
+			continue
+		}
+		switch f.pos.Line {
+		case stale:
+			found = true
+		default:
+			t.Errorf("used directive at line %d flagged as stale", f.pos.Line)
+		}
+	}
+	if !found {
+		t.Errorf("stale directive at line %d not flagged by the audit", stale)
+	}
 }
 
 // exactLine returns the 1-based number of the line whose trimmed content

@@ -85,7 +85,7 @@ func TestAnalyzers(t *testing.T) {
 				t.Fatalf("loading %s: %v", tt.pkg, err)
 			}
 			got := map[string]int{}
-			for _, f := range runPackage(l.fset, lp) {
+			for _, f := range runPackage(l.fset, lp, false) {
 				got[findingKey(f)]++
 			}
 			want := wantFindings(t, lp.Dir)
@@ -187,7 +187,7 @@ func TestFixtureTreeFails(t *testing.T) {
 		if err != nil {
 			t.Fatalf("loading %s: %v", path, err)
 		}
-		total += len(runPackage(l.fset, lp))
+		total += len(runPackage(l.fset, lp, false))
 	}
 	if total == 0 {
 		t.Fatal("fixture tree produced no findings; the CLI would exit 0 on it")

@@ -20,10 +20,14 @@
 //
 //	//nbalint:allow <rule> <reason>
 //
+// Malformed directives (unknown rule, missing reason) are always findings;
+// with -audit-allows, directives that suppress nothing are flagged too.
+//
 // See DESIGN.md, section "Determinism contract & static enforcement".
 package main
 
 import (
+	"flag"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -65,6 +69,7 @@ var simPackagePrefixes = []string{
 	"nba/internal/gpu",
 	"nba/internal/lb",
 	"nba/internal/netio",
+	"nba/internal/trace",
 }
 
 func hasPathPrefix(path, prefix string) bool {
@@ -102,8 +107,10 @@ func knownRuleNames() map[string]bool {
 }
 
 // runPackage applies every applicable analyzer to one package and returns
-// the surviving (non-suppressed) findings.
-func runPackage(fset *token.FileSet, lp *lintPackage) []finding {
+// the surviving (non-suppressed) findings. With auditAllows set, an
+// //nbalint:allow directive that suppressed nothing is itself a finding —
+// stale escapes outlive the code they excused and hide future regressions.
+func runPackage(fset *token.FileSet, lp *lintPackage, auditAllows bool) []finding {
 	var raw []finding
 	report := func(pos token.Pos, rule, msg string) {
 		raw = append(raw, finding{pos: fset.Position(pos), rule: rule, msg: msg})
@@ -129,6 +136,21 @@ func runPackage(fset *token.FileSet, lp *lintPackage) []finding {
 			continue
 		}
 		out = append(out, f)
+	}
+	if auditAllows {
+		for _, f := range lp.Files {
+			fd := dirs[fset.Position(f.Pos()).Filename]
+			if fd == nil {
+				continue
+			}
+			for _, d := range fd.unused() {
+				out = append(out, finding{
+					pos:  fset.Position(d.pos),
+					rule: "directive",
+					msg:  fmt.Sprintf("//nbalint:allow %s suppresses nothing; remove the stale escape", d.rule),
+				})
+			}
+		}
 	}
 	return out
 }
@@ -210,7 +232,10 @@ func fixtureRootFor(dir string) (string, bool) {
 }
 
 func main() {
-	patterns := os.Args[1:]
+	auditAllows := flag.Bool("audit-allows", false,
+		"also flag //nbalint:allow directives that suppress no finding")
+	flag.Parse()
+	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -261,7 +286,7 @@ func main() {
 			loadFailed = true
 			continue
 		}
-		all = append(all, runPackage(l.fset, lp)...)
+		all = append(all, runPackage(l.fset, lp, *auditAllows)...)
 	}
 
 	sort.Slice(all, func(i, j int) bool {

@@ -1,0 +1,80 @@
+package ipsec
+
+import "testing"
+
+// TestReplayWindowEdges drives the window through its boundary conditions as
+// scripted step tables: each case is a fresh window and an ordered list of
+// Check calls with expected verdicts.
+func TestReplayWindowEdges(t *testing.T) {
+	type step struct {
+		seq  uint32
+		want bool
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{"zero always invalid", []step{
+			{0, false}, {1, true}, {0, false},
+		}},
+		{"exact duplicate of first", []step{
+			{7, true}, {7, false}, {7, false},
+		}},
+		{"exact duplicate of highest", []step{
+			{1, true}, {2, true}, {3, true}, {3, false},
+		}},
+		{"window boundary just inside", []step{
+			{100, true},
+			{100 - WindowSize + 1, true}, // oldest trackable slot
+			{100 - WindowSize + 1, false},
+		}},
+		{"window boundary just outside", []step{
+			{100, true},
+			{100 - WindowSize, false}, // distance == WindowSize: too old
+		}},
+		{"shift of exactly WindowSize resets the bitmap", []step{
+			{10, true},
+			{10 + WindowSize, true}, // shift == WindowSize clears history
+			{10, false},             // now exactly at the stale edge
+			{11, true},              // oldest in-window slot after the reset
+		}},
+		{"far-future jump invalidates the past", []step{
+			{5, true},
+			{5 + 1000*WindowSize, true},
+			{5 + 999*WindowSize, false}, // long before the new window
+			{6, false},
+			{5 + 1000*WindowSize - 1, true}, // inside the new window, unseen
+		}},
+		{"jump to max then stay", []step{
+			{0xFFFFFFFF, true},
+			{0xFFFFFFFF, false},
+			{0xFFFFFFFF - WindowSize + 1, true},
+			{0xFFFFFFFF - WindowSize, false},
+		}},
+		{"no ESN: sequence wraparound is rejected", []step{
+			// RFC 4303 without extended sequence numbers: after the 32-bit
+			// counter tops out, small sequence numbers are ancient history,
+			// not a new epoch. The SA must be rekeyed instead.
+			{0xFFFFFFF0, true},
+			{1, false},
+			{2, false},
+			{0xFFFFFFFF, true}, // forward movement below the cap still works
+		}},
+		{"out-of-order fill then duplicates", []step{
+			{10, true}, {8, true}, {9, true}, {6, true},
+			{8, false}, {9, false}, {6, false}, {10, false},
+			{7, true}, {7, false},
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var w ReplayWindow
+			for i, s := range c.steps {
+				if got := w.Check(s.seq); got != s.want {
+					t.Fatalf("step %d: Check(%d) = %v, want %v (highest %d)",
+						i, s.seq, got, s.want, w.Highest())
+				}
+			}
+		})
+	}
+}

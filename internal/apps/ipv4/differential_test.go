@@ -1,0 +1,91 @@
+package ipv4
+
+import (
+	"testing"
+
+	"nba/internal/rng"
+)
+
+// probesFor derives boundary-biased probe addresses from one route: the first
+// and last address the prefix covers, the addresses just outside on both
+// sides, and the /24 and /8 alignment points DIR-24-8 is sensitive to (where
+// a lookup crosses from TBL24 into a TBLlong block).
+func probesFor(r Route) []uint32 {
+	var mask uint32
+	if r.PLen > 0 {
+		mask = ^uint32(0) << (32 - r.PLen)
+	}
+	base := r.Prefix & mask
+	last := base | ^mask
+	return []uint32{
+		base, last,
+		base - 1, last + 1, // just outside (wraps at 0 / max, still valid probes)
+		base &^ 0xFF, base | 0xFF, // ends of the containing /24 block
+		(base &^ 0xFF) - 1, (base | 0xFF) + 1, // adjacent /24 blocks
+		base ^ 0x80000000, // far half of the address space
+	}
+}
+
+// TestDifferentialAgainstNaive cross-checks DIR-24-8 against the linear-scan
+// LPM oracle over several independently seeded tables, probing both uniform
+// random addresses and boundary-biased addresses derived from every route.
+// The single-table property tests above catch gross errors; sweeping table
+// densities exercises different TBL24/TBLlong occupancy patterns.
+func TestDifferentialAgainstNaive(t *testing.T) {
+	cases := []struct {
+		n, nextHops int
+		seed        uint64
+	}{
+		{100, 4, 21},    // sparse: mostly misses
+		{1000, 64, 22},  // moderate
+		{4000, 256, 23}, // dense: heavy TBLlong spill
+	}
+	for _, c := range cases {
+		routes := RandomRoutes(c.n, c.nextHops, c.seed)
+		table, err := NewTable(routes)
+		if err != nil {
+			t.Fatalf("seed %d: %v", c.seed, err)
+		}
+		for _, r := range routes {
+			for _, addr := range probesFor(r) {
+				if got, want := table.Lookup(addr), table.NaiveLookup(addr); got != want {
+					t.Fatalf("seed %d: Lookup(%#08x) = %d, oracle %d (route %+v)",
+						c.seed, addr, got, want, r)
+				}
+			}
+		}
+		rand := rng.New(c.seed * 1000)
+		for i := 0; i < 2000; i++ {
+			addr := rand.Uint32()
+			if got, want := table.Lookup(addr), table.NaiveLookup(addr); got != want {
+				t.Fatalf("seed %d: Lookup(%#08x) = %d, oracle %d", c.seed, addr, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialDuplicateAndOverlap builds a hand-crafted table of nested
+// and duplicate prefixes — the configurations where insertion order matters —
+// and checks exhaustive agreement over the covered /24.
+func TestDifferentialDuplicateAndOverlap(t *testing.T) {
+	routes := []Route{
+		{Prefix: 0x0A010100, PLen: 24, NextHop: 1},
+		{Prefix: 0x0A010100, PLen: 25, NextHop: 2},
+		{Prefix: 0x0A010180, PLen: 25, NextHop: 3},
+		{Prefix: 0x0A010140, PLen: 26, NextHop: 4},
+		{Prefix: 0x0A010100, PLen: 24, NextHop: 5}, // duplicate /24, later wins
+		{Prefix: 0x0A0101C0, PLen: 30, NextHop: 6},
+		{Prefix: 0x0A0101C0, PLen: 30, NextHop: 7}, // duplicate /30, later wins
+		{Prefix: 0x0A0101FF, PLen: 32, NextHop: 8},
+		{Prefix: 0x0A010000, PLen: 16, NextHop: 9},
+	}
+	table, err := NewTable(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint32(0x0A010000); a <= 0x0A0102FF; a++ {
+		if got, want := table.Lookup(a), table.NaiveLookup(a); got != want {
+			t.Fatalf("Lookup(%#08x) = %d, oracle %d", a, got, want)
+		}
+	}
+}

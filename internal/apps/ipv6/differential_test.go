@@ -1,0 +1,126 @@
+package ipv6
+
+import (
+	"testing"
+
+	"nba/internal/packet"
+	"nba/internal/rng"
+)
+
+// flipBit returns a with bit i (0 = most significant) inverted.
+func flipBit(a packet.IPv6Addr, i int) packet.IPv6Addr {
+	if i < 64 {
+		a.Hi ^= 1 << uint(63-i)
+	} else {
+		a.Lo ^= 1 << uint(127-i)
+	}
+	return a
+}
+
+// suffixOnes returns a with every bit below plen set — the last address the
+// prefix covers.
+func suffixOnes(a packet.IPv6Addr, plen int) packet.IPv6Addr {
+	m := a.Mask(plen)
+	switch {
+	case plen <= 0:
+		return packet.IPv6Addr{Hi: ^uint64(0), Lo: ^uint64(0)}
+	case plen >= 128:
+		return m
+	case plen <= 64:
+		m.Hi |= 1<<uint(64-plen) - 1
+		m.Lo = ^uint64(0)
+	default:
+		m.Lo |= 1<<uint(128-plen) - 1
+	}
+	return m
+}
+
+// probesFor derives boundary-biased probes from one route: first and last
+// covered address, the address just outside the prefix (highest prefix bit
+// flipped at the boundary), and the same points masked one level shorter —
+// the addresses where Waldvogel's marker-guided binary search changes
+// direction.
+func probesFor(r Route) []packet.IPv6Addr {
+	base := r.Prefix.Mask(r.PLen)
+	probes := []packet.IPv6Addr{base, suffixOnes(base, r.PLen)}
+	if r.PLen > 0 {
+		probes = append(probes,
+			flipBit(base, r.PLen-1), // sibling subtree at the same depth
+			suffixOnes(flipBit(base, r.PLen-1), r.PLen),
+			base.Mask(r.PLen-1), // one level up
+		)
+	}
+	if r.PLen < 128 {
+		probes = append(probes, flipBit(suffixOnes(base, r.PLen+1), r.PLen)) // deeper split point
+	}
+	return probes
+}
+
+// TestDifferentialAgainstNaive cross-checks the Waldvogel search against the
+// linear-scan LPM oracle over several independently seeded tables: random
+// probes plus boundary-biased probes from every route. Different seeds and
+// densities change which prefix-length levels exist and therefore the whole
+// binary-search/marker layout.
+func TestDifferentialAgainstNaive(t *testing.T) {
+	cases := []struct {
+		n, nextHops int
+		seed        uint64
+	}{
+		{50, 4, 31},     // few levels
+		{1000, 64, 32},  // moderate
+		{5000, 256, 33}, // most levels populated, many markers
+	}
+	for _, c := range cases {
+		routes := RandomRoutes(c.n, c.nextHops, c.seed)
+		table, err := NewTable(routes)
+		if err != nil {
+			t.Fatalf("seed %d: %v", c.seed, err)
+		}
+		for _, rt := range routes {
+			for _, probe := range probesFor(rt) {
+				if got, want := table.Lookup(probe), table.NaiveLookup(probe); got != want {
+					t.Fatalf("seed %d: Lookup(%v) = %d, oracle %d (route plen=%d %v)",
+						c.seed, probe, got, want, rt.PLen, rt.Prefix)
+				}
+			}
+		}
+		rand := rng.New(c.seed * 1000)
+		for i := 0; i < 1000; i++ {
+			probe := packet.IPv6Addr{Hi: rand.Uint64(), Lo: rand.Uint64()}
+			if got, want := table.Lookup(probe), table.NaiveLookup(probe); got != want {
+				t.Fatalf("seed %d: Lookup(%v) = %d, oracle %d", c.seed, probe, got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialNestedPrefixes pins the marker-heavy case: a chain of
+// nested prefixes along one path plus decoys on sibling paths, checked at
+// every split point.
+func TestDifferentialNestedPrefixes(t *testing.T) {
+	base := packet.IPv6Addr{Hi: 0x20010DB800000000}
+	var routes []Route
+	for i, plen := range []int{16, 32, 48, 64, 80, 96, 112, 128} {
+		routes = append(routes, Route{Prefix: base.Mask(plen), PLen: plen, NextHop: uint16(i + 1)})
+		// A decoy in the sibling subtree at each depth.
+		routes = append(routes, Route{Prefix: flipBit(base, plen-1).Mask(plen), PLen: plen, NextHop: uint16(100 + i)})
+	}
+	table, err := NewTable(routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rt := range routes {
+		for _, probe := range probesFor(rt) {
+			if got, want := table.Lookup(probe), table.NaiveLookup(probe); got != want {
+				t.Fatalf("Lookup(%v) = %d, oracle %d (route plen=%d)", probe, got, want, rt.PLen)
+			}
+		}
+	}
+	// Every bit position along the chain, inside and outside.
+	for bit := 0; bit < 128; bit++ {
+		probe := flipBit(suffixOnes(base, 128), bit)
+		if got, want := table.Lookup(probe), table.NaiveLookup(probe); got != want {
+			t.Fatalf("bit %d: Lookup(%v) = %d, oracle %d", bit, probe, got, want)
+		}
+	}
+}

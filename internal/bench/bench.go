@@ -16,6 +16,7 @@ import (
 	"nba/internal/packet"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
+	"nba/internal/trace"
 
 	"nba/internal/apps/ipv6"
 
@@ -165,6 +166,8 @@ type RunSpec struct {
 	CaptureTx int
 	// GeneratorChanges swap the traffic mix mid-run.
 	GeneratorChanges []core.GeneratorChange
+	// Tracer, when non-nil, records the run's structured event stream.
+	Tracer *trace.Tracer
 }
 
 // Execute assembles and runs one system.
@@ -208,6 +211,7 @@ func ExecuteConfig(cfgText string, spec RunSpec) (*core.Report, error) {
 		ALBLatencyBound:   spec.LatencyBound,
 		CaptureTx:         spec.CaptureTx,
 		GeneratorChanges:  spec.GeneratorChanges,
+		Tracer:            spec.Tracer,
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {

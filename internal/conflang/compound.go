@@ -44,6 +44,9 @@ func (p *parser) parseElementClass() error {
 	if err != nil {
 		return err
 	}
+	if err := checkName(nameTok); err != nil {
+		return err
+	}
 	if _, dup := p.templates[nameTok.text]; dup {
 		return &SyntaxError{Line: nameTok.line, Col: nameTok.col,
 			Msg: fmt.Sprintf("elementclass %q defined twice", nameTok.text)}

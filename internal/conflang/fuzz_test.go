@@ -1,0 +1,69 @@
+package conflang
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePrint fuzzes the lexer+parser and checks the printer round-trip:
+// any input that parses must re-render (via Print) into a form that parses
+// again, and the canonical rendering must be a fixed point — printing the
+// re-parsed config reproduces the same text byte for byte. Inputs that fail
+// to parse are fine; the parser just must reject them with an error, never a
+// panic.
+func FuzzParsePrint(f *testing.F) {
+	seeds := []string{
+		``,
+		`FromInput() -> CheckIPHeader() -> ToOutput();`,
+		`a :: NoOp("x", "y\n\"z\\"); FromInput() -> a -> ToOutput();`,
+		`b :: RandomWeightedBranch("0.3");
+		 FromInput() -> b;
+		 b[0] -> ToOutput();
+		 b[1] -> Discard();`,
+		`FromInput() -> LoadBalance("fixed=0.8")
+			-> IPLookup("entries=65536", "seed=42") -> DecIPTTL() -> ToOutput();`,
+		`elementclass P { input -> NoOp() -> output; }
+		 FromInput() -> P() -> ToOutput();`,
+		`x[1] -> [2]y;`,
+		`// comment only`,
+		`a :: B("`,    // unterminated string
+		`a -> [b;`,    // malformed bracket
+		`:: Class();`, // missing name
+		"a :: B(\"\t\\\"\"); a -> a;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		cfg, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; a panic would fail the fuzz run
+		}
+		printed := cfg.Print()
+		cfg2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("canonical rendering failed to re-parse: %v\nsource:\n%s\nprinted:\n%s", err, src, printed)
+		}
+		if again := cfg2.Print(); again != printed {
+			t.Fatalf("Print is not a fixed point:\nfirst:\n%s\nsecond:\n%s\nsource:\n%s", printed, again, src)
+		}
+		if len(cfg2.Decls) != len(cfg.Decls) || len(cfg2.Edges) != len(cfg.Edges) {
+			t.Fatalf("round-trip changed shape: %d/%d decls, %d/%d edges\nsource:\n%s",
+				len(cfg.Decls), len(cfg2.Decls), len(cfg.Edges), len(cfg2.Edges), src)
+		}
+		for i := range cfg.Decls {
+			a, b := cfg.Decls[i], cfg2.Decls[i]
+			if printableName(a.Name) != b.Name || a.Class != b.Class ||
+				strings.Join(a.Params, "\x00") != strings.Join(b.Params, "\x00") {
+				t.Fatalf("decl %d changed across round-trip: %+v -> %+v\nsource:\n%s", i, a, b, src)
+			}
+		}
+		for i := range cfg.Edges {
+			a, b := cfg.Edges[i], cfg2.Edges[i]
+			if printableName(a.From) != b.From || printableName(a.To) != b.To ||
+				a.FromPort != b.FromPort || a.ToPort != b.ToPort {
+				t.Fatalf("edge %d changed across round-trip: %+v -> %+v\nsource:\n%s", i, a, b, src)
+			}
+		}
+	})
+}

@@ -106,7 +106,21 @@ func (p *parser) statement() error {
 	return p.connection(first)
 }
 
+// checkName rejects digit-led tokens in name or class position: the lexer
+// admits bare integers only so port brackets can use them, and a digit-led
+// instance name could not be re-parsed from Print output.
+func checkName(tok token) error {
+	if c := tok.text[0]; c >= '0' && c <= '9' {
+		return &SyntaxError{Line: tok.line, Col: tok.col,
+			Msg: fmt.Sprintf("element or class name cannot start with a digit: %q", tok.text)}
+	}
+	return nil
+}
+
 func (p *parser) declaration(nameTok token) error {
+	if err := checkName(nameTok); err != nil {
+		return err
+	}
 	if _, exists := p.cfg.byName[nameTok.text]; exists {
 		return &SyntaxError{Line: nameTok.line, Col: nameTok.col,
 			Msg: fmt.Sprintf("element %q declared twice", nameTok.text)}
@@ -120,6 +134,9 @@ func (p *parser) declaration(nameTok token) error {
 	}
 	classTok, err := p.expect(tokIdent)
 	if err != nil {
+		return err
+	}
+	if err := checkName(classTok); err != nil {
 		return err
 	}
 	params, err := p.paramList()
@@ -181,6 +198,9 @@ func (p *parser) paramList() ([]string, error) {
 // an anonymous `Class(params)` instantiation, with optional trailing
 // `[outport]`.
 func (p *parser) nodeRef(tok token) (name string, outPort int, err error) {
+	if err := checkName(tok); err != nil {
+		return "", 0, err
+	}
 	if p.tok.kind == tokLParen {
 		// Anonymous instantiation.
 		params, perr := p.paramList()

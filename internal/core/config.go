@@ -12,6 +12,7 @@ import (
 	"nba/internal/netio"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
+	"nba/internal/trace"
 )
 
 // RateChange alters the offered load mid-run (workload-shift experiments).
@@ -89,6 +90,11 @@ type Config struct {
 	// CaptureTx, when positive, records the first N transmitted frames
 	// (with virtual timestamps) into Report.Capture for pcap export.
 	CaptureTx int
+
+	// Tracer, when non-nil, records the run's structured event stream
+	// (engine dispatch, element batches, GPU phases, LB updates, NIC
+	// rx/drop). nil disables tracing with zero hot-path cost.
+	Tracer *trace.Tracer
 
 	// ForceRemoteMemory emulates placing packet buffers on the remote
 	// socket: every element cost is inflated by the cost model's

@@ -11,6 +11,7 @@ import (
 	"nba/internal/rng"
 	"nba/internal/simtime"
 	"nba/internal/stats"
+	"nba/internal/trace"
 )
 
 // System is one assembled NBA instance on the virtual clock.
@@ -44,6 +45,11 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	s := &System{cfg: cfg, eng: simtime.NewEngine()}
 	s.stopTime = cfg.Warmup + cfg.Duration
+	if tr := cfg.Tracer; tr != nil {
+		s.eng.OnFire = func(at simtime.Time, fired uint64) {
+			tr.Emit(at, trace.KindDispatch, -1, "", int64(fired), 0, 0, 0)
+		}
+	}
 	s.tailMarkBytes = make([]uint64, len(cfg.Topology.Ports))
 	s.tailEndBytes = make([]uint64, len(cfg.Topology.Ports))
 
@@ -63,6 +69,8 @@ func NewSystem(cfg Config) (*System, error) {
 		if err != nil {
 			return nil, fmt.Errorf("core: device %d: %w", i, err)
 		}
+		dev.Tracer = cfg.Tracer
+		dev.TraceActor = int32(i)
 		s.devices = append(s.devices, dev)
 	}
 
@@ -72,6 +80,7 @@ func NewSystem(cfg Config) (*System, error) {
 		port := netio.NewPort(hw, cfg.WorkersPerSocket, cfg.Generator, pps, top.RxQueueCapacity)
 		for _, q := range port.Rx {
 			q.SetStop(s.stopTime)
+			q.Tracer = cfg.Tracer
 		}
 		s.ports = append(s.ports, port)
 	}
@@ -97,6 +106,9 @@ func NewSystem(cfg Config) (*System, error) {
 		if st, ok := s.nodeLocals[socket].Get(lb.StateKey).(*lb.State); ok && st.AdaptiveUsers > 0 {
 			ctl := lb.NewController(st)
 			ctl.Bound = cfg.ALBLatencyBound
+			ctl.Tracer = cfg.Tracer
+			ctl.TraceNow = s.eng.Now
+			ctl.TraceActor = int32(socket)
 			s.controllers = append(s.controllers, ctl)
 		} else {
 			s.controllers = append(s.controllers, nil)

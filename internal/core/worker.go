@@ -78,6 +78,11 @@ func newWorker(s *System, id, socket, local int, localPorts, localDevs []int) (*
 		return nil, fmt.Errorf("core: worker %d: %w", id, err)
 	}
 	w.g = g
+	if s.cfg.Tracer != nil {
+		w.g.Tracer = s.cfg.Tracer
+		w.g.TraceNow = w.now
+		w.g.TraceActor = int32(id)
+	}
 	w.pctx = element.ProcContext{
 		Worker:    id,
 		Socket:    socket,

@@ -23,6 +23,7 @@ import (
 
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
+	"nba/internal/trace"
 )
 
 // Task is one aggregated offload task.
@@ -86,6 +87,12 @@ type Device struct {
 
 	nextID uint64
 	stats  Stats
+
+	// Tracer, when non-nil, receives one event per command-queue phase
+	// (submit, H2D copy, launch, kernel, D2H return). TraceActor identifies
+	// the device in multi-device traces.
+	Tracer     *trace.Tracer
+	TraceActor int32
 }
 
 // New creates a device on the given engine.
@@ -151,6 +158,24 @@ func (d *Device) Submit(t *Task) {
 	d.stats.LastFinish = t.Finish
 	if wait := hostStart - now; wait > d.stats.MaxQueueWait {
 		d.stats.MaxQueueWait = wait
+	}
+
+	if d.Tracer != nil {
+		// Phase events carry their scheduled end time in At and (for the
+		// copy/kernel phases) the phase start in C, so the command-queue
+		// pipeline can be reconstructed as slices.
+		tid := int64(t.ID)
+		wrk := int64(t.Worker)
+		d.Tracer.Emit(now, trace.KindGPUSubmit, d.TraceActor, d.Name,
+			tid, int64(t.NPkts), int64(d.Backlog()), wrk)
+		d.Tracer.Emit(t.H2DDone, trace.KindGPUCopyH2D, d.TraceActor, d.Name,
+			tid, int64(t.H2DBytes), int64(h2dStart), wrk)
+		d.Tracer.Emit(kstart, trace.KindGPULaunch, d.TraceActor, d.Name,
+			tid, int64(t.Kernels), 0, wrk)
+		d.Tracer.Emit(t.KernelDone, trace.KindGPUKernel, d.TraceActor, d.Name,
+			tid, int64(t.NPkts), int64(kstart), wrk)
+		d.Tracer.Emit(t.Finish, trace.KindGPUCopyD2H, d.TraceActor, d.Name,
+			tid, int64(t.D2HBytes), int64(d2hStart), wrk)
 	}
 
 	d.eng.At(t.KernelDone, func() {

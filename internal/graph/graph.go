@@ -21,6 +21,7 @@ import (
 	"nba/internal/packet"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
+	"nba/internal/trace"
 )
 
 // unconnected marks an output port with no successor.
@@ -114,6 +115,16 @@ type Graph struct {
 
 	// DropUnrouted counts packets that reached an unconnected output port.
 	DropUnrouted uint64
+
+	// Tracer, when non-nil, receives one trace.KindBatch event per element
+	// batch (element name, live packets, cycles charged, node ID). TraceNow
+	// supplies the worker's current virtual time and TraceActor identifies
+	// the worker. These are optional observability hooks set by the owning
+	// worker; they are deliberately not part of the Env interface so test
+	// environments need not implement them.
+	Tracer     *trace.Tracer
+	TraceNow   func() simtime.Time
+	TraceActor int32
 }
 
 // Build instantiates a parsed configuration into an executable graph,
@@ -329,7 +340,13 @@ func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem, stack *[
 
 	// Per-batch elements run once per batch without decomposing it.
 	if n.batchElem != nil {
-		env.Charge(scaled(n.cost.Fixed+simtime.Cycles(n.cost.PerByte*float64(b.TotalBytes())), pctx))
+		live := b.Live()
+		charged := scaled(n.cost.Fixed+simtime.Cycles(n.cost.PerByte*float64(b.TotalBytes())), pctx)
+		env.Charge(charged)
+		if g.Tracer != nil {
+			g.Tracer.Emit(g.TraceNow(), trace.KindBatch, g.TraceActor, n.Name,
+				int64(live), int64(charged), int64(n.ID), 0)
+		}
 		r := n.batchElem.ProcessBatch(pctx, b)
 		n.Processed += uint64(b.Live())
 		if r == batch.ResultDrop {
@@ -348,6 +365,7 @@ func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem, stack *[
 	// §3.2: "NBA runs an iteration loop over packets in the input batch at
 	// every element whereas elements expose only a per-packet interface").
 	var cycles simtime.Cycles
+	live := b.Live()
 	nOut := len(n.out)
 	b.ForEachLive(func(i int, pkt *packet.Packet) {
 		pctx.ExtraCycles = 0
@@ -359,7 +377,12 @@ func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem, stack *[
 		cycles += n.cost.Cycles(pkt.Length()) + pctx.ExtraCycles
 		n.Processed++
 	})
-	env.Charge(scaled(cycles, pctx))
+	charged := scaled(cycles, pctx)
+	env.Charge(charged)
+	if g.Tracer != nil {
+		g.Tracer.Emit(g.TraceNow(), trace.KindBatch, g.TraceActor, n.Name,
+			int64(live), int64(charged), int64(n.ID), 0)
+	}
 
 	if n.isSink {
 		g.finishAtSink(env, n, b)

@@ -14,6 +14,7 @@ package lb
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -22,6 +23,7 @@ import (
 	"nba/internal/packet"
 	"nba/internal/simtime"
 	"nba/internal/stats"
+	"nba/internal/trace"
 )
 
 // StateKey is the node-local storage key of the shared balancing state.
@@ -169,6 +171,13 @@ type Controller struct {
 	bounces int // consecutive rejected perturbations at a boundary
 	// Trace records (W, throughput) after each update for diagnostics.
 	Trace []TracePoint
+
+	// Tracer, when non-nil, receives one trace.KindLBUpdate event per
+	// control step that changed W (mirroring Trace). TraceNow supplies the
+	// current virtual time; TraceActor identifies the socket.
+	Tracer     *trace.Tracer
+	TraceNow   func() simtime.Time
+	TraceActor int32
 }
 
 // TracePoint is one controller update observation.
@@ -253,6 +262,22 @@ func (c *Controller) Update() {
 		c.bounces = 0
 		c.wait = ramp
 	}
+	c.emitTrace(w, cur)
+}
+
+// emitTrace records one control step on the run tracer. Float payloads are
+// carried as math.Float64bits so the event stream stays bit-exact.
+func (c *Controller) emitTrace(w, throughput float64) {
+	if c.Tracer == nil {
+		return
+	}
+	var now simtime.Time
+	if c.TraceNow != nil {
+		now = c.TraceNow()
+	}
+	c.Tracer.Emit(now, trace.KindLBUpdate, c.TraceActor, "alb",
+		int64(math.Float64bits(w)), int64(math.Float64bits(throughput)),
+		int64(c.dir), int64(c.wait))
 }
 
 // UpdateWithLatency is the bounded-latency control step: while the observed
@@ -284,4 +309,5 @@ func (c *Controller) UpdateWithLatency(p99 simtime.Time) {
 	c.bounces = 0
 	c.Trace = append(c.Trace, TracePoint{W: w, Throughput: -p99.Micros()})
 	c.wait = c.MinWait
+	c.emitTrace(w, -p99.Micros())
 }

@@ -22,6 +22,7 @@ import (
 	"nba/internal/simtime"
 	"nba/internal/stats"
 	"nba/internal/sysinfo"
+	"nba/internal/trace"
 )
 
 // Generator produces packet contents. Implementations live in internal/gen.
@@ -63,6 +64,13 @@ type RxQueue struct {
 	delivered    uint64
 	dropped      uint64 // queue overflow drops
 	allocFailed  uint64 // mempool exhaustion drops
+
+	// Tracer, when non-nil, receives rx / rx.drop events from Poll. Drops
+	// are accounted delta-wise (overflow drops happen lazily in advance, so
+	// each poll reports the drops accumulated since the previous one).
+	Tracer           *trace.Tracer
+	tracedDrops      uint64
+	tracedAllocFails uint64
 }
 
 // NewRxQueue creates a queue fed by gen at the given per-queue packet rate.
@@ -135,6 +143,7 @@ func (q *RxQueue) advance(now simtime.Time) {
 // It returns the packets received. Buffer-pool exhaustion drops packets
 // (and counts them in AllocFailed).
 func (q *RxQueue) Poll(now simtime.Time, burst int, pool *PacketPool, out []*packet.Packet) []*packet.Packet {
+	start := len(out)
 	q.advance(now)
 	backlog := q.arrivalsSeen - q.delivered - q.dropped
 	n := uint64(burst)
@@ -158,6 +167,18 @@ func (q *RxQueue) Poll(now simtime.Time, burst int, pool *PacketPool, out []*pac
 		p.Anno[packet.AnnoInPort] = uint64(q.Port)
 		out = append(out, p)
 		q.delivered++
+	}
+	if q.Tracer != nil {
+		if q.dropped > q.tracedDrops {
+			q.Tracer.Emit(now, trace.KindRxDrop, int32(q.Port), "",
+				int64(q.Queue), int64(q.dropped-q.tracedDrops), int64(q.allocFailed-q.tracedAllocFails), 0)
+			q.tracedDrops = q.dropped
+			q.tracedAllocFails = q.allocFailed
+		}
+		if delivered := len(out) - start; delivered > 0 {
+			q.Tracer.Emit(now, trace.KindRx, int32(q.Port), "",
+				int64(q.Queue), int64(delivered), int64(q.arrivalsSeen-q.delivered-q.dropped), 0)
+		}
 	}
 	return out
 }

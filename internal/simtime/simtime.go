@@ -142,6 +142,13 @@ type Engine struct {
 
 	// Fired counts events executed; useful for progress/diagnostics.
 	Fired uint64
+
+	// OnFire, when non-nil, is invoked for every executed event just before
+	// its callback runs, with the event's timestamp and its execution index
+	// (the value Fired had when the event fired, counting from 1). It exists
+	// for the trace observability layer; it must not schedule or cancel
+	// events.
+	OnFire func(at Time, fired uint64)
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -220,5 +227,8 @@ func (e *Engine) step() {
 	ev.fn = nil
 	ev.dead = true
 	e.Fired++
+	if e.OnFire != nil {
+		e.OnFire(e.now, e.Fired)
+	}
 	fn()
 }

@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"testing"
+
+	"nba/internal/simtime"
+)
+
+// TestMeterRateSinceFrozenByEnd is the regression test for the frozen-window
+// bug: traffic counted after End used to leak into RateSince because it read
+// the live Counter instead of the counts End captured.
+func TestMeterRateSinceFrozenByEnd(t *testing.T) {
+	var m Meter
+	m.Mark(0)
+	m.Counter.Add(1000, 100_000)
+	m.End(simtime.Second)
+	wantPPS, wantBPS := 1000.0, 800_000.0
+
+	// Drain traffic after the window closed must not change the rate,
+	// whether read exactly at the end time or later.
+	m.Counter.Add(5000, 500_000)
+	for _, now := range []simtime.Time{simtime.Second, 2 * simtime.Second, 10 * simtime.Second} {
+		pps, bps := m.RateSince(now)
+		if pps != wantPPS || bps != wantBPS {
+			t.Fatalf("RateSince(%v) after End = (%v, %v), want (%v, %v)", now, pps, bps, wantPPS, wantBPS)
+		}
+	}
+	if pps, bps := m.RateWindow(); pps != wantPPS || bps != wantBPS {
+		t.Fatalf("RateWindow = (%v, %v), want (%v, %v)", pps, bps, wantPPS, wantBPS)
+	}
+}
+
+func TestMeterRateSinceBeforeEndTimeStaysLive(t *testing.T) {
+	var m Meter
+	m.Mark(0)
+	m.Counter.Add(100, 10_000)
+	m.End(2 * simtime.Second)
+	// A read strictly before the frozen end still reflects the live counter:
+	// the freeze only clamps reads at or beyond the end time.
+	m.Counter.Add(100, 10_000)
+	pps, _ := m.RateSince(simtime.Second)
+	if pps != 200 {
+		t.Fatalf("RateSince before endTime = %v pps, want live 200", pps)
+	}
+}
+
+func TestMeterMarkReopensFrozenWindow(t *testing.T) {
+	var m Meter
+	m.Mark(0)
+	m.Counter.Add(10, 1000)
+	m.End(simtime.Second)
+
+	// Mark must clear the frozen state so a new interval measures afresh.
+	m.Mark(2 * simtime.Second)
+	m.Counter.Add(300, 30_000)
+	pps, _ := m.RateSince(3 * simtime.Second)
+	if pps != 300 {
+		t.Fatalf("reopened window RateSince = %v pps, want 300", pps)
+	}
+}
+
+func TestMeterEndWithoutMark(t *testing.T) {
+	// End before/without Mark: the window spans from the zero mark time.
+	var m Meter
+	m.Counter.Add(500, 50_000)
+	m.End(simtime.Second)
+	if pps, _ := m.RateWindow(); pps != 500 {
+		t.Fatalf("RateWindow without Mark = %v pps, want 500", pps)
+	}
+	if pps, _ := m.RateSince(5 * simtime.Second); pps != 500 {
+		t.Fatalf("RateSince without Mark = %v pps, want frozen 500", pps)
+	}
+}
+
+func TestMeterZeroLengthWindows(t *testing.T) {
+	var m Meter
+	m.Mark(simtime.Second)
+	m.Counter.Add(100, 10_000)
+
+	// Zero-length and negative intervals report zero rather than Inf/NaN.
+	if pps, bps := m.RateSince(simtime.Second); pps != 0 || bps != 0 {
+		t.Fatalf("zero-length RateSince = (%v, %v), want zeros", pps, bps)
+	}
+	if pps, bps := m.RateSince(simtime.Millisecond); pps != 0 || bps != 0 {
+		t.Fatalf("negative-interval RateSince = (%v, %v), want zeros", pps, bps)
+	}
+
+	// End at the mark time: a zero-length frozen window.
+	m.End(simtime.Second)
+	if pps, bps := m.RateWindow(); pps != 0 || bps != 0 {
+		t.Fatalf("zero-length RateWindow = (%v, %v), want zeros", pps, bps)
+	}
+	if pps, bps := m.RateSince(2 * simtime.Second); pps != 0 || bps != 0 {
+		t.Fatalf("RateSince over zero-length frozen window = (%v, %v), want zeros", pps, bps)
+	}
+}
+
+func TestMeterEndThenEarlierEnd(t *testing.T) {
+	// A second End re-freezes: last call wins, like repeated Mark.
+	var m Meter
+	m.Mark(0)
+	m.Counter.Add(100, 10_000)
+	m.End(simtime.Second)
+	m.Counter.Add(100, 10_000)
+	m.End(2 * simtime.Second)
+	if pps, _ := m.RateWindow(); pps != 100 {
+		t.Fatalf("re-frozen RateWindow = %v pps, want 100", pps)
+	}
+}

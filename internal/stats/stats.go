@@ -31,33 +31,44 @@ type Meter struct {
 	markTime  simtime.Time
 	markPkts  uint64
 	markBytes uint64
+	ended     bool
 	endTime   simtime.Time
 	endPkts   uint64
 	endBytes  uint64
 }
 
-// Mark starts a measurement interval at time now.
+// Mark starts a measurement interval at time now, reopening the window if a
+// previous one was frozen by End.
 func (m *Meter) Mark(now simtime.Time) {
 	m.markTime = now
 	m.markPkts = m.Counter.Packets
 	m.markBytes = m.Counter.WireBytes
+	m.ended = false
 }
 
 // RateSince returns (pps, bps) over the interval from the last Mark to now.
+// Once End has frozen the window, reads at or beyond the end time use the
+// frozen counts, so post-End drain traffic never inflates the rate.
 func (m *Meter) RateSince(now simtime.Time) (pps, bps float64) {
+	pkts, bytes := m.Counter.Packets, m.Counter.WireBytes
+	if m.ended && now >= m.endTime {
+		now = m.endTime
+		pkts, bytes = m.endPkts, m.endBytes
+	}
 	dt := (now - m.markTime).Seconds()
 	if dt <= 0 {
 		return 0, 0
 	}
-	pps = float64(m.Counter.Packets-m.markPkts) / dt
-	bps = float64(m.Counter.WireBytes-m.markBytes) * 8 / dt
+	pps = float64(pkts-m.markPkts) / dt
+	bps = float64(bytes-m.markBytes) * 8 / dt
 	return pps, bps
 }
 
 // End freezes the measurement window at time now. Traffic counted after End
 // (e.g. packets drained from queues after arrivals stop) is excluded from
-// RateWindow.
+// RateWindow and from RateSince reads at or beyond now.
 func (m *Meter) End(now simtime.Time) {
+	m.ended = true
 	m.endTime = now
 	m.endPkts = m.Counter.Packets
 	m.endBytes = m.Counter.WireBytes
@@ -283,6 +294,77 @@ func (h *Hist) Merge(other *Hist) {
 	}
 	h.count += other.count
 	h.sum += other.sum
+}
+
+// Quantiles collects integer samples (queue depths, batch sizes) and reports
+// exact order statistics. Unlike Hist it stores every sample, so it is meant
+// for bounded post-run analysis (trace summaries), not hot-path metering.
+type Quantiles struct {
+	samples []int64
+	sorted  bool
+}
+
+// Add records one sample.
+func (q *Quantiles) Add(v int64) {
+	q.samples = append(q.samples, v)
+	q.sorted = false
+}
+
+// Count returns the number of samples.
+func (q *Quantiles) Count() int { return len(q.samples) }
+
+func (q *Quantiles) sort() {
+	if !q.sorted {
+		sort.Slice(q.samples, func(i, j int) bool { return q.samples[i] < q.samples[j] })
+		q.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank definition, or 0 with no samples.
+func (q *Quantiles) Percentile(p float64) int64 {
+	if len(q.samples) == 0 {
+		return 0
+	}
+	q.sort()
+	rank := int(math.Ceil(p / 100 * float64(len(q.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(q.samples) {
+		rank = len(q.samples)
+	}
+	return q.samples[rank-1]
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (q *Quantiles) Min() int64 {
+	if len(q.samples) == 0 {
+		return 0
+	}
+	q.sort()
+	return q.samples[0]
+}
+
+// Max returns the largest sample, or 0 with no samples.
+func (q *Quantiles) Max() int64 {
+	if len(q.samples) == 0 {
+		return 0
+	}
+	q.sort()
+	return q.samples[len(q.samples)-1]
+}
+
+// Mean returns the sample mean, or 0 with no samples.
+func (q *Quantiles) Mean() float64 {
+	if len(q.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range q.samples {
+		sum += float64(v)
+	}
+	return sum / float64(len(q.samples))
 }
 
 // Gbps converts bits per second to Gbps for display.

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Divergence describes the first point where two event streams differ.
+type Divergence struct {
+	// Index is the position in the compared slices (and, for full traces,
+	// the event Seq) of the first differing event.
+	Index int
+	// A and B are the differing events; one is nil when a stream ended
+	// early.
+	A, B *Event
+	// Delta names the differing fields with both values.
+	Delta string
+}
+
+// String renders the first-divergence report: event index, virtual
+// timestamp(s) and the payload delta.
+func (d *Divergence) String() string {
+	if d == nil {
+		return "zero divergence"
+	}
+	switch {
+	case d.A == nil:
+		return fmt.Sprintf("event %d: trace A ended, trace B continues with %s", d.Index, fmtEvent(d.B))
+	case d.B == nil:
+		return fmt.Sprintf("event %d: trace B ended, trace A continues with %s", d.Index, fmtEvent(d.A))
+	default:
+		return fmt.Sprintf("event %d: at A=%v B=%v: %s", d.Index, d.A.At, d.B.At, d.Delta)
+	}
+}
+
+func fmtEvent(e *Event) string {
+	return fmt.Sprintf("[%s] at=%v actor=%d name=%s a=%d b=%d c=%d d=%d",
+		e.Kind, e.At, e.Actor, e.Name, e.A, e.B, e.C, e.D)
+}
+
+// Diff compares two event streams and returns the first divergence, or nil
+// when the streams are identical.
+func Diff(a, b []Event) *Divergence {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if delta := eventDelta(&a[i], &b[i]); delta != "" {
+			return &Divergence{Index: i, A: &a[i], B: &b[i], Delta: delta}
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return &Divergence{Index: n, B: &b[n]}
+	case len(b) < len(a):
+		return &Divergence{Index: n, A: &a[n]}
+	}
+	return nil
+}
+
+// eventDelta describes the field-level difference between two events, or ""
+// when they are equal.
+func eventDelta(a, b *Event) string {
+	var parts []string
+	add := func(field string, av, bv any) {
+		parts = append(parts, fmt.Sprintf("%s %v != %v", field, av, bv))
+	}
+	if a.Seq != b.Seq {
+		add("seq", a.Seq, b.Seq)
+	}
+	if a.At != b.At {
+		add("at", a.At, b.At)
+	}
+	if a.Kind != b.Kind {
+		add("kind", a.Kind, b.Kind)
+	}
+	if a.Actor != b.Actor {
+		add("actor", a.Actor, b.Actor)
+	}
+	if a.Name != b.Name {
+		add("name", a.Name, b.Name)
+	}
+	if a.A != b.A {
+		add("a", a.A, b.A)
+	}
+	if a.B != b.B {
+		add("b", a.B, b.B)
+	}
+	if a.C != b.C {
+		add("c", a.C, b.C)
+	}
+	if a.D != b.D {
+		add("d", a.D, b.D)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return fmt.Sprintf("[%s %s] %s", a.Kind, a.Name, strings.Join(parts, ", "))
+}
+
+// DiffCheckpoints locates the first checkpoint where two digest chains
+// disagree. It returns the covered range (loSeq, hiSeq] of the first
+// divergent window and true, or zeros and false when the chains agree over
+// their common prefix.
+func DiffCheckpoints(a, b []Checkpoint) (loSeq, hiSeq uint64, diverged bool) {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var lo uint64
+	for i := 0; i < n; i++ {
+		if a[i].Seq != b[i].Seq || a[i].Digest != b[i].Digest {
+			hi := a[i].Seq
+			if b[i].Seq > hi {
+				hi = b[i].Seq
+			}
+			return lo, hi, true
+		}
+		lo = a[i].Seq
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"nba/internal/simtime"
+)
+
+// Meta is the run-level header of an exported trace.
+type Meta struct {
+	// Tool-supplied description of the run (app, lb, seed, ...).
+	Label string `json:"label,omitempty"`
+	// Total is the number of events emitted during the run.
+	Total uint64 `json:"total"`
+	// Dropped is how many of those fell out of the ring before export.
+	Dropped uint64 `json:"dropped"`
+	// Digest is the streaming digest over all Total events.
+	Digest string `json:"digest"`
+}
+
+// jsonlLine is the union of the three JSONL record shapes. Type is "meta",
+// "cp" (checkpoint) or "ev" (event).
+type jsonlLine struct {
+	Type string `json:"type"`
+
+	// meta
+	Label   string `json:"label,omitempty"`
+	Total   uint64 `json:"total,omitempty"`
+	Dropped uint64 `json:"dropped,omitempty"`
+	Digest  string `json:"digest,omitempty"`
+
+	// cp + ev
+	Seq uint64 `json:"seq,omitempty"`
+	At  int64  `json:"at,omitempty"`
+
+	// ev
+	Kind  string `json:"kind,omitempty"`
+	Actor int32  `json:"actor,omitempty"`
+	Name  string `json:"name,omitempty"`
+	A     int64  `json:"a,omitempty"`
+	B     int64  `json:"b,omitempty"`
+	C     int64  `json:"c,omitempty"`
+	D     int64  `json:"d,omitempty"`
+}
+
+// File is a parsed JSONL trace.
+type File struct {
+	Meta        Meta
+	Checkpoints []Checkpoint
+	Events      []Event
+}
+
+// WriteJSONL exports the tracer state as JSON lines: one meta line, then the
+// digest checkpoints, then the retained events in emission order.
+func (t *Tracer) WriteJSONL(w io.Writer, label string) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlLine{
+		Type:    "meta",
+		Label:   label,
+		Total:   t.Total(),
+		Dropped: t.Dropped(),
+		Digest:  t.Digest(),
+	}); err != nil {
+		return err
+	}
+	for _, cp := range t.Checkpoints() {
+		if err := enc.Encode(jsonlLine{Type: "cp", Seq: cp.Seq, At: int64(cp.At), Digest: cp.Digest}); err != nil {
+			return err
+		}
+	}
+	for _, ev := range t.Events() {
+		if err := enc.Encode(jsonlLine{
+			Type: "ev",
+			Seq:  ev.Seq, At: int64(ev.At),
+			Kind: ev.Kind.String(), Actor: ev.Actor, Name: ev.Name,
+			A: ev.A, B: ev.B, C: ev.C, D: ev.D,
+		}); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a trace written by WriteJSONL.
+func ReadJSONL(r io.Reader) (*File, error) {
+	f := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ln jsonlLine
+		if err := json.Unmarshal(raw, &ln); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		switch ln.Type {
+		case "meta":
+			f.Meta = Meta{Label: ln.Label, Total: ln.Total, Dropped: ln.Dropped, Digest: ln.Digest}
+		case "cp":
+			f.Checkpoints = append(f.Checkpoints, Checkpoint{Seq: ln.Seq, At: simtime.Time(ln.At), Digest: ln.Digest})
+		case "ev":
+			k, ok := KindFromString(ln.Kind)
+			if !ok {
+				return nil, fmt.Errorf("trace: line %d: unknown event kind %q", lineNo, ln.Kind)
+			}
+			f.Events = append(f.Events, Event{
+				Seq: ln.Seq, At: simtime.Time(ln.At), Kind: k, Actor: ln.Actor, Name: ln.Name,
+				A: ln.A, B: ln.B, C: ln.C, D: ln.D,
+			})
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown record type %q", lineNo, ln.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// chromeEvent is one entry of the Chrome trace_event JSON array format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU).
+type chromeEvent struct {
+	Name string           `json:"name"`
+	Cat  string           `json:"cat"`
+	Ph   string           `json:"ph"`
+	Ts   float64          `json:"ts"`  // microseconds
+	Dur  float64          `json:"dur"` // microseconds (ph=X only)
+	Pid  int              `json:"pid"`
+	Tid  int32            `json:"tid"`
+	Args map[string]int64 `json:"args,omitempty"`
+}
+
+const psPerUs = 1e6
+
+// WriteChrome exports events in Chrome trace_event format ("Trace Event
+// Format" JSON array, loadable in chrome://tracing and Perfetto). Phase
+// events with a known start (GPU copy/kernel) become complete ("X") slices;
+// everything else becomes instant ("i") events. Virtual picoseconds map to
+// trace microseconds.
+func WriteChrome(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(bw)
+	for i, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Name,
+			Cat:  ev.Kind.String(),
+			Ph:   "i",
+			Ts:   float64(ev.At) / psPerUs,
+			Pid:  1,
+			Tid:  ev.Actor,
+			Args: map[string]int64{"seq": int64(ev.Seq), "a": ev.A, "b": ev.B, "c": ev.C, "d": ev.D},
+		}
+		if ce.Name == "" {
+			ce.Name = ev.Kind.String()
+		}
+		switch ev.Kind {
+		case KindGPUCopyH2D, KindGPUKernel, KindGPUCopyD2H:
+			// C carries the phase start; At its end.
+			start := float64(ev.C) / psPerUs
+			ce.Ph = "X"
+			ce.Ts = start
+			ce.Dur = float64(ev.At)/psPerUs - start
+			ce.Name = ev.Kind.String()
+		}
+		if i > 0 {
+			if _, err := bw.WriteString(","); err != nil {
+				return err
+			}
+		}
+		if err := enc.Encode(ce); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,206 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"nba/internal/simtime"
+	"nba/internal/stats"
+)
+
+// ElementProfile is the per-element virtual-time profile accumulated from
+// batch events.
+type ElementProfile struct {
+	Name       string
+	Batches    uint64
+	Packets    uint64
+	Cycles     uint64
+	BatchSizes stats.Quantiles
+}
+
+// QueueProfile aggregates RX-queue events per (port, queue).
+type QueueProfile struct {
+	Port      int32
+	Queue     int64
+	Polls     uint64
+	Delivered uint64
+	Dropped   uint64
+	Backlogs  stats.Quantiles
+}
+
+// DeviceProfile aggregates GPU command-queue phases per device.
+type DeviceProfile struct {
+	Name       string
+	Tasks      uint64
+	Packets    uint64
+	CopyH2D    simtime.Time
+	Kernel     simtime.Time
+	CopyD2H    simtime.Time
+	SubmitLags stats.Quantiles // device backlog (ps) observed at submission
+}
+
+// LBProfile aggregates load-balancer control steps per socket.
+type LBProfile struct {
+	Socket  int32
+	Updates uint64
+	FinalW  float64
+}
+
+// Summary is the aggregate view of an event stream.
+type Summary struct {
+	Events    uint64
+	Dispatch  uint64
+	Elements  []*ElementProfile
+	Queues    []*QueueProfile
+	Devices   []*DeviceProfile
+	Balancers []*LBProfile
+}
+
+// Summarize folds an event stream into per-element / per-queue / per-device
+// profiles. Output ordering is deterministic (sorted by name or id).
+func Summarize(events []Event) *Summary {
+	s := &Summary{Events: uint64(len(events))}
+	elems := map[string]*ElementProfile{}
+	queues := map[[2]int64]*QueueProfile{}
+	devs := map[string]*DeviceProfile{}
+	lbs := map[int32]*LBProfile{}
+
+	for i := range events {
+		ev := &events[i]
+		switch ev.Kind {
+		case KindDispatch:
+			s.Dispatch++
+		case KindBatch:
+			ep := elems[ev.Name]
+			if ep == nil {
+				ep = &ElementProfile{Name: ev.Name}
+				elems[ev.Name] = ep
+			}
+			ep.Batches++
+			ep.Packets += uint64(ev.A)
+			ep.Cycles += uint64(ev.B)
+			ep.BatchSizes.Add(ev.A)
+		case KindRx:
+			qp := rxQueue(queues, ev)
+			qp.Polls++
+			qp.Delivered += uint64(ev.B)
+			qp.Backlogs.Add(ev.C)
+		case KindRxDrop:
+			qp := rxQueue(queues, ev)
+			qp.Dropped += uint64(ev.B)
+		case KindGPUSubmit:
+			dp := devs[ev.Name]
+			if dp == nil {
+				dp = &DeviceProfile{Name: ev.Name}
+				devs[ev.Name] = dp
+			}
+			dp.Tasks++
+			dp.Packets += uint64(ev.B)
+			dp.SubmitLags.Add(ev.C)
+		case KindGPUCopyH2D:
+			if dp := devs[ev.Name]; dp != nil {
+				dp.CopyH2D += ev.At - simtime.Time(ev.C)
+			}
+		case KindGPUKernel:
+			if dp := devs[ev.Name]; dp != nil {
+				dp.Kernel += ev.At - simtime.Time(ev.C)
+			}
+		case KindGPUCopyD2H:
+			if dp := devs[ev.Name]; dp != nil {
+				dp.CopyD2H += ev.At - simtime.Time(ev.C)
+			}
+		case KindLBUpdate:
+			lp := lbs[ev.Actor]
+			if lp == nil {
+				lp = &LBProfile{Socket: ev.Actor}
+				lbs[ev.Actor] = lp
+			}
+			lp.Updates++
+			lp.FinalW = math.Float64frombits(uint64(ev.A))
+		}
+	}
+
+	for _, name := range stats.SortedKeys(elems) {
+		s.Elements = append(s.Elements, elems[name])
+	}
+	qkeys := make([][2]int64, 0, len(queues))
+	for k := range queues {
+		qkeys = append(qkeys, k)
+	}
+	sort.Slice(qkeys, func(i, j int) bool {
+		if qkeys[i][0] != qkeys[j][0] {
+			return qkeys[i][0] < qkeys[j][0]
+		}
+		return qkeys[i][1] < qkeys[j][1]
+	})
+	for _, k := range qkeys {
+		s.Queues = append(s.Queues, queues[k])
+	}
+	for _, name := range stats.SortedKeys(devs) {
+		s.Devices = append(s.Devices, devs[name])
+	}
+	skeys := make([]int, 0, len(lbs))
+	for k := range lbs {
+		skeys = append(skeys, int(k))
+	}
+	sort.Ints(skeys)
+	for _, k := range skeys {
+		s.Balancers = append(s.Balancers, lbs[int32(k)])
+	}
+	return s
+}
+
+func rxQueue(m map[[2]int64]*QueueProfile, ev *Event) *QueueProfile {
+	key := [2]int64{int64(ev.Actor), ev.A}
+	qp := m[key]
+	if qp == nil {
+		qp = &QueueProfile{Port: ev.Actor, Queue: ev.A}
+		m[key] = qp
+	}
+	return qp
+}
+
+// Write renders the summary as a human-readable report.
+func (s *Summary) Write(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "events: %d (dispatch %d)\n", s.Events, s.Dispatch); err != nil {
+		return err
+	}
+	if len(s.Elements) > 0 {
+		fmt.Fprintf(w, "\nelements:\n")
+		fmt.Fprintf(w, "  %-28s %10s %12s %14s %8s %8s %8s\n",
+			"name", "batches", "packets", "cycles", "b.p50", "b.p99", "b.max")
+		for _, e := range s.Elements {
+			fmt.Fprintf(w, "  %-28s %10d %12d %14d %8d %8d %8d\n",
+				e.Name, e.Batches, e.Packets, e.Cycles,
+				e.BatchSizes.Percentile(50), e.BatchSizes.Percentile(99), e.BatchSizes.Max())
+		}
+	}
+	if len(s.Queues) > 0 {
+		fmt.Fprintf(w, "\nrx queues:\n")
+		fmt.Fprintf(w, "  %-12s %10s %12s %10s %8s %8s %8s\n",
+			"port/queue", "polls", "delivered", "dropped", "q.p50", "q.p99", "q.max")
+		for _, q := range s.Queues {
+			fmt.Fprintf(w, "  %-12s %10d %12d %10d %8d %8d %8d\n",
+				fmt.Sprintf("%d/%d", q.Port, q.Queue), q.Polls, q.Delivered, q.Dropped,
+				q.Backlogs.Percentile(50), q.Backlogs.Percentile(99), q.Backlogs.Max())
+		}
+	}
+	if len(s.Devices) > 0 {
+		fmt.Fprintf(w, "\ndevices:\n")
+		fmt.Fprintf(w, "  %-16s %8s %12s %14s %14s %14s\n",
+			"name", "tasks", "packets", "h2d", "kernel", "d2h")
+		for _, d := range s.Devices {
+			fmt.Fprintf(w, "  %-16s %8d %12d %14v %14v %14v\n",
+				d.Name, d.Tasks, d.Packets, d.CopyH2D, d.Kernel, d.CopyD2H)
+		}
+	}
+	if len(s.Balancers) > 0 {
+		fmt.Fprintf(w, "\nload balancers:\n")
+		for _, b := range s.Balancers {
+			fmt.Fprintf(w, "  socket %d: %d updates, final W=%.4f\n", b.Socket, b.Updates, b.FinalW)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+// Package trace is the deterministic run-trace observability layer: a
+// structured event stream recorded from the simulation substrate (engine
+// dispatch, per-element batch processing, GPU command-queue phases,
+// load-balancer updates, NIC enqueue/drop).
+//
+// Because the whole framework runs in virtual time, the trace of a run is —
+// like every other output — a pure function of the configuration and seed.
+// That makes traces diffable: two runs with the same inputs must produce
+// byte-identical event streams, and any divergence pinpoints the first event
+// where a regression changed behaviour. The golden-trace test suite pins
+// digests of canonical runs so `go test` catches silent behaviour shifts.
+//
+// The tracer is designed for the worker hot path:
+//
+//   - a nil *Tracer is valid and Emit on it is a two-instruction no-op, so
+//     call sites need no conditionals and a disabled tracer adds zero
+//     allocations (verified by testing.AllocsPerRun tests);
+//   - an enabled tracer writes into a pre-allocated ring and feeds a
+//     streaming SHA-256 digest through a reused scratch buffer, so Emit
+//     itself never allocates either;
+//   - the digest and the periodic checkpoints cover every emitted event,
+//     even ones later overwritten in the ring, so digests are independent of
+//     the ring capacity.
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+
+	"nba/internal/simtime"
+)
+
+// Kind classifies trace events.
+type Kind uint8
+
+const (
+	// KindDispatch is one simtime engine event firing. A = engine sequence
+	// number of the fired event.
+	KindDispatch Kind = iota
+	// KindBatch is one element processing one batch. Name = element
+	// instance, Actor = worker. A = live packets, B = cycles charged,
+	// C = node ID.
+	KindBatch
+	// KindGPUSubmit is a device task entering the command queue. Name =
+	// device, Actor = device index. A = task ID, B = packets, C = device
+	// backlog (ps) at submission, D = submitting worker.
+	KindGPUSubmit
+	// KindGPUCopyH2D is the host-to-device copy phase. At = end of copy.
+	// A = task ID, B = bytes, C = copy start (ps), D = submitting worker.
+	KindGPUCopyH2D
+	// KindGPULaunch is the kernel launch instant. A = task ID, B = kernel
+	// launches in the chain, D = submitting worker.
+	KindGPULaunch
+	// KindGPUKernel is the kernel execution phase. At = end of execution.
+	// A = task ID, B = packets, C = kernel start (ps), D = submitting worker.
+	KindGPUKernel
+	// KindGPUCopyD2H is the device-to-host return copy. At = task finish.
+	// A = task ID, B = bytes, C = copy start (ps), D = submitting worker.
+	KindGPUCopyD2H
+	// KindLBUpdate is one adaptive load-balancer control step. Actor =
+	// socket. A = math.Float64bits(W), B = math.Float64bits(smoothed
+	// throughput), C = climb direction (+1/-1), D = waiting intervals set.
+	KindLBUpdate
+	// KindRx is a burst of packets delivered from an RX queue to a worker.
+	// Actor = port. A = queue, B = packets delivered, C = backlog after the
+	// poll.
+	KindRx
+	// KindRxDrop accounts RX-queue drops since the previous drop event.
+	// Actor = port. A = queue, B = dropped (overflow + alloc), C = of which
+	// mempool-exhaustion drops.
+	KindRxDrop
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"dispatch",
+	"batch",
+	"gpu.submit",
+	"gpu.copy_h2d",
+	"gpu.launch",
+	"gpu.kernel",
+	"gpu.copy_d2h",
+	"lb.update",
+	"rx",
+	"rx.drop",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// KindFromString resolves a kind name as written by the JSONL exporter. The
+// second result reports whether the name is known.
+func KindFromString(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// MaskAll enables every event kind.
+const MaskAll uint64 = 1<<numKinds - 1
+
+// MaskOf builds an event mask from kinds.
+func MaskOf(kinds ...Kind) uint64 {
+	var m uint64
+	for _, k := range kinds {
+		m |= 1 << k
+	}
+	return m
+}
+
+// Event is one trace record. Payload slots A-D are kind-specific (see the
+// Kind constants); they hold counts, byte volumes, picosecond durations or
+// math.Float64bits-encoded fractions, all of which are exact integers so the
+// stream digests and diffs bit-stably.
+type Event struct {
+	// Seq is the absolute event index in emission order, starting at 0. It
+	// keeps its value even after older events fall out of the ring.
+	Seq uint64
+	// At is the virtual timestamp. Events are emitted in deterministic
+	// order but At is not globally monotone: device-phase events carry
+	// their scheduled completion times.
+	At    simtime.Time
+	Kind  Kind
+	Actor int32
+	Name  string
+	A     int64
+	B     int64
+	C     int64
+	D     int64
+}
+
+// Checkpoint is a running-digest snapshot taken every CheckpointInterval
+// events. Comparing checkpoint chains of two runs brackets the first
+// diverging event without storing either full stream.
+type Checkpoint struct {
+	// Seq is the number of events covered by Digest (the next event would
+	// have Seq == this value).
+	Seq uint64
+	// At is the timestamp of the last covered event.
+	At simtime.Time
+	// Digest is the running digest over events [0, Seq).
+	Digest string
+}
+
+// Options configures a Tracer.
+type Options struct {
+	// Capacity is the number of events retained in the ring (default 65536).
+	// The digest and checkpoints always cover all events regardless.
+	Capacity int
+	// Mask selects the recorded kinds; zero means all.
+	Mask uint64
+	// CheckpointInterval is the event spacing of digest checkpoints
+	// (default 1024; negative disables checkpoints).
+	CheckpointInterval int
+}
+
+// Tracer records structured events. The zero value is not usable; create
+// with New. A nil *Tracer is a valid disabled tracer.
+type Tracer struct {
+	mask       uint64
+	ring       []Event
+	total      uint64
+	dropped    uint64
+	hash       hash.Hash
+	scratch    []byte
+	cpInterval uint64
+	cps        []Checkpoint
+}
+
+// New creates a tracer.
+func New(opts Options) *Tracer {
+	if opts.Capacity <= 0 {
+		opts.Capacity = 1 << 16
+	}
+	if opts.Mask == 0 {
+		opts.Mask = MaskAll
+	}
+	interval := uint64(1024)
+	switch {
+	case opts.CheckpointInterval > 0:
+		interval = uint64(opts.CheckpointInterval)
+	case opts.CheckpointInterval < 0:
+		interval = 0
+	}
+	return &Tracer{
+		mask:       opts.Mask,
+		ring:       make([]Event, opts.Capacity),
+		hash:       sha256.New(),
+		scratch:    make([]byte, 0, 128),
+		cpInterval: interval,
+	}
+}
+
+// Emit records one event. It is safe (and a cheap no-op) on a nil tracer or
+// a masked-out kind, and never allocates on the steady-state path.
+func (t *Tracer) Emit(at simtime.Time, k Kind, actor int32, name string, a, b, c, d int64) {
+	if t == nil || t.mask&(1<<k) == 0 {
+		return
+	}
+	idx := int(t.total % uint64(len(t.ring)))
+	if t.total >= uint64(len(t.ring)) {
+		t.dropped++
+	}
+	t.ring[idx] = Event{Seq: t.total, At: at, Kind: k, Actor: actor, Name: name, A: a, B: b, C: c, D: d}
+	t.total++
+
+	// Streaming digest over the canonical little-endian encoding.
+	buf := t.scratch[:0]
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(at))
+	buf = append(buf, byte(k))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(actor))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(name)))
+	buf = append(buf, name...)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(a))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(b))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(c))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(d))
+	t.scratch = buf[:0]
+	t.hash.Write(buf)
+
+	if t.cpInterval > 0 && t.total%t.cpInterval == 0 {
+		t.cps = append(t.cps, Checkpoint{Seq: t.total, At: at, Digest: t.digestHex()})
+	}
+}
+
+// Total returns the number of events emitted (including ones no longer in
+// the ring).
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dropped returns how many events were overwritten in the ring.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// Events returns the retained events in emission order.
+func (t *Tracer) Events() []Event {
+	if t == nil || t.total == 0 {
+		return nil
+	}
+	n := uint64(len(t.ring))
+	if t.total <= n {
+		out := make([]Event, t.total)
+		copy(out, t.ring[:t.total])
+		return out
+	}
+	start := int(t.total % n)
+	out := make([]Event, 0, n)
+	out = append(out, t.ring[start:]...)
+	out = append(out, t.ring[:start]...)
+	return out
+}
+
+// Digest returns the streaming digest over every emitted event, in the form
+// "sha256:<hex>". Digests are independent of the ring capacity.
+func (t *Tracer) Digest() string {
+	if t == nil {
+		return "sha256:" + hex.EncodeToString(sha256.New().Sum(nil))
+	}
+	return t.digestHex()
+}
+
+func (t *Tracer) digestHex() string {
+	// hash.Hash.Sum does not consume the running state, so the digest can
+	// be snapshotted at any point (checkpoints rely on this).
+	return "sha256:" + hex.EncodeToString(t.hash.Sum(nil))
+}
+
+// Checkpoints returns the digest checkpoints taken so far.
+func (t *Tracer) Checkpoints() []Checkpoint {
+	if t == nil {
+		return nil
+	}
+	return append([]Checkpoint(nil), t.cps...)
+}

@@ -5,8 +5,14 @@
 #   1. gofmt -l           formatting (whole tree, fixtures included)
 #   2. go vet ./...       stdlib vet analyzers
 #   3. go build ./...     everything compiles
-#   4. nbalint ./...      framework determinism & invariant lint (cmd/nbalint)
+#   4. nbalint ./...      framework determinism & invariant lint (cmd/nbalint),
+#                         with -audit-allows so stale or misspelled
+#                         //nbalint:allow escapes fail the gate
 #   5. go test -race ...  full test suite under the race detector
+#   6. fuzz smoke         a few seconds per fuzz target (conflang round-trip,
+#                         packet header parsing) to catch shallow regressions
+#   7. nbatrace self-check the same config+seed recorded twice must diff to
+#                         zero divergence (dynamic determinism gate)
 #
 # The race run doubles as the regression tripwire for future parallel-worker
 # PRs: the engine is single-threaded by design, so any data race is new code
@@ -28,10 +34,23 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> nbalint ./..."
-go run ./cmd/nbalint ./...
+echo "==> nbalint -audit-allows ./..."
+go run ./cmd/nbalint -audit-allows ./...
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> fuzz smoke (a few seconds per target)"
+# Each -fuzz invocation takes exactly one target, so one run per regex.
+go test -fuzz='^FuzzParsePrint$' -fuzztime=5s -run '^$' ./internal/conflang
+go test -fuzz='^FuzzHeaderParse$' -fuzztime=5s -run '^$' ./internal/packet
+go test -fuzz='^FuzzBuildUDP4$' -fuzztime=5s -run '^$' ./internal/packet
+
+echo "==> nbatrace determinism self-check"
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/nbatrace record -app ipv4 -lb fixed=0.8 -o "$tracedir/a.jsonl" >/dev/null
+go run ./cmd/nbatrace record -app ipv4 -lb fixed=0.8 -o "$tracedir/b.jsonl" >/dev/null
+go run ./cmd/nbatrace diff "$tracedir/a.jsonl" "$tracedir/b.jsonl"
 
 echo "check.sh: all gates passed"
