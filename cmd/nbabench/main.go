@@ -5,6 +5,7 @@
 //
 //	nbabench -list
 //	nbabench -exp fig12            # one experiment
+//	nbabench -exp faults           # graceful degradation under a GPU outage
 //	nbabench -all                  # everything
 //	nbabench -all -quick           # fast smoke pass
 package main

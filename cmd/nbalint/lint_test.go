@@ -118,6 +118,7 @@ func TestRealTreeApplicability(t *testing.T) {
 		{"nba/internal/gpu", true, true, false},
 		{"nba/internal/lb", true, true, false},
 		{"nba/internal/netio", true, true, false},
+		{"nba/internal/fault", true, true, false},
 		{"nba/internal/stats", false, true, false},
 		{"nba/internal/corelike", false, true, false},
 		{"nba/cmd/nba", false, false, true},

@@ -70,6 +70,7 @@ var simPackagePrefixes = []string{
 	"nba/internal/lb",
 	"nba/internal/netio",
 	"nba/internal/trace",
+	"nba/internal/fault",
 }
 
 func hasPathPrefix(path, prefix string) bool {

@@ -9,8 +9,13 @@
 //
 //	nbatrace record -app ipv4 -lb cpu -gbps 1 -o run.jsonl
 //	nbatrace record -app ipsec -lb fixed=0.8 -chrome run.chrome.json -o run.jsonl
+//	nbatrace record -app ipsec -lb fixed=0.8 -faults -o outage.jsonl
 //	nbatrace summary run.jsonl
 //	nbatrace diff a.jsonl b.jsonl
+//
+// -faults injects the canonical scripted GPU outage (internal/fault); the
+// plan is part of the run identity, so faulted recordings replay and diff
+// exactly like fault-free ones.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"time"
 
 	"nba/internal/bench"
+	"nba/internal/fault"
 	"nba/internal/simtime"
 	"nba/internal/trace"
 )
@@ -60,6 +66,7 @@ func record(args []string) {
 		warmup   = fs.Duration("warmup", 200*time.Microsecond, "warmup (virtual)")
 		seed     = fs.Uint64("seed", 42, "simulation seed")
 		events   = fs.Int("events", 1<<16, "ring capacity: trace events retained for export")
+		faults   = fs.Bool("faults", false, "inject the canonical GPU outage (device 0 fails at 1/4 of the run, recovers at 1/2)")
 		out      = fs.String("o", "", "output JSONL path (required)")
 		chrome   = fs.String("chrome", "", "also export Chrome trace_event JSON to this path")
 	)
@@ -82,12 +89,20 @@ func record(args []string) {
 		Seed:       *seed,
 		Tracer:     tr,
 	}
+	if *faults {
+		// The fault plan is part of the run identity: recording twice with
+		// -faults must still produce byte-identical traces, with the
+		// injected events and the framework's reactions (task failures, CPU
+		// fallbacks, balancer collapse) on the timeline.
+		span := spec.Warmup + spec.Duration
+		spec.FaultPlan = fault.GPUOutage(span/4, span/2, 0)
+	}
 	if _, err := bench.Execute(spec); err != nil {
 		fatal(err)
 	}
 
-	label := fmt.Sprintf("app=%s lb=%s gbps=%g size=%d workers=%d seed=%d",
-		*app, *lbAlg, *gbps, *size, *workers, *seed)
+	label := fmt.Sprintf("app=%s lb=%s gbps=%g size=%d workers=%d seed=%d faults=%v",
+		*app, *lbAlg, *gbps, *size, *workers, *seed, *faults)
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)

@@ -10,6 +10,7 @@ import (
 	"sort"
 
 	"nba/internal/core"
+	"nba/internal/fault"
 	"nba/internal/gen"
 	"nba/internal/graph"
 	"nba/internal/netio"
@@ -168,6 +169,11 @@ type RunSpec struct {
 	GeneratorChanges []core.GeneratorChange
 	// Tracer, when non-nil, records the run's structured event stream.
 	Tracer *trace.Tracer
+	// FaultPlan, when non-nil, injects the scripted fault timeline.
+	FaultPlan *fault.Plan
+	// TaskTimeout overrides the worker-side offload completion timeout
+	// (0 = framework default, negative = disabled).
+	TaskTimeout simtime.Time
 }
 
 // Execute assembles and runs one system.
@@ -212,6 +218,8 @@ func ExecuteConfig(cfgText string, spec RunSpec) (*core.Report, error) {
 		CaptureTx:         spec.CaptureTx,
 		GeneratorChanges:  spec.GeneratorChanges,
 		Tracer:            spec.Tracer,
+		FaultPlan:         spec.FaultPlan,
+		TaskTimeout:       spec.TaskTimeout,
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {

@@ -5,7 +5,10 @@ import (
 	"strings"
 	"testing"
 
+	"nba/internal/core"
 	"nba/internal/simtime"
+	"nba/internal/sysinfo"
+	"nba/internal/trace"
 )
 
 func TestRegistryComplete(t *testing.T) {
@@ -14,6 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig11", "fig12", "fig13", "fig14",
 		"ablation-datablock", "ablation-aggsize", "ablation-phi",
 		"ablation-numa", "ablation-boundedlat", "alb-reconverge",
+		"faults",
 	}
 	for _, id := range want {
 		e, err := ByID(id)
@@ -117,6 +121,51 @@ func TestStaticTablesRender(t *testing.T) {
 		if id == "tab3" && !strings.Contains(out, "10 GbE") {
 			t.Errorf("tab3 missing hardware:\n%s", out)
 		}
+	}
+}
+
+func TestFaultsScenario(t *testing.T) {
+	// The canonical outage scenario, scaled to a small machine for test
+	// speed: the run must be bit-deterministic (the plan is part of the run
+	// identity), collapse W during the outage, rescue the failed offloads on
+	// the CPU without leaking, and re-climb after recovery.
+	mk := func() (*core.Report, string) {
+		spec, _, _ := FaultsScenario(Options{Quick: true, Seed: 42})
+		spec.Topology = sysinfo.SingleSocketTopology(8, 2)
+		spec.Workers = 7
+		tr := trace.New(trace.Options{Capacity: 1 << 12})
+		spec.Tracer = tr
+		r, err := Execute(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r, tr.Digest()
+	}
+	r1, d1 := mk()
+	r2, d2 := mk()
+	if d1 != d2 {
+		t.Fatalf("faults scenario not deterministic: digests %s vs %s", d1, d2)
+	}
+	if r1.FinalW != r2.FinalW || r1.FallbackPackets != r2.FallbackPackets {
+		t.Fatalf("faults scenario reports diverged: W %.3f/%.3f fallback %d/%d",
+			r1.FinalW, r2.FinalW, r1.FallbackPackets, r2.FallbackPackets)
+	}
+
+	_, failAt, recoverAt := FaultsScenario(Options{Quick: true, Seed: 42})
+	for _, pt := range r1.LBTrace {
+		if pt.At >= failAt+10*simtime.Millisecond && pt.At < recoverAt && pt.W > 0.1 {
+			t.Errorf("W = %.3f at %v during outage, want <= 0.1", pt.W, pt.At)
+		}
+	}
+	if r1.FailedTasks == 0 || r1.FallbackPackets == 0 {
+		t.Errorf("outage produced %d failed tasks, %d rescued packets",
+			r1.FailedTasks, r1.FallbackPackets)
+	}
+	if r1.FinalW < 0.25 {
+		t.Errorf("final W = %.3f, want re-climb after recovery", r1.FinalW)
+	}
+	if r1.PoolOutstanding != 0 {
+		t.Errorf("leak: %d packets outstanding", r1.PoolOutstanding)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"nba/internal/batch"
+	"nba/internal/fault"
 	"nba/internal/graph"
 	"nba/internal/netio"
 	"nba/internal/simtime"
@@ -96,6 +97,18 @@ type Config struct {
 	// rx/drop). nil disables tracing with zero hot-path cost.
 	Tracer *trace.Tracer
 
+	// FaultPlan, when non-nil, is the scripted fault timeline injected into
+	// the run (device fail/hang/slowdown, RX-queue flaps, rate bursts). The
+	// plan is part of the run's identity: the same configuration + seed +
+	// plan reproduce the same trace digest.
+	FaultPlan *fault.Plan
+
+	// TaskTimeout is the worker-side completion timeout for offloaded
+	// tasks: a task not completed within it is re-executed on the CPU (the
+	// rescue path for hung devices). 0 selects the default (5 ms, far above
+	// any healthy completion latency); negative disables the timeout.
+	TaskTimeout simtime.Time
+
 	// ForceRemoteMemory emulates placing packet buffers on the remote
 	// socket: every element cost is inflated by the cost model's
 	// NUMAPenalty (paper §2: remote-socket memory costs 20-30% throughput).
@@ -172,6 +185,14 @@ func (c Config) withDefaults() (Config, error) {
 	if c.GraphOpts == nil {
 		opts := graph.DefaultOptions()
 		c.GraphOpts = &opts
+	}
+	if c.TaskTimeout == 0 {
+		c.TaskTimeout = 5 * simtime.Millisecond
+	}
+	if c.FaultPlan != nil {
+		if err := c.FaultPlan.Validate(len(c.Topology.Devices), len(c.Topology.Ports), c.WorkersPerSocket); err != nil {
+			return c, err
+		}
 	}
 	return c, nil
 }

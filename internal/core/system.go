@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"nba/internal/conflang"
 	"nba/internal/element"
+	"nba/internal/fault"
 	"nba/internal/gpu"
 	"nba/internal/lb"
 	"nba/internal/netio"
@@ -29,6 +31,12 @@ type System struct {
 
 	stopTime  simtime.Time // warmup + duration
 	measuring bool
+
+	// Current offered-load state, composed by rate changes, generator
+	// changes and fault-injected rate bursts (factor over the nominal rate).
+	curBps     float64
+	curGen     netio.Generator
+	rateFactor float64
 
 	tailMarkBytes []uint64
 	tailMarkTime  simtime.Time
@@ -136,8 +144,61 @@ func (s *System) deviceFor(socket, anno int) (*gpu.Device, error) {
 	return s.devices[local[idx]], nil
 }
 
+// applyRate pushes the current composed offered load (nominal rate ×
+// burst factor, under the current generator's frame mix) to every queue.
+func (s *System) applyRate() {
+	pps := netio.OfferedPPS(s.curBps*s.rateFactor, s.curGen)
+	now := s.eng.Now()
+	for _, p := range s.ports {
+		for _, q := range p.Rx {
+			q.SetRate(now, pps/float64(len(p.Rx)))
+		}
+	}
+}
+
+// applyFault executes one fault-plan event and emits its trace record.
+func (s *System) applyFault(ev fault.Event) {
+	switch ev.Kind {
+	case fault.DeviceFail:
+		s.devices[ev.Device].Fail()
+	case fault.DeviceRecover:
+		s.devices[ev.Device].Recover()
+	case fault.DeviceSlowdown:
+		s.devices[ev.Device].SetSlowdown(ev.KernelFactor, ev.CopyFactor)
+	case fault.DeviceHang:
+		s.devices[ev.Device].Hang()
+	case fault.RxQueueDown, fault.RxQueueUp:
+		for qi, q := range s.ports[ev.Port].Rx {
+			if ev.Queue == -1 || ev.Queue == qi {
+				q.SetDown(ev.Kind == fault.RxQueueDown)
+			}
+		}
+	case fault.RateBurst:
+		s.rateFactor = ev.RateFactor
+		s.applyRate()
+	}
+	if tr := s.cfg.Tracer; tr != nil {
+		kind := trace.KindFaultInject
+		if ev.Kind.IsRecovery() {
+			kind = trace.KindFaultRecover
+		}
+		target, queue := int64(ev.Device), int64(0)
+		switch ev.Kind {
+		case fault.RxQueueDown, fault.RxQueueUp:
+			target, queue = int64(ev.Port), int64(ev.Queue)
+		case fault.RateBurst:
+			target = int64(math.Float64bits(ev.RateFactor))
+		}
+		tr.Emit(s.eng.Now(), kind, -1, ev.Kind.String(), int64(ev.Kind), target, queue, 0)
+	}
+}
+
 // Run executes the configured workload and returns the measurement report.
 func (s *System) Run() (*Report, error) {
+	s.curBps = s.cfg.OfferedBpsPerPort
+	s.curGen = s.cfg.Generator
+	s.rateFactor = 1
+
 	// Stagger worker start times by one cycle each so their first events
 	// interleave deterministically.
 	for i, w := range s.workers {
@@ -180,13 +241,13 @@ func (s *System) Run() (*Report, error) {
 			continue
 		}
 		s.eng.At(gc.At, func() {
-			pps := netio.OfferedPPS(s.cfg.OfferedBpsPerPort, gc.Generator)
+			s.curGen = gc.Generator
 			for _, p := range s.ports {
 				for _, q := range p.Rx {
 					q.SetGenerator(gc.Generator)
-					q.SetRate(s.eng.Now(), pps/float64(len(p.Rx)))
 				}
 			}
+			s.applyRate()
 		})
 	}
 
@@ -197,13 +258,19 @@ func (s *System) Run() (*Report, error) {
 			continue
 		}
 		s.eng.At(rc.At, func() {
-			for _, p := range s.ports {
-				pps := netio.OfferedPPS(rc.BpsPerPort, s.cfg.Generator)
-				for _, q := range p.Rx {
-					q.SetRate(s.eng.Now(), pps/float64(len(p.Rx)))
-				}
-			}
+			s.curBps = rc.BpsPerPort
+			s.applyRate()
 		})
+	}
+
+	// Scripted fault timeline. Sorted() fixes the application order for
+	// same-time events, and the engine's scheduling sequence breaks ties
+	// against other events deterministically.
+	if plan := s.cfg.FaultPlan; plan != nil {
+		for _, ev := range plan.Sorted() {
+			ev := ev
+			s.eng.At(ev.At, func() { s.applyFault(ev) })
+		}
 	}
 
 	// ALB control loop: observe socket throughput, update the shared W.
@@ -229,8 +296,15 @@ func (s *System) Run() (*Report, error) {
 		}
 		s.eng.After(s.cfg.ALBObserve, observe)
 
+		var lastFails uint64
 		var update func()
 		update = func() {
+			// Completion failures since the last step steer the controller:
+			// a failing device forces W toward the CPU regardless of the
+			// throughput signal.
+			fails := s.socketTaskFailures(socket)
+			ctl.NoteTaskFailures(int(fails - lastFails))
+			lastFails = fails
 			if ctl.Bound > 0 {
 				ctl.UpdateWithLatency(s.socketRecentP99(socket))
 			} else {
@@ -271,6 +345,18 @@ func (s *System) socketTxPackets(socket int) uint64 {
 	return total
 }
 
+// socketTaskFailures counts failed plus timed-out offload tasks across one
+// socket's workers (cumulative).
+func (s *System) socketTaskFailures(socket int) uint64 {
+	var total uint64
+	for _, w := range s.workers {
+		if w.socket == socket {
+			total += w.failedTasks + w.timedOutTasks
+		}
+	}
+	return total
+}
+
 // Report is the outcome of a run.
 type Report struct {
 	// Measured is the measurement window length.
@@ -299,6 +385,13 @@ type Report struct {
 	GraphDrops uint64
 	// OffloadedPackets counts packets processed via accelerators.
 	OffloadedPackets uint64
+	// FallbackPackets counts packets rescued onto the CPU after their
+	// offload task failed or timed out (subset of OffloadedPackets).
+	FallbackPackets uint64
+	// FailedTasks / TimedOutTasks count the worker-observed offload-task
+	// failures behind those rescues.
+	FailedTasks   uint64
+	TimedOutTasks uint64
 	// TailGbps is the throughput over the last quarter of the measurement
 	// window — the converged state of adaptive runs.
 	TailGbps float64
@@ -331,6 +424,9 @@ func (s *System) report() *Report {
 		r.Latency.Merge(&w.latency)
 		r.GraphDrops += w.graphDrops()
 		r.OffloadedPackets += w.offloadedPkts
+		r.FallbackPackets += w.fallbackPkts
+		r.FailedTasks += w.failedTasks
+		r.TimedOutTasks += w.timedOutTasks
 		r.PoolOutstanding += w.pktPool.Stats().Outstanding
 	}
 	for _, d := range s.devices {

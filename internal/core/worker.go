@@ -13,12 +13,33 @@ import (
 	"nba/internal/packet"
 	"nba/internal/simtime"
 	"nba/internal/stats"
+	"nba/internal/trace"
 )
 
-// completion carries a finished device task back to its worker.
-type completion struct {
+// inflightTask tracks one submitted device task on the worker side, so the
+// completion path, the completion-timeout path and a device-failure path
+// can race without double-processing: whichever fires first sets done, the
+// rest become no-ops.
+type inflightTask struct {
 	pending *offload.Pending
 	task    *gpu.Task
+	timer   *simtime.Timer // completion timeout, nil when disabled
+	// executed records that the device-side functional computation ran, so
+	// a CPU fallback never re-runs it (re-encrypting IPsec packets would
+	// corrupt them).
+	executed bool
+	// done records that the aggregate was resumed (normally or via
+	// fallback); late completions of a rescued task must not touch the
+	// recycled batches.
+	done bool
+}
+
+// completion carries a finished (or timed-out) device task back to its
+// worker's IO loop, where it is processed inside iterate's cycle
+// accounting.
+type completion struct {
+	it       *inflightTask
+	timedOut bool
 }
 
 // worker is one worker thread: a replicated pipeline on its own core,
@@ -56,6 +77,9 @@ type worker struct {
 	latencySkip   int
 	offloadedPkts uint64
 	splitDropped  uint64 // packets dropped because a comp batch could not be allocated
+	fallbackPkts  uint64 // packets rescued onto the CPU after a task failure/timeout
+	failedTasks   uint64 // tasks completed by the device as failed
+	timedOutTasks uint64 // tasks rescued by the completion timeout
 }
 
 func newWorker(s *System, id, socket, local int, localPorts, localDevs []int) (*worker, error) {
@@ -206,6 +230,12 @@ func (w *worker) done() bool {
 		return false
 	}
 	for _, q := range w.rxqs {
+		// A queue still flapped down at the end of the run can never drain;
+		// its backlog is stranded (the packets were never materialised), so
+		// it must not keep the worker alive forever.
+		if q.Down() {
+			continue
+		}
 		if q.Backlog(w.sys.eng.Now()) > 0 {
 			return false
 		}
@@ -268,8 +298,16 @@ func (w *worker) flush(p *offload.Pending) {
 		KernelTime: p.KernelTime(cm),
 		Kernels:    len(p.Chain),
 	}
+	it := &inflightTask{pending: p, task: task}
 	task.Execute = func() {
 		// Device-side functional computation (timed by the kernel model).
+		// Guarded so a hung task rescheduled after recovery cannot run it a
+		// second time, and a timeout-rescued task cannot touch the recycled
+		// batches.
+		if it.done || it.executed {
+			return
+		}
+		it.executed = true
 		for _, node := range p.Chain {
 			for _, b := range p.Batches {
 				node.Offloadable().ProcessOffloaded(&w.pctx, b)
@@ -277,20 +315,47 @@ func (w *worker) flush(p *offload.Pending) {
 		}
 	}
 	task.Complete = func(finish simtime.Time, t *gpu.Task) {
-		if !w.completions.Push(completion{pending: p, task: t}) {
+		if it.done {
+			return // a late device completion after the timeout rescued it
+		}
+		if !w.completions.Push(completion{it: it}) {
 			panic(fmt.Sprintf("core: worker %d completion ring overflow", w.id))
 		}
+	}
+	if tt := w.sys.cfg.TaskTimeout; tt > 0 {
+		// The timeout only enqueues a rescue completion: the fallback runs
+		// inside the next iterate, where cycle accounting lives.
+		it.timer = w.sys.eng.After(tt, func() {
+			if it.done {
+				return
+			}
+			if !w.completions.Push(completion{it: it, timedOut: true}) {
+				panic(fmt.Sprintf("core: worker %d completion ring overflow", w.id))
+			}
+		})
 	}
 	dev.Submit(task)
 }
 
-// handleCompletion postprocesses a finished device task and resumes the
-// batches in the pipeline.
+// handleCompletion postprocesses a finished, failed or timed-out device
+// task and resumes the batches in the pipeline (after a CPU fallback when
+// the device never ran them).
 func (w *worker) handleCompletion(c completion) {
+	it := c.it
+	if it.done {
+		return // duplicate: the task was already resumed via another path
+	}
+	it.done = true
+	if it.timer != nil {
+		it.timer.Cancel()
+	}
 	cm := w.sys.cfg.CostModel
-	p := c.pending
+	p := it.pending
 	w.inflight--
 	w.inflightPkts -= p.NPkts
+	if c.timedOut || it.task.Failed {
+		w.fallback(it, c.timedOut)
+	}
 	w.cycles += cm.OffloadPostPerPacket * simtime.Cycles(p.NPkts)
 	head := p.Head
 	for _, b := range p.Batches {
@@ -309,6 +374,49 @@ func (w *worker) handleCompletion(c completion) {
 			b.SetResult(i, 0)
 		}
 		w.g.RunFrom(w, &w.pctx, p.Resume, b)
+	}
+}
+
+// fallback rescues an aggregate whose device task failed or timed out: the
+// chain's device-side computation is re-executed on the CPU via the same
+// ProcessOffloaded host closures, charged at the honest CPU per-packet
+// element cost. If the device already ran the computation (it failed after
+// the kernel, or a hung task's kernel had finished), the results are valid
+// and only the rescue is counted.
+func (w *worker) fallback(it *inflightTask, timedOut bool) {
+	cm := w.sys.cfg.CostModel
+	p := it.pending
+	if timedOut {
+		w.timedOutTasks++
+	} else {
+		w.failedTasks++
+	}
+	w.fallbackPkts += uint64(p.NPkts)
+	if tr := w.sys.cfg.Tracer; tr != nil {
+		reason := int64(0)
+		if timedOut {
+			reason = 1
+		}
+		tr.Emit(w.now(), trace.KindFallback, int32(w.id), "fallback",
+			int64(it.task.ID), int64(p.NPkts), reason, 0)
+	}
+	if it.executed {
+		return
+	}
+	it.executed = true
+	for _, node := range p.Chain {
+		cost := cm.ElementCostOf(node.Elem.Class())
+		var cycles simtime.Cycles
+		for _, b := range p.Batches {
+			b.ForEachLive(func(i int, pkt *packet.Packet) {
+				cycles += cost.Cycles(pkt.Length())
+			})
+			node.Offloadable().ProcessOffloaded(&w.pctx, b)
+		}
+		if w.pctx.CostScale != 0 && w.pctx.CostScale != 1 {
+			cycles = simtime.Cycles(float64(cycles) * w.pctx.CostScale)
+		}
+		w.cycles += cycles
 	}
 }
 

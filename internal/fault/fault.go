@@ -1,0 +1,176 @@
+// Package fault is the deterministic fault-injection subsystem: scripted
+// timelines of device/NIC/load faults that the framework schedules on the
+// virtual clock and reacts to by degrading gracefully instead of wedging.
+//
+// A Plan is pure data. Like the traffic generator and the seed, it is part
+// of a run's identity: the same configuration + seed + plan always produce
+// the same trace digest, so fault scenarios are replayable and diffable
+// exactly like fault-free runs (DESIGN.md §9). Fault application points emit
+// trace.KindFaultInject / trace.KindFaultRecover events, so nbatrace shows
+// the fault timeline next to the framework's reactions.
+//
+// The event vocabulary covers the degradation modes the paper's robustness
+// claim (§3.4: near-optimal throughput "without application- or
+// hardware-specific knowledge" as conditions shift) must survive:
+//
+//	DeviceFail / DeviceRecover — the accelerator disappears (driver reset,
+//	    Xid error); in-flight and new tasks complete immediately as failed
+//	    and the workers re-execute them on the CPU.
+//	DeviceSlowdown — thermal throttling or PCIe contention: kernel times
+//	    and copy times are scaled by per-event factors.
+//	DeviceHang — the device stops completing tasks (TDR-style wedge) until
+//	    recovery; the workers' task-completion timeout rescues the stuck
+//	    aggregates on the CPU.
+//	RxQueueDown / RxQueueUp — a NIC queue flaps: arrivals keep accruing and
+//	    overflow into drop counters, but no packets are delivered.
+//	RateBurst — the offered load is scaled by a factor (use a second event
+//	    with factor 1 to end the burst).
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"nba/internal/simtime"
+)
+
+// Kind classifies fault events.
+type Kind uint8
+
+const (
+	// DeviceFail marks a device failed at Event.At: in-flight tasks fail
+	// immediately, and submissions fail until DeviceRecover.
+	DeviceFail Kind = iota
+	// DeviceRecover restores a failed, hung or slowed device to nominal.
+	DeviceRecover
+	// DeviceSlowdown scales the device's kernel and copy times by
+	// KernelFactor / CopyFactor (>= 1 slows the device; 1 is nominal).
+	DeviceSlowdown
+	// DeviceHang freezes task completion: tasks submitted or in flight
+	// neither complete nor fail until DeviceRecover.
+	DeviceHang
+	// RxQueueDown stops packet delivery from the queue(s); arrivals keep
+	// accruing and overflow into the drop counters.
+	RxQueueDown
+	// RxQueueUp restores packet delivery.
+	RxQueueUp
+	// RateBurst scales the current offered load by RateFactor. A second
+	// RateBurst with factor 1 restores the nominal rate.
+	RateBurst
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"device.fail",
+	"device.recover",
+	"device.slowdown",
+	"device.hang",
+	"rxq.down",
+	"rxq.up",
+	"rate.burst",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "unknown"
+}
+
+// IsRecovery reports whether the kind restores capacity rather than taking
+// it away (used to pick the trace event kind).
+func (k Kind) IsRecovery() bool { return k == DeviceRecover || k == RxQueueUp }
+
+// Event is one scheduled fault. Only the fields relevant to the Kind are
+// read; the rest stay zero.
+type Event struct {
+	// At is the virtual time the fault is applied.
+	At   simtime.Time
+	Kind Kind
+
+	// Device indexes Topology.Devices (device events).
+	Device int
+	// Port indexes Topology.Ports and Queue the port's RX queues (RX-queue
+	// events). Queue -1 targets every queue of the port.
+	Port  int
+	Queue int
+
+	// KernelFactor / CopyFactor scale kernel and copy times (DeviceSlowdown;
+	// >= 1 slows the device, 1 is nominal; 0 means "leave unchanged").
+	KernelFactor float64
+	CopyFactor   float64
+
+	// RateFactor scales the offered load (RateBurst; must be >= 0).
+	RateFactor float64
+}
+
+// Plan is a scripted fault timeline. The zero value is an empty plan.
+type Plan struct {
+	Events []Event
+}
+
+// Validate checks the plan against the run's topology: ndev devices, nports
+// ports with nqueues RX queues each.
+func (p *Plan) Validate(ndev, nports, nqueues int) error {
+	for i, ev := range p.Events {
+		if ev.At < 0 {
+			return fmt.Errorf("fault: event %d (%s) at negative time %v", i, ev.Kind, ev.At)
+		}
+		switch ev.Kind {
+		case DeviceFail, DeviceRecover, DeviceHang:
+			if ev.Device < 0 || ev.Device >= ndev {
+				return fmt.Errorf("fault: event %d (%s) targets device %d of %d", i, ev.Kind, ev.Device, ndev)
+			}
+		case DeviceSlowdown:
+			if ev.Device < 0 || ev.Device >= ndev {
+				return fmt.Errorf("fault: event %d (%s) targets device %d of %d", i, ev.Kind, ev.Device, ndev)
+			}
+			if ev.KernelFactor < 0 || ev.CopyFactor < 0 {
+				return fmt.Errorf("fault: event %d (%s) has negative slowdown factors", i, ev.Kind)
+			}
+		case RxQueueDown, RxQueueUp:
+			if ev.Port < 0 || ev.Port >= nports {
+				return fmt.Errorf("fault: event %d (%s) targets port %d of %d", i, ev.Kind, ev.Port, nports)
+			}
+			if ev.Queue < -1 || ev.Queue >= nqueues {
+				return fmt.Errorf("fault: event %d (%s) targets queue %d of %d", i, ev.Kind, ev.Queue, nqueues)
+			}
+		case RateBurst:
+			if ev.RateFactor < 0 {
+				return fmt.Errorf("fault: event %d (%s) has negative rate factor %v", i, ev.Kind, ev.RateFactor)
+			}
+		default:
+			return fmt.Errorf("fault: event %d has unknown kind %d", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// Sorted returns the events ordered by time, ties broken by their position
+// in the plan (stable), so application order is deterministic regardless of
+// how the plan was assembled.
+func (p *Plan) Sorted() []Event {
+	out := append([]Event(nil), p.Events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// GPUOutage is the canonical outage scenario: device dev fails at failAt and
+// recovers at recoverAt. It is the plan behind the `faults` bench scenario
+// and the nbatrace record -faults self-check.
+func GPUOutage(failAt, recoverAt simtime.Time, dev int) *Plan {
+	return &Plan{Events: []Event{
+		{At: failAt, Kind: DeviceFail, Device: dev},
+		{At: recoverAt, Kind: DeviceRecover, Device: dev},
+	}}
+}
+
+// Burst returns the two events of an offered-load burst: scale by factor at
+// `at`, restore the nominal rate at `at+dur`.
+func Burst(at, dur simtime.Time, factor float64) []Event {
+	return []Event{
+		{At: at, Kind: RateBurst, RateFactor: factor},
+		{At: at + dur, Kind: RateBurst, RateFactor: 1},
+	}
+}

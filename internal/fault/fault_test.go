@@ -1,0 +1,104 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"nba/internal/simtime"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "unknown" || k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(200).String() != "unknown" {
+		t.Errorf("out-of-range kind should stringify as unknown")
+	}
+}
+
+func TestIsRecovery(t *testing.T) {
+	want := map[Kind]bool{
+		DeviceFail: false, DeviceRecover: true, DeviceSlowdown: false,
+		DeviceHang: false, RxQueueDown: false, RxQueueUp: true, RateBurst: false,
+	}
+	for k, w := range want {
+		if k.IsRecovery() != w {
+			t.Errorf("%s: IsRecovery = %v, want %v", k, k.IsRecovery(), w)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	ms := simtime.Millisecond
+	cases := []struct {
+		name string
+		ev   Event
+		err  string // substring of the expected error, "" for valid
+	}{
+		{"fail ok", Event{At: ms, Kind: DeviceFail, Device: 1}, ""},
+		{"fail bad device", Event{At: ms, Kind: DeviceFail, Device: 2}, "device 2 of 2"},
+		{"negative device", Event{At: ms, Kind: DeviceHang, Device: -1}, "device -1"},
+		{"negative time", Event{At: -1, Kind: DeviceFail}, "negative time"},
+		{"slowdown ok", Event{At: ms, Kind: DeviceSlowdown, Device: 0, KernelFactor: 2}, ""},
+		{"slowdown negative", Event{At: ms, Kind: DeviceSlowdown, Device: 0, CopyFactor: -1}, "negative slowdown"},
+		{"rxq ok", Event{At: ms, Kind: RxQueueDown, Port: 3, Queue: -1}, ""},
+		{"rxq bad port", Event{At: ms, Kind: RxQueueDown, Port: 4}, "port 4 of 4"},
+		{"rxq bad queue", Event{At: ms, Kind: RxQueueUp, Port: 0, Queue: 2}, "queue 2 of 2"},
+		{"burst ok", Event{At: ms, Kind: RateBurst, RateFactor: 3}, ""},
+		{"burst negative", Event{At: ms, Kind: RateBurst, RateFactor: -0.5}, "negative rate"},
+		{"unknown kind", Event{At: ms, Kind: numKinds}, "unknown kind"},
+	}
+	for _, c := range cases {
+		p := Plan{Events: []Event{c.ev}}
+		err := p.Validate(2, 4, 2)
+		if c.err == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), c.err) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.err)
+		}
+	}
+}
+
+func TestSortedStable(t *testing.T) {
+	ms := simtime.Millisecond
+	p := Plan{Events: []Event{
+		{At: 3 * ms, Kind: DeviceRecover, Device: 0},
+		{At: ms, Kind: RateBurst, RateFactor: 2},
+		{At: ms, Kind: DeviceFail, Device: 0}, // same time: must stay after the burst
+		{At: 2 * ms, Kind: DeviceHang, Device: 1},
+	}}
+	got := p.Sorted()
+	wantKinds := []Kind{RateBurst, DeviceFail, DeviceHang, DeviceRecover}
+	for i, k := range wantKinds {
+		if got[i].Kind != k {
+			t.Fatalf("sorted[%d].Kind = %s, want %s (order %v)", i, got[i].Kind, k, got)
+		}
+	}
+	// Original plan untouched.
+	if p.Events[0].Kind != DeviceRecover {
+		t.Fatal("Sorted mutated the plan")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	ms := simtime.Millisecond
+	p := GPUOutage(2*ms, 5*ms, 1)
+	if err := p.Validate(2, 1, 1); err != nil {
+		t.Fatalf("GPUOutage plan invalid: %v", err)
+	}
+	if len(p.Events) != 2 || p.Events[0].Kind != DeviceFail || p.Events[1].Kind != DeviceRecover {
+		t.Fatalf("unexpected outage plan %v", p.Events)
+	}
+	if p.Events[0].At != 2*ms || p.Events[1].At != 5*ms {
+		t.Fatalf("unexpected outage times %v", p.Events)
+	}
+
+	b := Burst(ms, 2*ms, 4)
+	if len(b) != 2 || b[0].RateFactor != 4 || b[1].RateFactor != 1 || b[1].At != 3*ms {
+		t.Fatalf("unexpected burst events %v", b)
+	}
+}

@@ -8,14 +8,24 @@
 //	               CUDA-runtime locking; grows with the number of workers,
 //	               which is what bends GPU-only scaling, paper §4.3);
 //	copy stage   — a single half-duplex copy engine moving H2D bytes before
-//	               the kernel and D2H bytes after it;
+//	               the kernel and D2H bytes after it (the paper's GTX 680
+//	               has one copy engine, so H2D and D2H transfers serialise);
 //	kernel stage — the compute engine, busy for the task's kernel time.
 //
 // Stages overlap across tasks like CUDA streams do: while task N computes,
-// task N+1 can copy. Throughput is set by the slowest stage; latency is the
-// sum of stage times plus queueing. "Kernels" also carry a functional
-// closure that really executes the element's device-side computation on the
-// host, so offloaded packets are still actually processed.
+// task N+1 can copy. The copy engine keeps a free-gap list, so a transfer
+// that becomes ready early (the next task's H2D) can slot into idle time
+// left before an already-reserved later transfer (an earlier task's D2H).
+// Throughput is set by the slowest stage; latency is the sum of stage times
+// plus queueing. "Kernels" also carry a functional closure that really
+// executes the element's device-side computation on the host, so offloaded
+// packets are still actually processed.
+//
+// The device also has a health state driven by internal/fault: Fail voids
+// every reservation and completes tasks immediately with Task.Failed set
+// (workers re-execute them on the CPU); Hang freezes completion until
+// Recover (the workers' task timeout rescues the stuck tasks); SetSlowdown
+// scales kernel and copy times for subsequently scheduled tasks.
 package gpu
 
 import (
@@ -41,10 +51,15 @@ type Task struct {
 	Kernels int
 
 	// Execute performs the functional device-side computation. It runs at
-	// kernel completion time.
+	// kernel completion time. It may run more than once for a task that is
+	// hung and rescheduled, so it must be idempotent.
 	Execute func()
-	// Complete is invoked when the task fully finishes (after D2H).
+	// Complete is invoked when the task fully finishes (after D2H), or
+	// immediately with Failed set when the device fails.
 	Complete func(finish simtime.Time, t *Task)
+	// Failed is set when the task completed because the device failed
+	// rather than because it ran. Execute has not necessarily run.
+	Failed bool
 
 	// Timing breakdown, filled by the device.
 	Submitted  simtime.Time
@@ -54,17 +69,33 @@ type Task struct {
 	Finish     simtime.Time
 }
 
-// Stats aggregates device activity.
+// Stats aggregates device activity. Tasks/Packets and the byte counters
+// account everything offered to the device at submit time; the busy times
+// account scheduled engine occupancy, and are refunded in full for tasks a
+// fault aborts before completion.
 type Stats struct {
 	Tasks        uint64
 	Packets      uint64
 	H2DBytes     uint64
 	D2HBytes     uint64
+	FailedTasks  uint64
 	KernelBusy   simtime.Time
 	CopyBusy     simtime.Time
 	HostBusy     simtime.Time
 	LastFinish   simtime.Time
 	MaxQueueWait simtime.Time
+}
+
+// copyGap is an idle interval on the copy engine earlier than its frontier,
+// left behind when a transfer had to wait for its data dependency.
+type copyGap struct{ start, end simtime.Time }
+
+// inflight tracks one scheduled task so a fault can cancel its callbacks.
+type inflight struct {
+	task       *Task
+	exec, comp *simtime.Timer
+	// Accounted busy times, refunded if the task is aborted.
+	hostT, copyT, kernT simtime.Time
 }
 
 // Device is one simulated accelerator plus its device thread.
@@ -81,9 +112,22 @@ type Device struct {
 	nworkers int
 
 	hostFree   simtime.Time
-	h2dFree    simtime.Time
-	d2hFree    simtime.Time
 	kernelFree simtime.Time
+	// The single half-duplex copy engine: reserved through copyFrontier,
+	// with earlier idle gaps available for transfers that fit.
+	copyFrontier simtime.Time
+	copyGaps     []copyGap
+
+	// Health state (driven by internal/fault via core.System).
+	failed     bool
+	hung       bool
+	kernelSlow float64
+	copySlow   float64
+
+	inflight []*inflight
+	// pending holds tasks accepted while hung; Recover reschedules them in
+	// submission order.
+	pending []*Task
 
 	nextID uint64
 	stats  Stats
@@ -108,17 +152,44 @@ func New(name string, kind sysinfo.DeviceKind, eng *simtime.Engine, cm *sysinfo.
 		Name: name, Kind: kind,
 		eng: eng, params: params, cm: cm,
 		hostFreqHz: hostFreqHz, nworkers: nworkers,
+		kernelSlow: 1, copySlow: 1,
 	}, nil
 }
 
-// Submit enqueues a task at the current virtual time. The device computes
-// the full pipeline schedule immediately (all stage timelines are known)
-// and schedules Execute/Complete callbacks.
+// Submit enqueues a task at the current virtual time. On a healthy device
+// the full pipeline schedule is computed immediately (all stage timelines
+// are known) and Execute/Complete callbacks are scheduled. On a failed
+// device the task completes immediately with Failed set; on a hung device
+// it is parked until Recover.
 func (d *Device) Submit(t *Task) {
-	now := d.eng.Now()
 	d.nextID++
 	t.ID = d.nextID
-	t.Submitted = now
+	t.Submitted = d.eng.Now()
+
+	d.stats.Tasks++
+	d.stats.Packets += uint64(t.NPkts)
+	d.stats.H2DBytes += uint64(t.H2DBytes)
+	d.stats.D2HBytes += uint64(t.D2HBytes)
+
+	switch {
+	case d.failed:
+		d.failTask(t)
+	case d.hung:
+		d.pending = append(d.pending, t)
+	default:
+		d.schedule(t)
+	}
+}
+
+// schedule computes the task's pipeline timeline and registers callbacks.
+func (d *Device) schedule(t *Task) {
+	now := d.eng.Now()
+
+	// Drop copy-engine gaps entirely in the past: transfers become ready no
+	// earlier than now, so they can never be filled.
+	for len(d.copyGaps) > 0 && d.copyGaps[0].end <= now {
+		d.copyGaps = d.copyGaps[1:]
+	}
 
 	// Host stage: device-thread CPU handling, serialised on its core.
 	hostCycles := d.cm.DeviceTaskFixed + d.cm.DeviceTaskPerWorker*simtime.Cycles(d.nworkers)
@@ -126,36 +197,30 @@ func (d *Device) Submit(t *Task) {
 	hostStart := maxTime(now, d.hostFree)
 	t.HostDone = hostStart + hostTime
 	d.hostFree = t.HostDone
-	d.stats.HostBusy += hostTime
 
-	// H2D copy on the host-to-device DMA engine (PCIe is full duplex, so
-	// D2H transfers of earlier tasks overlap).
+	// H2D transfer on the shared copy engine.
 	h2dTime := d.copyTime(t.H2DBytes)
-	h2dStart := maxTime(t.HostDone, d.h2dFree)
-	t.H2DDone = h2dStart + h2dTime
-	d.h2dFree = t.H2DDone
-	d.stats.CopyBusy += h2dTime
+	h2dStart, h2dEnd := d.allocCopy(t.HostDone, h2dTime)
+	t.H2DDone = h2dEnd
 
 	// Kernel stage.
-	ktime := simtime.Time(float64(t.KernelTime) * d.params.KernelScale)
-	ktime += simtime.Time(t.Kernels) * d.params.LaunchExtra
+	ktime := simtime.Time(float64(t.KernelTime) * d.params.KernelScale * d.kernelSlow)
+	ktime += simtime.Time(float64(simtime.Time(t.Kernels)*d.params.LaunchExtra) * d.kernelSlow)
 	kstart := maxTime(t.H2DDone, d.kernelFree)
 	t.KernelDone = kstart + ktime
 	d.kernelFree = t.KernelDone
-	d.stats.KernelBusy += ktime
 
-	// D2H copy on the device-to-host DMA engine.
+	// D2H return on the same copy engine.
 	d2hTime := d.copyTime(t.D2HBytes)
-	d2hStart := maxTime(t.KernelDone, d.d2hFree)
-	t.Finish = d2hStart + d2hTime
-	d.d2hFree = t.Finish
-	d.stats.CopyBusy += d2hTime
+	d2hStart, d2hEnd := d.allocCopy(t.KernelDone, d2hTime)
+	t.Finish = d2hEnd
 
-	d.stats.Tasks++
-	d.stats.Packets += uint64(t.NPkts)
-	d.stats.H2DBytes += uint64(t.H2DBytes)
-	d.stats.D2HBytes += uint64(t.D2HBytes)
-	d.stats.LastFinish = t.Finish
+	d.stats.HostBusy += hostTime
+	d.stats.CopyBusy += h2dTime + d2hTime
+	d.stats.KernelBusy += ktime
+	if t.Finish > d.stats.LastFinish {
+		d.stats.LastFinish = t.Finish
+	}
 	if wait := hostStart - now; wait > d.stats.MaxQueueWait {
 		d.stats.MaxQueueWait = wait
 	}
@@ -178,36 +243,174 @@ func (d *Device) Submit(t *Task) {
 			tid, int64(t.D2HBytes), int64(d2hStart), wrk)
 	}
 
-	d.eng.At(t.KernelDone, func() {
+	it := &inflight{task: t, hostT: hostTime, copyT: h2dTime + d2hTime, kernT: ktime}
+	it.exec = d.eng.At(t.KernelDone, func() {
 		if t.Execute != nil {
 			t.Execute()
 		}
 	})
-	d.eng.At(t.Finish, func() {
+	it.comp = d.eng.At(t.Finish, func() {
+		d.forget(it)
+		if t.Complete != nil {
+			t.Complete(t.Finish, t)
+		}
+	})
+	d.inflight = append(d.inflight, it)
+}
+
+// allocCopy reserves dur of time on the copy engine starting no earlier
+// than ready: in the earliest idle gap that fits, else at the frontier.
+func (d *Device) allocCopy(ready, dur simtime.Time) (start, end simtime.Time) {
+	if dur <= 0 {
+		return ready, ready
+	}
+	for i := range d.copyGaps {
+		g := d.copyGaps[i]
+		s := maxTime(g.start, ready)
+		if s+dur > g.end {
+			continue
+		}
+		switch {
+		case s == g.start && s+dur == g.end:
+			d.copyGaps = append(d.copyGaps[:i], d.copyGaps[i+1:]...)
+		case s == g.start:
+			d.copyGaps[i].start = s + dur
+		case s+dur == g.end:
+			d.copyGaps[i].end = s
+		default:
+			d.copyGaps = append(d.copyGaps, copyGap{})
+			copy(d.copyGaps[i+2:], d.copyGaps[i+1:])
+			d.copyGaps[i] = copyGap{g.start, s}
+			d.copyGaps[i+1] = copyGap{s + dur, g.end}
+		}
+		return s, s + dur
+	}
+	start = maxTime(ready, d.copyFrontier)
+	if start > d.copyFrontier {
+		d.copyGaps = append(d.copyGaps, copyGap{d.copyFrontier, start})
+	}
+	d.copyFrontier = start + dur
+	return start, d.copyFrontier
+}
+
+// forget drops a completed or aborted task from the inflight list.
+func (d *Device) forget(it *inflight) {
+	for i, x := range d.inflight {
+		if x == it {
+			d.inflight = append(d.inflight[:i], d.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// failTask completes a task immediately as failed. Execute is not run; the
+// submitting worker re-executes the aggregate on the CPU.
+func (d *Device) failTask(t *Task) {
+	t.Failed = true
+	t.Finish = d.eng.Now()
+	d.stats.FailedTasks++
+	d.eng.After(0, func() {
 		if t.Complete != nil {
 			t.Complete(t.Finish, t)
 		}
 	})
 }
 
+// abortScheduled cancels every in-flight callback, refunds the accounted
+// busy time and returns the aborted tasks in scheduling order.
+func (d *Device) abortScheduled() []*Task {
+	var tasks []*Task
+	for _, it := range d.inflight {
+		it.exec.Cancel()
+		it.comp.Cancel()
+		d.stats.HostBusy -= it.hostT
+		d.stats.CopyBusy -= it.copyT
+		d.stats.KernelBusy -= it.kernT
+		tasks = append(tasks, it.task)
+	}
+	d.inflight = d.inflight[:0]
+	return tasks
+}
+
+// resetTimelines voids every engine reservation (all stage frontiers move
+// to the past, i.e. idle).
+func (d *Device) resetTimelines() {
+	d.hostFree, d.kernelFree, d.copyFrontier = 0, 0, 0
+	d.copyGaps = nil
+}
+
+// Fail marks the device failed: in-flight and parked tasks complete
+// immediately with Failed set, and so does every Submit until Recover.
+func (d *Device) Fail() {
+	if d.failed {
+		return
+	}
+	d.failed = true
+	d.hung = false
+	tasks := append(d.abortScheduled(), d.pending...)
+	d.pending = nil
+	d.resetTimelines()
+	for _, t := range tasks {
+		d.failTask(t)
+	}
+}
+
+// Hang freezes the device: in-flight tasks are unscheduled and parked, and
+// new submissions park too. Nothing completes (or fails) until Recover —
+// the workers' completion timeout is what rescues the parked aggregates.
+func (d *Device) Hang() {
+	if d.failed || d.hung {
+		return
+	}
+	d.hung = true
+	d.pending = append(d.abortScheduled(), d.pending...)
+	d.resetTimelines()
+}
+
+// SetSlowdown scales kernel and copy times for subsequently scheduled
+// tasks; factors >= 1 slow the device, 1 is nominal, 0 leaves the current
+// factor unchanged.
+func (d *Device) SetSlowdown(kernelFactor, copyFactor float64) {
+	if kernelFactor > 0 {
+		d.kernelSlow = kernelFactor
+	}
+	if copyFactor > 0 {
+		d.copySlow = copyFactor
+	}
+}
+
+// Recover restores a failed, hung or slowed device to nominal and
+// reschedules parked tasks in submission order.
+func (d *Device) Recover() {
+	d.failed, d.hung = false, false
+	d.kernelSlow, d.copySlow = 1, 1
+	pending := d.pending
+	d.pending = nil
+	for _, t := range pending {
+		d.schedule(t)
+	}
+}
+
+// Healthy reports whether the device is neither failed nor hung.
+func (d *Device) Healthy() bool { return !d.failed && !d.hung }
+
 func (d *Device) copyTime(bytes int) simtime.Time {
 	if bytes <= 0 {
 		return 0
 	}
-	return simtime.Time(float64(bytes) / d.params.CopyBytesPerSec * float64(simtime.Second))
+	return simtime.Time(float64(bytes) / d.params.CopyBytesPerSec * float64(simtime.Second) * d.copySlow)
 }
 
 // Backlog returns how far the device's busiest engine is scheduled into
 // the future — the queue-depth signal used for submission admission and by
-// load balancers.
+// load balancers. A failed device reports zero (submissions fail fast); a
+// hung device's backlog decays as the clock advances, so hang detection is
+// the workers' completion timeout, not admission control.
 func (d *Device) Backlog() simtime.Time {
-	busiest := d.kernelFree
-	if d.h2dFree > busiest {
-		busiest = d.h2dFree
+	if d.failed {
+		return 0
 	}
-	if d.d2hFree > busiest {
-		busiest = d.d2hFree
-	}
+	busiest := maxTime(d.kernelFree, d.copyFrontier)
 	b := busiest - d.eng.Now()
 	if b < 0 {
 		return 0
@@ -219,7 +422,8 @@ func (d *Device) Backlog() simtime.Time {
 func (d *Device) Stats() Stats { return d.stats }
 
 // Utilization returns the busy fractions of the kernel and copy engines
-// over the given interval.
+// over the given interval. With the single half-duplex copy engine, copyEng
+// cannot exceed 1 over an interval covering the accounted activity.
 func (d *Device) Utilization(interval simtime.Time) (kernel, copyEng float64) {
 	if interval <= 0 {
 		return 0, 0

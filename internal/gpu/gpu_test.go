@@ -203,3 +203,157 @@ func TestNewValidation(t *testing.T) {
 		t.Error("zero workers accepted")
 	}
 }
+
+func TestHalfDuplexCopyUtilization(t *testing.T) {
+	// Saturating back-to-back submits with large copies both ways: the
+	// single half-duplex copy engine can never be more than 100% busy. The
+	// old model pooled two independent DMA timelines into one CopyBusy
+	// counter and reported ~200% here.
+	d, eng := newDevice(t, 1)
+	const n = 40
+	eng.After(0, func() {
+		for i := 0; i < n; i++ {
+			d.Submit(&Task{
+				NPkts: 2048, H2DBytes: 1 << 20, D2HBytes: 1 << 20,
+				KernelTime: simtime.Microsecond, Kernels: 1,
+			})
+		}
+	})
+	eng.Run()
+	_, copyEng := d.Utilization(d.Stats().LastFinish)
+	if copyEng > 1.0 {
+		t.Errorf("copy engine utilization = %.3f, want <= 1 (half duplex)", copyEng)
+	}
+	if copyEng < 0.9 {
+		t.Errorf("copy engine utilization = %.3f, want ~1 under saturation", copyEng)
+	}
+}
+
+func TestFailFastCompletion(t *testing.T) {
+	d, eng := newDevice(t, 1)
+	type done struct {
+		at     simtime.Time
+		failed bool
+	}
+	var completions []done
+	mk := func() *Task {
+		return &Task{
+			NPkts: 2048, H2DBytes: 163840, D2HBytes: 163840,
+			KernelTime: 148 * simtime.Microsecond, Kernels: 1,
+			Execute:  func() { t.Error("Execute ran on a failed task") },
+			Complete: func(f simtime.Time, tk *Task) { completions = append(completions, done{f, tk.Failed}) },
+		}
+	}
+	failAt := 10 * simtime.Microsecond
+	eng.After(0, func() { d.Submit(mk()) })
+	eng.At(failAt, func() {
+		d.Fail()
+		if d.Healthy() {
+			t.Error("failed device reports healthy")
+		}
+		if d.Backlog() != 0 {
+			t.Errorf("failed device backlog = %v, want 0", d.Backlog())
+		}
+		d.Submit(mk()) // submit-while-failed must fail fast too
+	})
+	eng.Run()
+
+	if len(completions) != 2 {
+		t.Fatalf("%d completions, want 2", len(completions))
+	}
+	for i, c := range completions {
+		if !c.failed {
+			t.Errorf("completion %d not marked failed", i)
+		}
+		if c.at != failAt {
+			t.Errorf("completion %d at %v, want fail time %v", i, c.at, failAt)
+		}
+	}
+	if d.Stats().FailedTasks != 2 {
+		t.Errorf("FailedTasks = %d, want 2", d.Stats().FailedTasks)
+	}
+}
+
+func TestHangThenRecover(t *testing.T) {
+	d, eng := newDevice(t, 1)
+	var execs int
+	var finishes []simtime.Time
+	mk := func() *Task {
+		return &Task{
+			NPkts: 64, H2DBytes: 8192, D2HBytes: 8192,
+			KernelTime: 50 * simtime.Microsecond, Kernels: 1,
+			Execute: func() { execs++ },
+			Complete: func(f simtime.Time, tk *Task) {
+				if tk.Failed {
+					t.Error("hung task completed as failed")
+				}
+				finishes = append(finishes, f)
+			},
+		}
+	}
+	hangAt := 10 * simtime.Microsecond
+	recoverAt := 5 * simtime.Millisecond
+	eng.After(0, func() { d.Submit(mk()) })
+	eng.At(hangAt, func() {
+		d.Hang()
+		if d.Healthy() {
+			t.Error("hung device reports healthy")
+		}
+		d.Submit(mk()) // parked until recovery
+	})
+	eng.At(recoverAt-simtime.Microsecond, func() {
+		if len(finishes) != 0 || execs != 0 {
+			t.Errorf("task completed while hung: %v execs=%d", finishes, execs)
+		}
+	})
+	eng.At(recoverAt, d.Recover)
+	eng.Run()
+
+	if len(finishes) != 2 || execs != 2 {
+		t.Fatalf("finishes=%v execs=%d, want both tasks after recovery", finishes, execs)
+	}
+	for i, f := range finishes {
+		if f <= recoverAt {
+			t.Errorf("task %d finished at %v, before recovery %v", i, f, recoverAt)
+		}
+	}
+}
+
+func TestSlowdownScalesStages(t *testing.T) {
+	run := func(kf, cf float64) *Task {
+		d, eng := newDevice(t, 1)
+		task := &Task{NPkts: 1024, H2DBytes: 1 << 20, D2HBytes: 0,
+			KernelTime: 100 * simtime.Microsecond, Kernels: 1}
+		eng.After(0, func() {
+			d.SetSlowdown(kf, cf)
+			d.Submit(task)
+		})
+		eng.Run()
+		return task
+	}
+	// Float scaling truncates to whole picoseconds, so compare with a
+	// few-ps tolerance.
+	near := func(a, b simtime.Time) bool {
+		d := a - b
+		return d > -4 && d < 4
+	}
+	base, slow := run(0, 0), run(3, 2)
+	if got, want := slow.KernelDone-slow.H2DDone, 3*(base.KernelDone-base.H2DDone); !near(got, want) {
+		t.Errorf("kernel under 3x slowdown = %v, want %v", got, want)
+	}
+	if got, want := slow.H2DDone-slow.HostDone, 2*(base.H2DDone-base.HostDone); !near(got, want) {
+		t.Errorf("copy under 2x slowdown = %v, want %v", got, want)
+	}
+	// Recover restores nominal factors.
+	d, eng := newDevice(t, 1)
+	after := &Task{NPkts: 1024, H2DBytes: 1 << 20, KernelTime: 100 * simtime.Microsecond, Kernels: 1}
+	eng.After(0, func() {
+		d.SetSlowdown(4, 4)
+		d.Recover()
+		d.Submit(after)
+	})
+	eng.Run()
+	if got, want := after.KernelDone-after.H2DDone, base.KernelDone-base.H2DDone; got != want {
+		t.Errorf("kernel after Recover = %v, want nominal %v", got, want)
+	}
+}

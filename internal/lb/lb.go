@@ -169,6 +169,9 @@ type Controller struct {
 	last    float64
 	wait    int
 	bounces int // consecutive rejected perturbations at a boundary
+	// recentFails counts failed/timed-out offload completions reported via
+	// NoteTaskFailures since the last control step.
+	recentFails int
 	// Trace records (W, throughput) after each update for diagnostics.
 	Trace []TracePoint
 
@@ -182,6 +185,9 @@ type Controller struct {
 
 // TracePoint is one controller update observation.
 type TracePoint struct {
+	// At is the virtual time of the control step (zero when the controller
+	// has no TraceNow clock attached, e.g. in unit tests).
+	At         simtime.Time
 	W          float64
 	Throughput float64
 }
@@ -212,18 +218,64 @@ func (c *Controller) Observe(pps float64) { c.avg.Push(pps) }
 // W returns the current offloading fraction.
 func (c *Controller) W() float64 { return c.state.W }
 
+// NoteTaskFailures reports n failed or timed-out offload-task completions
+// observed since the last control step. A non-zero count makes the next
+// control step collapse W toward the CPU instead of hill-climbing: a
+// failing device's throughput signal is meaningless, and every offloaded
+// batch is paying the CPU-fallback penalty on top of its detour.
+func (c *Controller) NoteTaskFailures(n int) {
+	if n > 0 {
+		c.recentFails += n
+	}
+}
+
+// reactToFailures is the emergency path of a control step: halve W (snap to
+// 0 below one step) while offload completions are failing, bypassing the
+// waiting ramp. Once the device recovers and failures stop, the ordinary
+// perturbation escapes w=0 and the hill-climb re-discovers the optimum.
+func (c *Controller) reactToFailures() bool {
+	if c.recentFails == 0 {
+		return false
+	}
+	c.recentFails = 0
+	w := c.state.W / 2
+	if w < c.Delta {
+		w = 0
+	}
+	c.state.W = w
+	c.dir = -1
+	c.wait = c.MinWait
+	c.bounces = 0
+	c.last = 0 // the throughput slope must be re-learned from scratch
+	c.avg.Reset()
+	c.Trace = append(c.Trace, TracePoint{At: c.now(), W: w, Throughput: 0})
+	c.emitTrace(w, 0)
+	return true
+}
+
 // Update runs one control step: move w by ±δ in the direction that last
 // improved smoothed throughput, honouring the waiting-interval ramp.
 func (c *Controller) Update() {
+	if c.reactToFailures() {
+		return
+	}
 	if c.wait > 0 {
 		c.wait--
 		return
 	}
 	cur := c.avg.Mean()
-	if cur < c.last*(1-c.Tolerance) {
-		c.dir = -c.dir
+	if c.avg.Count() == 0 {
+		// Dead window: no Observe landed since the last step (the observe
+		// interval outpaces updates, or delivery stalled entirely). Mean()
+		// is 0 here, and comparing it against last would spuriously flip
+		// direction every step. Keep last and the direction, keep moving.
+		cur = c.last
+	} else {
+		if cur < c.last*(1-c.Tolerance) {
+			c.dir = -c.dir
+		}
+		c.last = cur
 	}
-	c.last = cur
 
 	// Discard samples observed under the old fraction: the paper waits for
 	// all workers to apply the updated value before the next observation.
@@ -240,7 +292,7 @@ func (c *Controller) Update() {
 		c.dir = -1
 	}
 	c.state.W = w
-	c.Trace = append(c.Trace, TracePoint{W: w, Throughput: cur})
+	c.Trace = append(c.Trace, TracePoint{At: c.now(), W: w, Throughput: cur})
 
 	// Waiting ramp: higher w ⇒ longer settling (paper: jitter persists
 	// longer at high offload fractions).
@@ -265,16 +317,21 @@ func (c *Controller) Update() {
 	c.emitTrace(w, cur)
 }
 
+// now returns the controller's virtual time, zero without a clock.
+func (c *Controller) now() simtime.Time {
+	if c.TraceNow != nil {
+		return c.TraceNow()
+	}
+	return 0
+}
+
 // emitTrace records one control step on the run tracer. Float payloads are
 // carried as math.Float64bits so the event stream stays bit-exact.
 func (c *Controller) emitTrace(w, throughput float64) {
 	if c.Tracer == nil {
 		return
 	}
-	var now simtime.Time
-	if c.TraceNow != nil {
-		now = c.TraceNow()
-	}
+	now := c.now()
 	c.Tracer.Emit(now, trace.KindLBUpdate, c.TraceActor, "alb",
 		int64(math.Float64bits(w)), int64(math.Float64bits(throughput)),
 		int64(c.dir), int64(c.wait))
@@ -294,6 +351,9 @@ func (c *Controller) UpdateWithLatency(p99 simtime.Time) {
 		c.Update()
 		return
 	}
+	if c.reactToFailures() {
+		return
+	}
 	if c.wait > 0 {
 		c.wait--
 		return
@@ -307,7 +367,7 @@ func (c *Controller) UpdateWithLatency(p99 simtime.Time) {
 	c.state.W = w
 	c.dir = -1
 	c.bounces = 0
-	c.Trace = append(c.Trace, TracePoint{W: w, Throughput: -p99.Micros()})
+	c.Trace = append(c.Trace, TracePoint{At: c.now(), W: w, Throughput: -p99.Micros()})
 	c.wait = c.MinWait
 	c.emitTrace(w, -p99.Micros())
 }

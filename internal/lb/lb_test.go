@@ -199,3 +199,33 @@ func TestControllerWaitRamp(t *testing.T) {
 		t.Errorf("%d moves in 20 updates at w=1, want heavy waiting", moves)
 	}
 }
+
+func TestUpdateEmptyWindowNoFlip(t *testing.T) {
+	// Regression: Update resets the sample window every step, so a step
+	// with no intervening Observe used to compare Mean()==0 against last
+	// and spuriously flip the climb direction (and clobber last with 0).
+	st := &State{}
+	c := NewController(st)
+	// Prime the controller as if it had been climbing on real samples.
+	c.Observe(10)
+	c.Update()
+	if c.dir != +1 || c.last != 10 {
+		t.Fatalf("setup: dir=%v last=%v, want +1/10", c.dir, c.last)
+	}
+	w0 := st.W
+	// Force several control steps with dead observation windows (an outage,
+	// or ALBUpdate outpacing ALBObserve).
+	for i := 0; i < 5; i++ {
+		c.wait = 0
+		c.Update()
+	}
+	if c.dir != +1 {
+		t.Error("direction flipped on empty observation windows")
+	}
+	if c.last != 10 {
+		t.Errorf("last = %v, want 10 preserved across empty windows", c.last)
+	}
+	if st.W <= w0 {
+		t.Errorf("W = %v, want continued climb past %v", st.W, w0)
+	}
+}

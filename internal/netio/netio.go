@@ -64,6 +64,7 @@ type RxQueue struct {
 	delivered    uint64
 	dropped      uint64 // queue overflow drops
 	allocFailed  uint64 // mempool exhaustion drops
+	down         bool   // fault-injected flap: no delivery, arrivals overflow
 
 	// Tracer, when non-nil, receives rx / rx.drop events from Poll. Drops
 	// are accounted delta-wise (overflow drops happen lazily in advance, so
@@ -97,6 +98,12 @@ func (q *RxQueue) SetStop(t simtime.Time) { q.stopTime = t }
 // SetGenerator swaps the traffic generator (workload-change experiments).
 // Sequence numbering continues, so determinism is preserved.
 func (q *RxQueue) SetGenerator(gen Generator) { q.gen = gen }
+
+// SetDown flaps the queue (fault injection). While down, Poll delivers
+// nothing; arrivals keep accruing and overflow into the drop counters once
+// the queue fills, exactly as a dead link's ring behaves. Coming back up
+// resumes delivery from the surviving backlog.
+func (q *RxQueue) SetDown(down bool) { q.down = down }
 
 // totalArrivals returns how many packets have arrived by time now.
 func (q *RxQueue) totalArrivals(now simtime.Time) uint64 {
@@ -150,6 +157,9 @@ func (q *RxQueue) Poll(now simtime.Time, burst int, pool *PacketPool, out []*pac
 	if n > backlog {
 		n = backlog
 	}
+	if q.down {
+		n = 0 // overflow accounting (and its trace events) still run above
+	}
 	for i := uint64(0); i < n; i++ {
 		p, err := pool.Get()
 		if err != nil {
@@ -182,6 +192,9 @@ func (q *RxQueue) Poll(now simtime.Time, burst int, pool *PacketPool, out []*pac
 	}
 	return out
 }
+
+// Down reports whether the queue is currently flapped down.
+func (q *RxQueue) Down() bool { return q.down }
 
 // Stats returns (delivered, overflow+alloc drops, alloc failures).
 func (q *RxQueue) Stats() (delivered, dropped, allocFailed uint64) {

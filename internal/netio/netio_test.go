@@ -188,3 +188,50 @@ func TestGeneratedPacketsParseAndSpread(t *testing.T) {
 		pool.Put(p)
 	}
 }
+
+func TestRxQueueFlap(t *testing.T) {
+	// 1 Mpps, capacity 1000. Down at 1 ms: delivery stops, arrivals keep
+	// accruing, and once the ring fills the excess drops. Up at 4 ms:
+	// delivery resumes from the surviving backlog.
+	q, pool := newQueue(1e6, 1000)
+	var out []*packet.Packet
+	out = q.Poll(simtime.Millisecond, 256, pool, out)
+	if len(out) != 256 {
+		t.Fatalf("pre-flap burst delivered %d, want 256", len(out))
+	}
+
+	q.SetDown(true)
+	if !q.Down() {
+		t.Fatal("Down() false after SetDown(true)")
+	}
+	for ms := 2; ms <= 4; ms++ {
+		got := q.Poll(simtime.Time(ms)*simtime.Millisecond, 256, pool, nil)
+		if len(got) != 0 {
+			t.Fatalf("down queue delivered %d packets at %d ms", len(got), ms)
+		}
+	}
+	// 4000 arrivals by now, 256 delivered, ring holds 1000: the rest is
+	// overflow-dropped.
+	_, dropped, _ := q.Stats()
+	if want := uint64(4000 - 256 - 1000); dropped != want {
+		t.Fatalf("dropped = %d while down, want %d", dropped, want)
+	}
+
+	q.SetDown(false)
+	got := q.Poll(4*simtime.Millisecond+simtime.Microsecond, 256, pool, nil)
+	if len(got) != 256 {
+		t.Fatalf("recovered queue delivered %d, want full burst", len(got))
+	}
+	// Sequence numbers stay contiguous with arrival order: the first packet
+	// after recovery follows the (final) dropped range.
+	_, droppedNow, _ := q.Stats()
+	if got[0].Seq != 256+droppedNow {
+		t.Errorf("first post-flap seq = %d, want %d", got[0].Seq, 256+droppedNow)
+	}
+	for _, p := range out {
+		pool.Put(p)
+	}
+	for _, p := range got {
+		pool.Put(p)
+	}
+}

@@ -71,6 +71,17 @@ const (
 	// Actor = port. A = queue, B = dropped (overflow + alloc), C = of which
 	// mempool-exhaustion drops.
 	KindRxDrop
+	// KindFaultInject is a capacity-removing fault-plan event being applied.
+	// A = fault.Kind, B = target (device, or port for RX-queue faults;
+	// math.Float64bits(factor) for rate bursts), C = queue (RX-queue faults).
+	KindFaultInject
+	// KindFaultRecover is a capacity-restoring fault-plan event (device
+	// recover, RX queue up). Payload as KindFaultInject.
+	KindFaultRecover
+	// KindFallback is a worker re-executing an offloaded aggregate on the
+	// CPU after a device failure or completion timeout. Actor = worker.
+	// A = task ID, B = packets, C = reason (0 = device failed, 1 = timeout).
+	KindFallback
 
 	numKinds
 )
@@ -86,6 +97,9 @@ var kindNames = [numKinds]string{
 	"lb.update",
 	"rx",
 	"rx.drop",
+	"fault.inject",
+	"fault.recover",
+	"fallback",
 }
 
 func (k Kind) String() string {

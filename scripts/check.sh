@@ -12,7 +12,10 @@
 #   6. fuzz smoke         a few seconds per fuzz target (conflang round-trip,
 #                         packet header parsing) to catch shallow regressions
 #   7. nbatrace self-check the same config+seed recorded twice must diff to
-#                         zero divergence (dynamic determinism gate)
+#                         zero divergence (dynamic determinism gate), both
+#                         fault-free and with the canonical injected GPU
+#                         outage (-faults: the plan is part of the run
+#                         identity)
 #
 # The race run doubles as the regression tripwire for future parallel-worker
 # PRs: the engine is single-threaded by design, so any data race is new code
@@ -52,5 +55,8 @@ trap 'rm -rf "$tracedir"' EXIT
 go run ./cmd/nbatrace record -app ipv4 -lb fixed=0.8 -o "$tracedir/a.jsonl" >/dev/null
 go run ./cmd/nbatrace record -app ipv4 -lb fixed=0.8 -o "$tracedir/b.jsonl" >/dev/null
 go run ./cmd/nbatrace diff "$tracedir/a.jsonl" "$tracedir/b.jsonl"
+go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -faults -o "$tracedir/fa.jsonl" >/dev/null
+go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -faults -o "$tracedir/fb.jsonl" >/dev/null
+go run ./cmd/nbatrace diff "$tracedir/fa.jsonl" "$tracedir/fb.jsonl"
 
 echo "check.sh: all gates passed"
