@@ -1,0 +1,138 @@
+// Command nbachaos is the deterministic chaos-search driver: it sweeps
+// seeded random fault plans across the standard applications, runs every
+// case twice under the invariant oracle (cross-checking trace digests), and
+// shrinks any failure to a minimal replayable reproducer file.
+//
+// Usage:
+//
+//	nbachaos sweep -seeds 50 -base 1 -repro-dir ./repro
+//	nbachaos sweep -apps ipv4,ids -seeds 5 -digest-only
+//	nbachaos replay ./repro/repro-ipv4-7.json
+//
+// Everything is a pure function of (app, seed, plan): a sweep with the same
+// flags prints the same combined digest on the same tree, so the digest is
+// a behavioural fingerprint of the build, and a reproducer file is a
+// complete bug report. Exit status is 1 when any case violates an
+// invariant.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nba/internal/chaos"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "sweep":
+		sweep(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  nbachaos sweep [flags]          sweep seeded random fault plans
+  nbachaos replay <repro.json>    re-run a written reproducer
+
+sweep flags:
+  -apps ipv4,ipv6,ipsec,ids   apps to sweep (default all)
+  -seeds N                    seeds per app (default 50)
+  -base N                     first seed (default 1)
+  -repro-dir DIR              write reproducer files for failures
+  -shrink-runs N              shrink probe budget per failure (default 60, 0 off)
+  -digest-only                print only the combined digest`)
+	os.Exit(2)
+}
+
+func sweep(args []string) {
+	fs := flag.NewFlagSet("nbachaos sweep", flag.ExitOnError)
+	var (
+		apps       = fs.String("apps", "", "comma-separated apps (default: all)")
+		seeds      = fs.Int("seeds", 50, "seeds per app")
+		base       = fs.Uint64("base", 1, "first seed")
+		reproDir   = fs.String("repro-dir", "", "directory for reproducer files")
+		shrinkRuns = fs.Int("shrink-runs", 60, "shrink probe budget per failure (0 disables)")
+		digestOnly = fs.Bool("digest-only", false, "print only the combined digest")
+	)
+	fs.Parse(args)
+
+	opts := chaos.SweepOptions{
+		Seeds:         *seeds,
+		BaseSeed:      *base,
+		ReproDir:      *reproDir,
+		MaxShrinkRuns: *shrinkRuns,
+	}
+	if *apps != "" {
+		opts.Apps = strings.Split(*apps, ",")
+	}
+	if opts.ReproDir != "" {
+		if err := os.MkdirAll(opts.ReproDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+	res, err := chaos.Sweep(opts)
+	if err != nil {
+		fatal(err)
+	}
+	if *digestOnly {
+		fmt.Println(res.Digest)
+	} else {
+		fmt.Printf("nbachaos: %d cases (x2 runs each), %d failure(s)\n", res.Cases, len(res.Failures))
+		fmt.Printf("combined digest: %s\n", res.Digest)
+	}
+	if len(res.Failures) == 0 {
+		return
+	}
+	for _, f := range res.Failures {
+		fmt.Printf("FAIL %s seed %d: %d violation(s), plan shrunk %d -> %d event(s) in %d run(s)\n",
+			f.Case.App, f.Case.Seed, len(f.Outcome.Violations), f.ShrunkFrom, len(f.Case.Plan.Events), f.ShrinkRuns)
+		for _, v := range f.Outcome.Violations {
+			fmt.Printf("  %s\n", v)
+		}
+		if f.ReproPath != "" {
+			fmt.Printf("  reproducer: %s\n", f.ReproPath)
+		}
+	}
+	os.Exit(1)
+}
+
+func replay(args []string) {
+	if len(args) != 1 {
+		usage()
+	}
+	c, err := chaos.ReadRepro(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	out, err := chaos.RunTwice(c)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("nbachaos: replay %s (app %s, seed %d, %d plan event(s))\n",
+		args[0], c.App, c.Seed, len(c.Plan.Events))
+	fmt.Printf("trace digest: %s\n", out.Digest)
+	if !out.Failed() {
+		fmt.Println("clean: no invariant violations")
+		return
+	}
+	fmt.Printf("%d violation(s):\n", len(out.Violations))
+	for _, v := range out.Violations {
+		fmt.Printf("  %s\n", v)
+	}
+	os.Exit(1)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nbachaos:", err)
+	os.Exit(1)
+}

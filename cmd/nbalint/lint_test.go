@@ -119,6 +119,8 @@ func TestRealTreeApplicability(t *testing.T) {
 		{"nba/internal/lb", true, true, false},
 		{"nba/internal/netio", true, true, false},
 		{"nba/internal/fault", true, true, false},
+		{"nba/internal/invariant", true, true, false},
+		{"nba/internal/chaos", true, true, false},
 		{"nba/internal/stats", false, true, false},
 		{"nba/internal/corelike", false, true, false},
 		{"nba/cmd/nba", false, false, true},

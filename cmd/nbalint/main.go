@@ -71,6 +71,8 @@ var simPackagePrefixes = []string{
 	"nba/internal/netio",
 	"nba/internal/trace",
 	"nba/internal/fault",
+	"nba/internal/invariant",
+	"nba/internal/chaos",
 }
 
 func hasPathPrefix(path, prefix string) bool {

@@ -1,0 +1,185 @@
+// Package chaos is the deterministic chaos-search driver: it sweeps seeded
+// random fault plans (fault.RandomPlan) across the standard applications,
+// runs every case under the invariant oracle (internal/invariant) with the
+// run trace digested, runs each case twice to cross-check determinism, and
+// shrinks any failing plan to a minimal replayable reproducer.
+//
+// Everything is a pure function of (app, seed, plan): there is no wall
+// clock and no global randomness anywhere in the loop, so a failing case is
+// fully identified by its reproducer file and a sweep's combined digest is
+// a build fingerprint — two checkouts that disagree on it differ in
+// behaviour, not in luck.
+package chaos
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+
+	"nba/internal/bench"
+	"nba/internal/core"
+	"nba/internal/fault"
+	"nba/internal/invariant"
+	"nba/internal/rng"
+	"nba/internal/simtime"
+	"nba/internal/sysinfo"
+	"nba/internal/trace"
+)
+
+// Apps are the default applications swept (every offload family: lookup,
+// crypto, pattern matching).
+var Apps = []string{"ipv4", "ipv6", "ipsec", "ids"}
+
+// Run shape shared by every chaos case. Small on purpose: a case must cost
+// milliseconds of real time so a sweep can afford hundreds of them, while
+// still spanning enough virtual time for the ALB control loop to step and
+// for fault windows to open and close.
+const (
+	caseWarmup   = 200 * simtime.Microsecond
+	caseDuration = 3 * simtime.Millisecond
+	caseRateBps  = 1.5e9 // per port
+	caseWorkers  = 2
+	casePorts    = 2
+	// caseDrainGrace must cover the slowest legitimate drain, not just the
+	// rescue TaskTimeout (default 5 ms): an unrecovered hang makes every
+	// offload batch during drain pay the full rescue timeout before its CPU
+	// fallback, so draining full NIC rings of the most expensive app (IDS)
+	// can take over 100 virtual ms. Clean runs never pay this — the watchdog
+	// firing on a drained run is a free virtual-time jump.
+	caseDrainGrace = 200 * simtime.Millisecond
+)
+
+// Case is one chaos run: an application, a seed (driving the run's own
+// randomness) and a fault plan. The zero TaskTimeout selects the framework
+// default; a negative value disables the rescue timeout (used by tests to
+// seed a genuine stuck-drain bug).
+type Case struct {
+	App         string
+	Seed        uint64
+	Plan        *fault.Plan
+	TaskTimeout simtime.Time
+}
+
+// Outcome is the observable result of one case.
+type Outcome struct {
+	// Digest is the run's trace digest (identity of the full event stream).
+	Digest string
+	// Violations are the oracle's findings, empty for a correct run.
+	Violations []invariant.Violation
+	// Suppressed counts violations beyond the oracle's per-check cap.
+	Suppressed int
+	// Report is the run's measurement report.
+	Report *core.Report
+}
+
+// Failed reports whether the case violated any invariant.
+func (o *Outcome) Failed() bool { return len(o.Violations) > 0 }
+
+// Profile returns the RandomPlan profile matching the chaos run shape.
+func Profile() fault.Profile {
+	return fault.Profile{
+		Horizon: caseWarmup + caseDuration,
+		Devices: 1,
+		Ports:   casePorts,
+		Queues:  caseWorkers,
+	}
+}
+
+// RandomCase derives the fault plan for (app, seed). The plan depends on
+// both, so sweeping several apps over the same seed range still explores
+// distinct timelines.
+func RandomCase(app string, seed uint64) Case {
+	r := rng.New(seed*0x9E3779B97F4A7C15 + appSalt(app))
+	return Case{App: app, Seed: seed, Plan: fault.RandomPlan(r, Profile())}
+}
+
+// appSalt folds the app name into the plan seed (FNV-1a).
+func appSalt(app string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(app); i++ {
+		h ^= uint64(app[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// topology returns the chaos machine: one socket, two ports, one GPU.
+func topology() *sysinfo.Topology {
+	return sysinfo.SingleSocketTopology(caseWorkers+2, casePorts)
+}
+
+// Run executes one case under the oracle and returns its outcome. Run
+// errors (bad app name, invalid plan) are setup failures, not violations.
+func Run(c Case) (*Outcome, error) {
+	cfgText, err := bench.AppConfig(c.App, "adaptive")
+	if err != nil {
+		return nil, err
+	}
+	ck := invariant.New()
+	// Capacity 1: the digest covers every event regardless of ring size,
+	// and chaos only needs the digest.
+	tr := trace.New(trace.Options{Capacity: 1, CheckpointInterval: -1})
+	cfg := core.Config{
+		Topology:          topology(),
+		GraphConfig:       cfgText,
+		WorkersPerSocket:  caseWorkers,
+		Generator:         bench.GeneratorFor(c.App, 64, c.Seed+1),
+		OfferedBpsPerPort: caseRateBps,
+		Warmup:            caseWarmup,
+		Duration:          caseDuration,
+		Seed:              c.Seed,
+		ALBObserve:        100 * simtime.Microsecond,
+		ALBUpdate:         500 * simtime.Microsecond,
+		Tracer:            tr,
+		Checker:           ck,
+		DrainGrace:        caseDrainGrace,
+		FaultPlan:         c.Plan,
+		TaskTimeout:       c.TaskTimeout,
+	}
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := sys.Run()
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{
+		Digest:     tr.Digest(),
+		Violations: ck.Violations(),
+		Suppressed: ck.Suppressed(),
+		Report:     rep,
+	}, nil
+}
+
+// RunTwice executes the case twice and cross-checks the trace digests: a
+// mismatch means the run is not a pure function of (config, seed, plan) and
+// is recorded as a determinism violation on the returned outcome.
+func RunTwice(c Case) (*Outcome, error) {
+	a, err := Run(c)
+	if err != nil {
+		return nil, err
+	}
+	b, err := Run(c)
+	if err != nil {
+		return nil, err
+	}
+	if a.Digest != b.Digest {
+		a.Violations = append(a.Violations, invariant.Violation{
+			Check: invariant.CheckDeterminism,
+			Msg:   fmt.Sprintf("trace digests differ across identical runs: %s vs %s", a.Digest, b.Digest),
+		})
+	}
+	return a, nil
+}
+
+// combinedDigest hashes the per-case digests (in sweep order) into one
+// build fingerprint.
+func combinedDigest(lines []string) string {
+	h := sha256.New()
+	for _, l := range lines {
+		h.Write([]byte(l))
+		h.Write([]byte{'\n'})
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

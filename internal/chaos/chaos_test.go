@@ -1,0 +1,290 @@
+package chaos
+
+import (
+	"path/filepath"
+	"testing"
+
+	"nba/internal/fault"
+	"nba/internal/invariant"
+	"nba/internal/simtime"
+)
+
+const ms = simtime.Millisecond
+
+// TestOracleFaultFreeCleans is the false-positive guard: with no fault plan
+// at all, every app must pass every invariant. An oracle that cries wolf on
+// healthy runs is worse than no oracle.
+func TestOracleCleanOnFaultFreeRuns(t *testing.T) {
+	for _, app := range Apps {
+		out, err := Run(Case{App: app, Seed: 3})
+		if err != nil {
+			t.Fatalf("%s: %v", app, err)
+		}
+		if out.Failed() {
+			t.Errorf("%s fault-free run violated invariants: %v", app, out.Violations)
+		}
+		if out.Report.TxPackets == 0 {
+			t.Errorf("%s fault-free run transmitted nothing", app)
+		}
+	}
+}
+
+// TestOracleCleanUnderRandomFaults: the shipped tree must survive random
+// fault plans without violations, and identically across repeated runs.
+func TestOracleCleanUnderRandomFaults(t *testing.T) {
+	for _, app := range Apps {
+		for seed := uint64(10); seed < 13; seed++ {
+			c := RandomCase(app, seed)
+			out, err := RunTwice(c)
+			if err != nil {
+				t.Fatalf("%s/%d: %v", app, seed, err)
+			}
+			if out.Failed() {
+				t.Errorf("%s/%d violated invariants under plan %v: %v",
+					app, seed, c.Plan.Events, out.Violations)
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	c := RandomCase("ipv4", 99)
+	a, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("same case, different digests: %s vs %s", a.Digest, b.Digest)
+	}
+}
+
+// --- shrinker ---
+
+// hangPredicate is a synthetic failure oracle for fast shrinker tests: the
+// plan "fails" iff it hangs device 0 without ever recovering it.
+func hangPredicate(p *fault.Plan) bool {
+	hungAt := simtime.Time(-1)
+	for _, ev := range p.Sorted() {
+		switch {
+		case ev.Kind == fault.DeviceHang && ev.Device == 0:
+			hungAt = ev.At
+		case ev.Kind == fault.DeviceRecover && ev.Device == 0 && hungAt >= 0:
+			hungAt = -1
+		}
+	}
+	return hungAt >= 0
+}
+
+func validForProfile(p *fault.Plan) bool {
+	prof := Profile()
+	return p.Validate(prof.Devices, prof.Ports, prof.Queues) == nil
+}
+
+func TestShrinkToMinimal(t *testing.T) {
+	// A noisy plan: an unrecovered hang (the actual bug trigger) buried
+	// under a slowdown window, a queue flap and a rate burst.
+	noisy := &fault.Plan{Events: []fault.Event{
+		{At: 300 * simtime.Microsecond, Kind: fault.DeviceSlowdown, Device: 0, KernelFactor: 4, CopyFactor: 4},
+		{At: 500 * simtime.Microsecond, Kind: fault.DeviceRecover, Device: 0},
+		{At: 600 * simtime.Microsecond, Kind: fault.RxQueueDown, Port: 1, Queue: 0},
+		{At: 1 * ms, Kind: fault.DeviceHang, Device: 0},
+		{At: 1200 * simtime.Microsecond, Kind: fault.RxQueueUp, Port: 1, Queue: 0},
+		{At: 2 * ms, Kind: fault.RateBurst, RateFactor: 3},
+		{At: 2500 * simtime.Microsecond, Kind: fault.RateBurst, RateFactor: 1},
+	}}
+	if !hangPredicate(noisy) {
+		t.Fatal("noisy plan should satisfy the predicate")
+	}
+	shrunk, runs := Shrink(noisy, hangPredicate, validForProfile, 200)
+	if len(shrunk.Events) > 2 {
+		t.Fatalf("shrunk to %d events, want <= 2: %v (%d runs)", len(shrunk.Events), shrunk.Events, runs)
+	}
+	if !hangPredicate(shrunk) {
+		t.Fatalf("shrunk plan no longer fails: %v", shrunk.Events)
+	}
+	if !validForProfile(shrunk) {
+		t.Fatalf("shrunk plan invalid: %v", shrunk.Events)
+	}
+}
+
+func TestShrinkFixedPoint(t *testing.T) {
+	minimal := &fault.Plan{Events: []fault.Event{
+		{At: 1 * ms, Kind: fault.DeviceHang, Device: 0},
+	}}
+	shrunk, _ := Shrink(minimal, hangPredicate, validForProfile, 100)
+	if len(shrunk.Events) != 1 || shrunk.Events[0] != minimal.Events[0] {
+		t.Fatalf("minimal plan is not a fixed point: %v", shrunk.Events)
+	}
+}
+
+func TestShrinkHalvesMagnitudes(t *testing.T) {
+	// Predicate: any slowdown with kernel factor > 2 (so halving 8 → 4.5 →
+	// 2.75 … should stop at the last value above 2).
+	pred := func(p *fault.Plan) bool {
+		for _, ev := range p.Events {
+			if ev.Kind == fault.DeviceSlowdown && ev.KernelFactor > 2 {
+				return true
+			}
+		}
+		return false
+	}
+	plan := &fault.Plan{Events: []fault.Event{
+		{At: 1 * ms, Kind: fault.DeviceSlowdown, Device: 0, KernelFactor: 8, CopyFactor: 8},
+	}}
+	shrunk, _ := Shrink(plan, pred, validForProfile, 100)
+	got := shrunk.Events[0].KernelFactor
+	if got >= 8 || got <= 2 {
+		t.Fatalf("factor not shrunk toward the threshold: %v", got)
+	}
+}
+
+func TestShrinkRespectsBudget(t *testing.T) {
+	calls := 0
+	pred := func(p *fault.Plan) bool { calls++; return hangPredicate(p) }
+	noisy := &fault.Plan{Events: []fault.Event{
+		{At: 1 * ms, Kind: fault.DeviceHang, Device: 0},
+		{At: 500 * simtime.Microsecond, Kind: fault.RateBurst, RateFactor: 2},
+		{At: 700 * simtime.Microsecond, Kind: fault.RateBurst, RateFactor: 1},
+	}}
+	_, runs := Shrink(noisy, pred, validForProfile, 3)
+	if runs > 3 || calls > 3 {
+		t.Fatalf("budget exceeded: runs %d, calls %d", runs, calls)
+	}
+}
+
+// --- reproducers ---
+
+func TestReproRoundTrip(t *testing.T) {
+	c := Case{
+		App: "ipsec", Seed: 17, TaskTimeout: -1,
+		Plan: &fault.Plan{Events: []fault.Event{
+			{At: 1 * ms, Kind: fault.DeviceHang, Device: 0},
+			{At: 2 * ms, Kind: fault.RxQueueDown, Port: 1, Queue: -1},
+			{At: 2500 * simtime.Microsecond, Kind: fault.DeviceSlowdown, Device: 0, KernelFactor: 2.5, CopyFactor: 1.5},
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := WriteRepro(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.App != c.App || got.Seed != c.Seed || got.TaskTimeout != c.TaskTimeout {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Plan.Events) != len(c.Plan.Events) {
+		t.Fatalf("event count mismatch: %d vs %d", len(got.Plan.Events), len(c.Plan.Events))
+	}
+	for i := range c.Plan.Events {
+		if got.Plan.Events[i] != c.Plan.Events[i] {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, got.Plan.Events[i], c.Plan.Events[i])
+		}
+	}
+}
+
+// --- the end-to-end seeded-bug demonstration ---
+
+// TestSeededBugShrinksToMinimalRepro seeds a genuine bug configuration —
+// the rescue timeout disabled while a device hangs and never recovers — in
+// a noisy plan, confirms the oracle catches the stuck drain, shrinks the
+// plan with real runs, and verifies the written reproducer replays to the
+// same violation.
+func TestSeededBugShrinksToMinimalRepro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stuck-drain runs pay the full watchdog grace window")
+	}
+	noisy := &fault.Plan{Events: []fault.Event{
+		{At: 400 * simtime.Microsecond, Kind: fault.RateBurst, RateFactor: 2},
+		{At: 900 * simtime.Microsecond, Kind: fault.RateBurst, RateFactor: 1},
+		{At: 1 * ms, Kind: fault.DeviceHang, Device: 0},
+		{At: 1400 * simtime.Microsecond, Kind: fault.RxQueueDown, Port: 0, Queue: 1},
+		{At: 1800 * simtime.Microsecond, Kind: fault.RxQueueUp, Port: 0, Queue: 1},
+	}}
+	bug := Case{App: "ipv4", Seed: 5, Plan: noisy, TaskTimeout: -1}
+
+	out, err := RunTwice(bug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Failed() {
+		t.Fatal("seeded bug produced no violation")
+	}
+	sawStuck := false
+	for _, v := range out.Violations {
+		if v.Check == invariant.CheckDrainStuck {
+			sawStuck = true
+		}
+	}
+	if !sawStuck {
+		t.Fatalf("expected a drain.stuck violation, got %v", out.Violations)
+	}
+
+	stillFails := func(p *fault.Plan) bool {
+		o, err := Run(Case{App: bug.App, Seed: bug.Seed, Plan: p, TaskTimeout: bug.TaskTimeout})
+		return err == nil && o.Failed()
+	}
+	shrunk, runs := Shrink(noisy, stillFails, validForProfile, 40)
+	if len(shrunk.Events) > 2 {
+		t.Fatalf("shrunk to %d events, want <= 2: %v (%d runs)", len(shrunk.Events), shrunk.Events, runs)
+	}
+	hasHang := false
+	for _, ev := range shrunk.Events {
+		if ev.Kind == fault.DeviceHang {
+			hasHang = true
+		}
+	}
+	if !hasHang {
+		t.Fatalf("shrunk plan lost the triggering hang: %v", shrunk.Events)
+	}
+
+	// The reproducer file replays to the same violation.
+	path := filepath.Join(t.TempDir(), "repro.json")
+	minimal := Case{App: bug.App, Seed: bug.Seed, Plan: shrunk, TaskTimeout: bug.TaskTimeout}
+	if err := WriteRepro(path, minimal); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Run(replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.Failed() {
+		t.Fatal("replayed reproducer no longer fails")
+	}
+	t.Logf("shrunk %d -> %d events in %d probe runs", len(noisy.Events), len(shrunk.Events), runs)
+}
+
+// --- sweep ---
+
+func TestSweepCleanAndDeterministic(t *testing.T) {
+	opts := SweepOptions{Apps: []string{"ipv4", "ids"}, Seeds: 2, BaseSeed: 100}
+	a, err := Sweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cases != 4 {
+		t.Fatalf("ran %d cases, want 4", a.Cases)
+	}
+	if len(a.Failures) != 0 {
+		for _, f := range a.Failures {
+			t.Errorf("case %s/%d failed: %v (plan %v)", f.Case.App, f.Case.Seed, f.Outcome.Violations, f.Case.Plan.Events)
+		}
+		t.Fatal("sweep found violations on the shipped tree")
+	}
+	b, err := Sweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("sweep digest not reproducible: %s vs %s", a.Digest, b.Digest)
+	}
+}

@@ -1,0 +1,87 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"nba/internal/fault"
+	"nba/internal/simtime"
+)
+
+// Reproducer files are plain JSON so a failing case can be attached to a
+// bug report and replayed with `nbachaos replay <file>`. Times are
+// picoseconds of virtual time (simtime.Time's unit); fault kinds use their
+// String form.
+
+type reproFile struct {
+	App string `json:"app"`
+	// Seed drives the run's own randomness (LB coin flips, generator).
+	Seed uint64 `json:"seed"`
+	// TaskTimeoutPs overrides the rescue timeout; omitted = framework
+	// default, negative = disabled.
+	TaskTimeoutPs int64        `json:"task_timeout_ps,omitempty"`
+	Events        []reproEvent `json:"events"`
+}
+
+type reproEvent struct {
+	AtPs         int64   `json:"at_ps"`
+	Kind         string  `json:"kind"`
+	Device       int     `json:"device,omitempty"`
+	Port         int     `json:"port,omitempty"`
+	Queue        int     `json:"queue,omitempty"`
+	KernelFactor float64 `json:"kernel_factor,omitempty"`
+	CopyFactor   float64 `json:"copy_factor,omitempty"`
+	RateFactor   float64 `json:"rate_factor,omitempty"`
+}
+
+// WriteRepro writes the case as a replayable reproducer file.
+func WriteRepro(path string, c Case) error {
+	rf := reproFile{App: c.App, Seed: c.Seed, TaskTimeoutPs: int64(c.TaskTimeout)}
+	if c.Plan != nil {
+		for _, ev := range c.Plan.Events {
+			rf.Events = append(rf.Events, reproEvent{
+				AtPs: int64(ev.At), Kind: ev.Kind.String(),
+				Device: ev.Device, Port: ev.Port, Queue: ev.Queue,
+				KernelFactor: ev.KernelFactor, CopyFactor: ev.CopyFactor,
+				RateFactor: ev.RateFactor,
+			})
+		}
+	}
+	data, err := json.MarshalIndent(rf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadRepro loads a reproducer file back into a runnable case.
+func ReadRepro(path string) (Case, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Case{}, err
+	}
+	var rf reproFile
+	if err := json.Unmarshal(data, &rf); err != nil {
+		return Case{}, fmt.Errorf("chaos: %s: %w", path, err)
+	}
+	c := Case{
+		App:         rf.App,
+		Seed:        rf.Seed,
+		TaskTimeout: simtime.Time(rf.TaskTimeoutPs),
+		Plan:        &fault.Plan{},
+	}
+	for i, ev := range rf.Events {
+		kind, err := fault.KindFromString(ev.Kind)
+		if err != nil {
+			return Case{}, fmt.Errorf("chaos: %s: event %d: %w", path, i, err)
+		}
+		c.Plan.Events = append(c.Plan.Events, fault.Event{
+			At: simtime.Time(ev.AtPs), Kind: kind,
+			Device: ev.Device, Port: ev.Port, Queue: ev.Queue,
+			KernelFactor: ev.KernelFactor, CopyFactor: ev.CopyFactor,
+			RateFactor: ev.RateFactor,
+		})
+	}
+	return c, nil
+}

@@ -1,0 +1,199 @@
+package chaos
+
+import (
+	"nba/internal/fault"
+	"nba/internal/simtime"
+)
+
+// shrinkGrid quantises shrunk event times, matching fault.RandomPlan's
+// generation grid so reproducers stay tidy.
+const shrinkGrid = 10 * simtime.Microsecond
+
+// Shrink reduces a failing fault plan to a minimal reproducer by greedy
+// delta debugging: candidate transformations are tried in a fixed order
+// (single event removal, same-target pair removal, factor halving toward
+// nominal, fault-window halving) and any candidate that still fails
+// restarts the scan. The result is a fixed point: no single transformation
+// both keeps the plan valid and keeps it failing.
+//
+// stillFails must re-run the case with the candidate plan and report
+// whether it still violates an invariant; valid gates candidates on
+// Plan.Validate for the run's topology. maxRuns bounds the number of
+// stillFails calls (shrinking is search, and each probe is a full run); the
+// best plan found so far is returned when the budget runs out, along with
+// the number of probes spent.
+func Shrink(plan *fault.Plan, stillFails func(*fault.Plan) bool, valid func(*fault.Plan) bool, maxRuns int) (*fault.Plan, int) {
+	cur := clonePlan(plan)
+	runs := 0
+	try := func(cand *fault.Plan) bool {
+		if runs >= maxRuns || !valid(cand) {
+			return false
+		}
+		runs++
+		return stillFails(cand)
+	}
+
+	for {
+		if cand, ok := shrinkOnce(cur, try); ok {
+			cur = cand
+			continue
+		}
+		return cur, runs
+	}
+}
+
+// shrinkOnce tries every candidate transformation of cur in deterministic
+// order, returning the first one that still fails.
+func shrinkOnce(cur *fault.Plan, try func(*fault.Plan) bool) (*fault.Plan, bool) {
+	// 1. Remove a single event. Scanning from the end first tends to strip
+	// trailing recovery events (whose windows then extend to the horizon)
+	// before touching the fault that matters.
+	for i := len(cur.Events) - 1; i >= 0; i-- {
+		if cand := removeEvents(cur, i, -1); try(cand) {
+			return cand, true
+		}
+	}
+	// 2. Remove a same-target pair (a whole fault window at once: the
+	// single removals above may both fail while removing the pair works,
+	// e.g. dropping an unrelated fail+recover window whose recover alone
+	// would make the plan invalid).
+	for i := 0; i < len(cur.Events); i++ {
+		for j := i + 1; j < len(cur.Events); j++ {
+			if !sameTarget(cur.Events[i], cur.Events[j]) {
+				continue
+			}
+			if cand := removeEvents(cur, i, j); try(cand) {
+				return cand, true
+			}
+		}
+	}
+	// 3. Halve fault magnitudes toward nominal (factor 1).
+	for i, ev := range cur.Events {
+		switch ev.Kind {
+		case fault.DeviceSlowdown:
+			k, kok := halveFactor(ev.KernelFactor)
+			c, cok := halveFactor(ev.CopyFactor)
+			if !kok && !cok {
+				continue
+			}
+			cand := clonePlan(cur)
+			cand.Events[i].KernelFactor = k
+			cand.Events[i].CopyFactor = c
+			if try(cand) {
+				return cand, true
+			}
+		case fault.RateBurst:
+			f, ok := halveFactor(ev.RateFactor)
+			if !ok {
+				continue
+			}
+			cand := clonePlan(cur)
+			cand.Events[i].RateFactor = f
+			if try(cand) {
+				return cand, true
+			}
+		}
+	}
+	// 4. Halve fault windows: move each closing event halfway toward its
+	// opener.
+	for i, ev := range cur.Events {
+		if !closesWindow(ev) {
+			continue
+		}
+		j := openerOf(cur, i)
+		if j < 0 {
+			continue
+		}
+		mid := midpoint(cur.Events[j].At, ev.At)
+		if mid <= cur.Events[j].At || mid >= ev.At {
+			continue
+		}
+		cand := clonePlan(cur)
+		cand.Events[i].At = mid
+		if try(cand) {
+			return cand, true
+		}
+	}
+	return nil, false
+}
+
+func clonePlan(p *fault.Plan) *fault.Plan {
+	return &fault.Plan{Events: append([]fault.Event(nil), p.Events...)}
+}
+
+// removeEvents drops index i (and j, when >= 0) from the plan.
+func removeEvents(p *fault.Plan, i, j int) *fault.Plan {
+	out := &fault.Plan{Events: make([]fault.Event, 0, len(p.Events))}
+	for k, ev := range p.Events {
+		if k == i || k == j {
+			continue
+		}
+		out.Events = append(out.Events, ev)
+	}
+	return out
+}
+
+// sameTarget reports whether two events act on the same fault target, so
+// removing both plausibly removes one whole fault window.
+func sameTarget(a, b fault.Event) bool {
+	if deviceKind(a.Kind) && deviceKind(b.Kind) {
+		return a.Device == b.Device
+	}
+	if queueKind(a.Kind) && queueKind(b.Kind) {
+		return a.Port == b.Port && a.Queue == b.Queue
+	}
+	return a.Kind == fault.RateBurst && b.Kind == fault.RateBurst
+}
+
+func deviceKind(k fault.Kind) bool {
+	switch k {
+	case fault.DeviceFail, fault.DeviceRecover, fault.DeviceSlowdown, fault.DeviceHang:
+		return true
+	}
+	return false
+}
+
+func queueKind(k fault.Kind) bool {
+	return k == fault.RxQueueDown || k == fault.RxQueueUp
+}
+
+// closesWindow reports whether the event restores capacity taken by an
+// earlier event (the end of a fault window).
+func closesWindow(ev fault.Event) bool {
+	return ev.Kind.IsRecovery() || (ev.Kind == fault.RateBurst && ev.RateFactor == 1)
+}
+
+// openerOf finds the latest earlier same-target non-closing event — the
+// start of the window that event i closes. Returns -1 when there is none.
+func openerOf(p *fault.Plan, i int) int {
+	ev := p.Events[i]
+	best := -1
+	for j, o := range p.Events {
+		if j == i || closesWindow(o) || !sameTarget(o, ev) || o.At >= ev.At {
+			continue
+		}
+		if best < 0 || o.At > p.Events[best].At {
+			best = j
+		}
+	}
+	return best
+}
+
+// halveFactor moves a scaling factor halfway toward nominal (1), on a
+// coarse grid; ok is false when it is already within 10% of nominal.
+func halveFactor(f float64) (float64, bool) {
+	if f == 0 { // "leave unchanged" sentinel, nothing to halve
+		return f, false
+	}
+	next := 1 + (f-1)/2
+	if diff := next - f; diff < 0.05 && diff > -0.05 {
+		return f, false
+	}
+	return next, true
+}
+
+// midpoint returns the grid-aligned middle of a window.
+func midpoint(a, b simtime.Time) simtime.Time {
+	m := (a + b) / 2
+	return m / shrinkGrid * shrinkGrid
+}

@@ -1,0 +1,97 @@
+package chaos
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"nba/internal/fault"
+)
+
+// SweepOptions configures a chaos sweep.
+type SweepOptions struct {
+	// Apps to sweep; nil selects the default Apps list.
+	Apps []string
+	// Seeds is how many seeds to sweep per app (cases = Seeds × len(Apps)).
+	Seeds int
+	// BaseSeed offsets the seed range (seeds are BaseSeed .. BaseSeed+Seeds-1).
+	BaseSeed uint64
+	// ReproDir, when non-empty, receives a reproducer file per failing case.
+	ReproDir string
+	// MaxShrinkRuns bounds the shrinking probes per failing case; 0 disables
+	// shrinking (the reproducer then carries the unshrunk plan).
+	MaxShrinkRuns int
+}
+
+// Failure is one failing case with its (possibly shrunk) reproducer.
+type Failure struct {
+	Case    Case
+	Outcome *Outcome
+	// ShrunkFrom is the event count of the original failing plan (equal to
+	// len(Case.Plan.Events) when shrinking was disabled or made no progress).
+	ShrunkFrom int
+	// ShrinkRuns is how many probe runs the shrinker spent.
+	ShrinkRuns int
+	// ReproPath is the written reproducer file ("" when ReproDir unset).
+	ReproPath string
+}
+
+// SweepResult summarises one sweep.
+type SweepResult struct {
+	// Cases is the number of (app, seed) cases executed.
+	Cases int
+	// Failures holds every case that violated an invariant, in sweep order.
+	Failures []Failure
+	// Digest fingerprints the whole sweep: the hash of every case's trace
+	// digest in order. Two sweeps of the same tree must agree on it exactly.
+	Digest string
+}
+
+// Sweep runs Seeds × Apps chaos cases. Each case runs twice (determinism
+// cross-check); failing cases are shrunk to minimal reproducers and, when
+// ReproDir is set, written out as replayable plan files. The iteration
+// order (apps outer in the given order, seeds inner ascending) is part of
+// the sweep's identity.
+func Sweep(opts SweepOptions) (*SweepResult, error) {
+	apps := opts.Apps
+	if apps == nil {
+		apps = Apps
+	}
+	res := &SweepResult{}
+	var digests []string
+	prof := Profile()
+	for _, app := range apps {
+		for s := 0; s < opts.Seeds; s++ {
+			seed := opts.BaseSeed + uint64(s)
+			c := RandomCase(app, seed)
+			out, err := RunTwice(c)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: case %s/%d: %w", app, seed, err)
+			}
+			res.Cases++
+			digests = append(digests, fmt.Sprintf("%s %d %s", app, seed, out.Digest))
+			if !out.Failed() {
+				continue
+			}
+			f := Failure{Case: c, Outcome: out, ShrunkFrom: len(c.Plan.Events)}
+			if opts.MaxShrinkRuns > 0 {
+				stillFails := func(p *fault.Plan) bool {
+					o, err := RunTwice(Case{App: c.App, Seed: c.Seed, Plan: p, TaskTimeout: c.TaskTimeout})
+					return err == nil && o.Failed()
+				}
+				valid := func(p *fault.Plan) bool {
+					return p.Validate(prof.Devices, prof.Ports, prof.Queues) == nil
+				}
+				f.Case.Plan, f.ShrinkRuns = Shrink(c.Plan, stillFails, valid, opts.MaxShrinkRuns)
+			}
+			if opts.ReproDir != "" {
+				f.ReproPath = filepath.Join(opts.ReproDir, fmt.Sprintf("repro-%s-%d.json", app, seed))
+				if err := WriteRepro(f.ReproPath, f.Case); err != nil {
+					return nil, err
+				}
+			}
+			res.Failures = append(res.Failures, f)
+		}
+	}
+	res.Digest = combinedDigest(digests)
+	return res, nil
+}

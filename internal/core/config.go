@@ -10,6 +10,7 @@ import (
 	"nba/internal/batch"
 	"nba/internal/fault"
 	"nba/internal/graph"
+	"nba/internal/invariant"
 	"nba/internal/netio"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
@@ -103,6 +104,23 @@ type Config struct {
 	// plan reproduce the same trace digest.
 	FaultPlan *fault.Plan
 
+	// Checker, when non-nil, is the invariant oracle threaded through the
+	// run: dispatch monotonicity, GPU phase ordering and utilization, ALB
+	// bounds and collapse-on-outage, RX-queue accounting, mempool drain and
+	// packet conservation are verified as the run executes, and violations
+	// are collected instead of panicking (the chaos driver needs runs to
+	// finish). Attaching a checker also arms the drain watchdog (see
+	// DrainGrace), so it perturbs the event timeline; golden-trace runs
+	// must not attach one.
+	Checker *invariant.Checker
+
+	// DrainGrace bounds how long past the end of arrivals the run may keep
+	// draining before the watchdog declares it stuck, records a drain.stuck
+	// violation and force-stops the engine. 0 selects the default (1 virtual
+	// second) when a Checker is attached; negative disables the watchdog.
+	// Without a Checker the watchdog is armed only when DrainGrace > 0.
+	DrainGrace simtime.Time
+
 	// TaskTimeout is the worker-side completion timeout for offloaded
 	// tasks: a task not completed within it is re-executed on the CPU (the
 	// rescue path for hung devices). 0 selects the default (5 ms, far above
@@ -188,6 +206,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.TaskTimeout == 0 {
 		c.TaskTimeout = 5 * simtime.Millisecond
+	}
+	if c.DrainGrace == 0 && c.Checker != nil {
+		c.DrainGrace = simtime.Second
 	}
 	if c.FaultPlan != nil {
 		if err := c.FaultPlan.Validate(len(c.Topology.Devices), len(c.Topology.Ports), c.WorkersPerSocket); err != nil {

@@ -53,9 +53,12 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	s := &System{cfg: cfg, eng: simtime.NewEngine()}
 	s.stopTime = cfg.Warmup + cfg.Duration
-	if tr := cfg.Tracer; tr != nil {
+	if tr, ck := cfg.Tracer, cfg.Checker; tr != nil || ck != nil {
 		s.eng.OnFire = func(at simtime.Time, fired uint64) {
-			tr.Emit(at, trace.KindDispatch, -1, "", int64(fired), 0, 0, 0)
+			if tr != nil {
+				tr.Emit(at, trace.KindDispatch, -1, "", int64(fired), 0, 0, 0)
+			}
+			ck.OnDispatch(at)
 		}
 	}
 	s.tailMarkBytes = make([]uint64, len(cfg.Topology.Ports))
@@ -79,6 +82,7 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		dev.Tracer = cfg.Tracer
 		dev.TraceActor = int32(i)
+		dev.Checker = cfg.Checker
 		s.devices = append(s.devices, dev)
 	}
 
@@ -89,6 +93,7 @@ func NewSystem(cfg Config) (*System, error) {
 		for _, q := range port.Rx {
 			q.SetStop(s.stopTime)
 			q.Tracer = cfg.Tracer
+			q.Checker = cfg.Checker
 		}
 		s.ports = append(s.ports, port)
 	}
@@ -117,6 +122,7 @@ func NewSystem(cfg Config) (*System, error) {
 			ctl.Tracer = cfg.Tracer
 			ctl.TraceNow = s.eng.Now
 			ctl.TraceActor = int32(socket)
+			ctl.Checker = cfg.Checker
 			s.controllers = append(s.controllers, ctl)
 		} else {
 			s.controllers = append(s.controllers, nil)
@@ -317,6 +323,28 @@ func (s *System) Run() (*Report, error) {
 		s.eng.After(s.cfg.ALBUpdate, update)
 	}
 
+	// Drain watchdog: after arrivals stop, the run should drain within the
+	// grace window. A worker that can never retire (a hung device with the
+	// rescue timeout disabled, say) would otherwise idle-poll forever and
+	// Run would never return. Armed only when a checker is attached or a
+	// grace is set explicitly, so untracked runs keep their exact event
+	// timeline (and their golden trace digests).
+	if grace := s.cfg.DrainGrace; grace > 0 {
+		s.eng.At(s.stopTime+grace, func() {
+			stuck := 0
+			for _, w := range s.workers {
+				if !w.stopped {
+					stuck++
+				}
+			}
+			if stuck == 0 {
+				return
+			}
+			s.cfg.Checker.StuckDrain(s.eng.Now(), stuck)
+			s.eng.Stop()
+		})
+	}
+
 	s.eng.Run()
 
 	return s.report(), nil
@@ -383,6 +411,10 @@ type Report struct {
 	DeviceStats []gpu.Stats
 	// GraphDrops counts packets dropped inside pipelines (all workers).
 	GraphDrops uint64
+	// TxPackets counts packets transmitted over the whole run (including
+	// warmup), the TX side of the conservation identity
+	// RxDelivered == TxPackets + GraphDrops.
+	TxPackets uint64
 	// OffloadedPackets counts packets processed via accelerators.
 	OffloadedPackets uint64
 	// FallbackPackets counts packets rescued onto the CPU after their
@@ -423,6 +455,7 @@ func (s *System) report() *Report {
 	for _, w := range s.workers {
 		r.Latency.Merge(&w.latency)
 		r.GraphDrops += w.graphDrops()
+		r.TxPackets += w.txPackets
 		r.OffloadedPackets += w.offloadedPkts
 		r.FallbackPackets += w.fallbackPkts
 		r.FailedTasks += w.failedTasks
@@ -455,7 +488,62 @@ func (s *System) report() *Report {
 			r.NodeStats[n.Name] = st
 		}
 	}
+	s.endOfRunChecks(r)
 	return r
+}
+
+// endOfRunChecks runs the drain-time invariants. With a checker attached,
+// violations are collected on it (the chaos driver needs the run to finish
+// and report); without one, a pool leak still panics when the pools are in
+// debug-checked mode (-tags debugChecks), keeping the original fail-fast
+// behaviour for developer runs.
+func (s *System) endOfRunChecks(r *Report) {
+	now := s.eng.Now()
+	ck := s.cfg.Checker
+	// Drain-state invariants (pools empty, conservation) only hold for runs
+	// that actually drained; after a watchdog force-stop the in-flight
+	// packets are legitimately unaccounted, and drain.stuck already fired.
+	drained := s.allWorkersStopped()
+	if drained {
+		for _, w := range s.workers {
+			for _, assert := range []func() error{w.pktPool.AssertDrained, w.batchPool.AssertDrained} {
+				err := assert()
+				if err == nil {
+					continue
+				}
+				switch {
+				case ck != nil:
+					ck.PoolDrained(now, err)
+				case w.pktPool.DebugChecksEnabled():
+					panic(fmt.Sprintf("core: worker %d: %v", w.id, err))
+				}
+			}
+		}
+	}
+	if ck == nil {
+		return
+	}
+	// Packet conservation over the whole run: every NIC-delivered packet is
+	// accounted exactly once as transmitted or dropped inside a pipeline.
+	if drained {
+		ck.Conservation(now, r.RxDelivered, r.TxPackets, r.GraphDrops)
+	}
+	for i, d := range s.devices {
+		st := d.Stats()
+		ck.DeviceUtil(now, s.cfg.Topology.Devices[i].Name, st.KernelBusy, st.CopyBusy, st.LastFinish)
+	}
+	ck.EndOfRun(now)
+}
+
+// allWorkersStopped reports whether every worker retired normally (false
+// after a watchdog force-stop).
+func (s *System) allWorkersStopped() bool {
+	for _, w := range s.workers {
+		if !w.stopped {
+			return false
+		}
+	}
+	return true
 }
 
 // NodeStat is the aggregated activity of one element instance.

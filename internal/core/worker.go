@@ -76,7 +76,7 @@ type worker struct {
 	recentLat     stats.Hist // since the last ALB update (bounded-latency LB)
 	latencySkip   int
 	offloadedPkts uint64
-	splitDropped  uint64 // packets dropped because a comp batch could not be allocated
+	splitDropped  uint64 // packets dropped by the framework outside any element (batch alloc failure, offload misconfig)
 	fallbackPkts  uint64 // packets rescued onto the CPU after a task failure/timeout
 	failedTasks   uint64 // tasks completed by the device as failed
 	timedOutTasks uint64 // tasks rescued by the completion timeout
@@ -280,6 +280,7 @@ func (w *worker) flush(p *offload.Pending) {
 		// aggregate (exercised by failure-injection tests).
 		for _, b := range p.Batches {
 			b.ForEachLive(func(i int, pkt *packet.Packet) {
+				w.splitDropped++
 				w.pktPool.Put(pkt)
 			})
 			b.Reset()
@@ -468,8 +469,12 @@ func (w *worker) PutBatch(b *batch.Batch) {
 func (w *worker) Offload(head *graph.Node, chain []*graph.Node, resume int, b *batch.Batch) {
 	full, err := w.agg.Add(w.iterStart, head, chain, resume, b)
 	if err != nil {
-		// Inconsistent aggregate (mixed devices): drop the batch.
-		b.ForEachLive(func(i int, pkt *packet.Packet) { w.pktPool.Put(pkt) })
+		// Inconsistent aggregate (mixed devices): drop the batch. Counted
+		// into splitDropped so conservation still balances.
+		b.ForEachLive(func(i int, pkt *packet.Packet) {
+			w.splitDropped++
+			w.pktPool.Put(pkt)
+		})
 		w.PutBatch(b)
 		return
 	}

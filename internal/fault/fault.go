@@ -78,6 +78,16 @@ func (k Kind) String() string {
 	return "unknown"
 }
 
+// KindFromString parses a Kind's String form (reproducer plan files).
+func KindFromString(s string) (Kind, error) {
+	for i, name := range kindNames {
+		if name == s {
+			return Kind(i), nil
+		}
+	}
+	return 0, fmt.Errorf("fault: unknown kind %q", s)
+}
+
 // IsRecovery reports whether the kind restores capacity rather than taking
 // it away (used to pick the trace event kind).
 func (k Kind) IsRecovery() bool { return k == DeviceRecover || k == RxQueueUp }
@@ -110,8 +120,14 @@ type Plan struct {
 	Events []Event
 }
 
-// Validate checks the plan against the run's topology: ndev devices, nports
-// ports with nqueues RX queues each.
+// Validate checks the plan against the run's topology (ndev devices, nports
+// ports with nqueues RX queues each) and then replays the events in
+// application order through a per-target state machine, rejecting
+// contradictory timelines: failing an already-failed device, hanging a
+// device inside an active fail window, recovering a nominal device, a
+// no-op slowdown, or flapping a queue into the state it is already in.
+// Contradictions are always authoring bugs — the framework would apply them
+// as silent no-ops, making the plan lie about what the run experienced.
 func (p *Plan) Validate(ndev, nports, nqueues int) error {
 	for i, ev := range p.Events {
 		if ev.At < 0 {
@@ -129,6 +145,9 @@ func (p *Plan) Validate(ndev, nports, nqueues int) error {
 			if ev.KernelFactor < 0 || ev.CopyFactor < 0 {
 				return fmt.Errorf("fault: event %d (%s) has negative slowdown factors", i, ev.Kind)
 			}
+			if ev.KernelFactor == 0 && ev.CopyFactor == 0 {
+				return fmt.Errorf("fault: event %d (%s) is a no-op: both factors zero", i, ev.Kind)
+			}
 		case RxQueueDown, RxQueueUp:
 			if ev.Port < 0 || ev.Port >= nports {
 				return fmt.Errorf("fault: event %d (%s) targets port %d of %d", i, ev.Kind, ev.Port, nports)
@@ -142,6 +161,91 @@ func (p *Plan) Validate(ndev, nports, nqueues int) error {
 			}
 		default:
 			return fmt.Errorf("fault: event %d has unknown kind %d", i, ev.Kind)
+		}
+	}
+	return p.validateTimeline(ndev, nports, nqueues)
+}
+
+// devState is the per-device health automaton mirrored from gpu.Device.
+type devState uint8
+
+const (
+	devNominal devState = iota
+	devSlowed
+	devFailed
+	devHung
+)
+
+// validateTimeline replays events in application order (Sorted: by time,
+// ties by plan position) against per-device and per-queue state.
+func (p *Plan) validateTimeline(ndev, nports, nqueues int) error {
+	// Sort indices rather than events so error messages cite the event's
+	// position in the plan as authored.
+	order := make([]int, len(p.Events))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return p.Events[order[a]].At < p.Events[order[b]].At
+	})
+
+	devs := make([]devState, ndev)
+	qDown := make([]bool, nports*nqueues)
+	queuesOf := func(ev Event) []int {
+		if ev.Queue >= 0 {
+			return []int{ev.Port*nqueues + ev.Queue}
+		}
+		all := make([]int, nqueues)
+		for q := 0; q < nqueues; q++ {
+			all[q] = ev.Port*nqueues + q
+		}
+		return all
+	}
+
+	for _, i := range order {
+		ev := p.Events[i]
+		switch ev.Kind {
+		case DeviceFail:
+			switch devs[ev.Device] {
+			case devFailed:
+				return fmt.Errorf("fault: event %d (%s) fails device %d which is already failed", i, ev.Kind, ev.Device)
+			case devHung:
+				return fmt.Errorf("fault: event %d (%s) fails device %d during an active Hang window", i, ev.Kind, ev.Device)
+			}
+			devs[ev.Device] = devFailed
+		case DeviceHang:
+			switch devs[ev.Device] {
+			case devFailed:
+				return fmt.Errorf("fault: event %d (%s) hangs device %d during an active Fail window", i, ev.Kind, ev.Device)
+			case devHung:
+				return fmt.Errorf("fault: event %d (%s) hangs device %d which is already hung", i, ev.Kind, ev.Device)
+			}
+			devs[ev.Device] = devHung
+		case DeviceSlowdown:
+			switch devs[ev.Device] {
+			case devFailed, devHung:
+				return fmt.Errorf("fault: event %d (%s) slows device %d during an active outage", i, ev.Kind, ev.Device)
+			}
+			devs[ev.Device] = devSlowed
+		case DeviceRecover:
+			if devs[ev.Device] == devNominal {
+				return fmt.Errorf("fault: event %d (%s) recovers device %d with no prior failure, hang or slowdown", i, ev.Kind, ev.Device)
+			}
+			devs[ev.Device] = devNominal
+		case RxQueueDown:
+			for _, q := range queuesOf(ev) {
+				if qDown[q] {
+					return fmt.Errorf("fault: event %d (%s) downs port %d queue %d which is already down", i, ev.Kind, ev.Port, q%nqueues)
+				}
+				qDown[q] = true
+			}
+		case RxQueueUp:
+			for _, q := range queuesOf(ev) {
+				if !qDown[q] {
+					return fmt.Errorf("fault: event %d (%s) restores port %d queue %d which is not down", i, ev.Kind, ev.Port, q%nqueues)
+				}
+				qDown[q] = false
+			}
 		}
 	}
 	return nil

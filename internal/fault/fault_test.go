@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"nba/internal/rng"
 	"nba/internal/simtime"
 )
 
@@ -100,5 +101,154 @@ func TestHelpers(t *testing.T) {
 	b := Burst(ms, 2*ms, 4)
 	if len(b) != 2 || b[0].RateFactor != 4 || b[1].RateFactor != 1 || b[1].At != 3*ms {
 		t.Fatalf("unexpected burst events %v", b)
+	}
+}
+
+func TestValidateTimeline(t *testing.T) {
+	ms := simtime.Millisecond
+	cases := []struct {
+		name string
+		evs  []Event
+		err  string // substring of the expected error, "" for valid
+	}{
+		{"fail recover ok", []Event{
+			{At: ms, Kind: DeviceFail, Device: 0},
+			{At: 2 * ms, Kind: DeviceRecover, Device: 0},
+		}, ""},
+		{"double fail", []Event{
+			{At: ms, Kind: DeviceFail, Device: 0},
+			{At: 2 * ms, Kind: DeviceFail, Device: 0},
+		}, "already failed"},
+		{"fail during hang", []Event{
+			{At: ms, Kind: DeviceHang, Device: 0},
+			{At: 2 * ms, Kind: DeviceFail, Device: 0},
+		}, "active Hang window"},
+		{"hang during fail", []Event{
+			{At: ms, Kind: DeviceFail, Device: 0},
+			{At: 2 * ms, Kind: DeviceHang, Device: 0},
+		}, "active Fail window"},
+		{"double hang", []Event{
+			{At: ms, Kind: DeviceHang, Device: 0},
+			{At: 2 * ms, Kind: DeviceHang, Device: 0},
+		}, "already hung"},
+		{"slowdown during outage", []Event{
+			{At: ms, Kind: DeviceFail, Device: 0},
+			{At: 2 * ms, Kind: DeviceSlowdown, Device: 0, KernelFactor: 2},
+		}, "active outage"},
+		{"recover nominal", []Event{
+			{At: ms, Kind: DeviceRecover, Device: 0},
+		}, "no prior failure"},
+		{"recover after recover", []Event{
+			{At: ms, Kind: DeviceFail, Device: 0},
+			{At: 2 * ms, Kind: DeviceRecover, Device: 0},
+			{At: 3 * ms, Kind: DeviceRecover, Device: 0},
+		}, "no prior failure"},
+		{"slowdown noop", []Event{
+			{At: ms, Kind: DeviceSlowdown, Device: 0},
+		}, "both factors zero"},
+		{"slowdown recover ok", []Event{
+			{At: ms, Kind: DeviceSlowdown, Device: 0, CopyFactor: 3},
+			{At: 2 * ms, Kind: DeviceRecover, Device: 0},
+		}, ""},
+		{"independent devices ok", []Event{
+			{At: ms, Kind: DeviceFail, Device: 0},
+			{At: 2 * ms, Kind: DeviceHang, Device: 1},
+			{At: 3 * ms, Kind: DeviceRecover, Device: 1},
+			{At: 4 * ms, Kind: DeviceRecover, Device: 0},
+		}, ""},
+		{"double queue down", []Event{
+			{At: ms, Kind: RxQueueDown, Port: 0, Queue: 1},
+			{At: 2 * ms, Kind: RxQueueDown, Port: 0, Queue: 1},
+		}, "already down"},
+		{"queue up not down", []Event{
+			{At: ms, Kind: RxQueueUp, Port: 0, Queue: 0},
+		}, "not down"},
+		{"wildcard down overlaps single", []Event{
+			{At: ms, Kind: RxQueueDown, Port: 0, Queue: 0},
+			{At: 2 * ms, Kind: RxQueueDown, Port: 0, Queue: -1},
+		}, "already down"},
+		{"wildcard flap ok", []Event{
+			{At: ms, Kind: RxQueueDown, Port: 0, Queue: -1},
+			{At: 2 * ms, Kind: RxQueueUp, Port: 0, Queue: -1},
+		}, ""},
+		{"same queue index other port ok", []Event{
+			{At: ms, Kind: RxQueueDown, Port: 0, Queue: 1},
+			{At: 2 * ms, Kind: RxQueueDown, Port: 1, Queue: 1},
+		}, ""},
+		{"out of order authoring applies in time order", []Event{
+			{At: 2 * ms, Kind: DeviceRecover, Device: 0},
+			{At: ms, Kind: DeviceFail, Device: 0},
+		}, ""},
+	}
+	for _, c := range cases {
+		p := Plan{Events: c.evs}
+		err := p.Validate(2, 4, 2)
+		if c.err == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+		} else if err == nil || !strings.Contains(err.Error(), c.err) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.err)
+		}
+	}
+}
+
+func TestKindFromString(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		got, err := KindFromString(k.String())
+		if err != nil || got != k {
+			t.Errorf("round-trip %s: got %v, %v", k, got, err)
+		}
+	}
+	if _, err := KindFromString("device.explode"); err == nil {
+		t.Error("unknown kind string accepted")
+	}
+}
+
+func TestRandomPlanAlwaysValid(t *testing.T) {
+	prof := Profile{
+		Horizon: 3 * simtime.Millisecond,
+		Devices: 2, Ports: 2, Queues: 2,
+	}
+	r := rng.New(42)
+	for i := 0; i < 500; i++ {
+		p := RandomPlan(r, prof) // panics internally if invalid
+		if len(p.Events) == 0 {
+			continue // an episode can run out of room; rare but legal
+		}
+		for _, ev := range p.Events {
+			if ev.At < 0 || ev.At > prof.Horizon {
+				t.Fatalf("plan %d: event outside horizon: %+v", i, ev)
+			}
+			if ev.At%(10*simtime.Microsecond) != 0 {
+				t.Fatalf("plan %d: event time %v off the grid", i, ev.At)
+			}
+		}
+	}
+}
+
+func TestRandomPlanDeterministic(t *testing.T) {
+	prof := Profile{Horizon: 2 * simtime.Millisecond, Devices: 1, Ports: 1, Queues: 2}
+	a := RandomPlan(rng.New(7), prof)
+	b := RandomPlan(rng.New(7), prof)
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("same seed, different plans: %d vs %d events", len(a.Events), len(b.Events))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("same seed, event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+	if c := RandomPlan(rng.New(8), prof); len(c.Events) == len(a.Events) {
+		same := true
+		for i := range c.Events {
+			if c.Events[i] != a.Events[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical plans")
+		}
 	}
 }

@@ -31,6 +31,7 @@ package gpu
 import (
 	"fmt"
 
+	"nba/internal/invariant"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
 	"nba/internal/trace"
@@ -137,6 +138,10 @@ type Device struct {
 	// the device in multi-device traces.
 	Tracer     *trace.Tracer
 	TraceActor int32
+
+	// Checker, when non-nil, verifies every scheduled task's phase ordering
+	// (the gpu.phase invariant).
+	Checker *invariant.Checker
 }
 
 // New creates a device on the given engine.
@@ -242,6 +247,8 @@ func (d *Device) schedule(t *Task) {
 		d.Tracer.Emit(t.Finish, trace.KindGPUCopyD2H, d.TraceActor, d.Name,
 			tid, int64(t.D2HBytes), int64(d2hStart), wrk)
 	}
+
+	d.Checker.GPUTask(now, d.Name, t.ID, t.Submitted, t.HostDone, t.H2DDone, t.KernelDone, t.Finish)
 
 	it := &inflight{task: t, hostT: hostTime, copyT: h2dTime + d2hTime, kernT: ktime}
 	it.exec = d.eng.At(t.KernelDone, func() {

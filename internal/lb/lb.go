@@ -20,6 +20,7 @@ import (
 
 	"nba/internal/batch"
 	"nba/internal/element"
+	"nba/internal/invariant"
 	"nba/internal/packet"
 	"nba/internal/simtime"
 	"nba/internal/stats"
@@ -181,6 +182,11 @@ type Controller struct {
 	Tracer     *trace.Tracer
 	TraceNow   func() simtime.Time
 	TraceActor int32
+
+	// Checker, when non-nil, verifies W stays in [0,1] and that observed
+	// task failures actually trigger the collapse path (lb.bounds,
+	// lb.collapse invariants).
+	Checker *invariant.Checker
 }
 
 // TracePoint is one controller update observation.
@@ -249,6 +255,7 @@ func (c *Controller) reactToFailures() bool {
 	c.last = 0 // the throughput slope must be re-learned from scratch
 	c.avg.Reset()
 	c.Trace = append(c.Trace, TracePoint{At: c.now(), W: w, Throughput: 0})
+	c.Checker.LBCollapse(c.now(), w)
 	c.emitTrace(w, 0)
 	return true
 }
@@ -256,6 +263,7 @@ func (c *Controller) reactToFailures() bool {
 // Update runs one control step: move w by ±δ in the direction that last
 // improved smoothed throughput, honouring the waiting-interval ramp.
 func (c *Controller) Update() {
+	c.Checker.LBStep(c.now(), c.state.W, c.recentFails)
 	if c.reactToFailures() {
 		return
 	}
@@ -292,6 +300,7 @@ func (c *Controller) Update() {
 		c.dir = -1
 	}
 	c.state.W = w
+	c.Checker.LBUpdated(c.now(), w)
 	c.Trace = append(c.Trace, TracePoint{At: c.now(), W: w, Throughput: cur})
 
 	// Waiting ramp: higher w ⇒ longer settling (paper: jitter persists
@@ -351,6 +360,7 @@ func (c *Controller) UpdateWithLatency(p99 simtime.Time) {
 		c.Update()
 		return
 	}
+	c.Checker.LBStep(c.now(), c.state.W, c.recentFails)
 	if c.reactToFailures() {
 		return
 	}
@@ -365,6 +375,7 @@ func (c *Controller) UpdateWithLatency(p99 simtime.Time) {
 		w = 0
 	}
 	c.state.W = w
+	c.Checker.LBUpdated(c.now(), w)
 	c.dir = -1
 	c.bounces = 0
 	c.Trace = append(c.Trace, TracePoint{At: c.now(), W: w, Throughput: -p99.Micros()})

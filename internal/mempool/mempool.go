@@ -128,6 +128,18 @@ func (p *Pool[T]) Put(obj *T) {
 	p.stats.Outstanding--
 }
 
+// AssertDrained returns an error when objects are still outstanding — i.e.
+// the owner finished a run without every Get being matched by a Put. A
+// non-zero count after a drained run is a leak (or, negative, a
+// double-free that slipped past the Put guards).
+func (p *Pool[T]) AssertDrained() error {
+	if p.stats.Outstanding != 0 {
+		return fmt.Errorf("mempool %q: %d object(s) still outstanding at drain (gets %d, puts %d, capacity %d)",
+			p.name, p.stats.Outstanding, p.stats.Gets, p.stats.Puts, p.stats.Capacity)
+	}
+	return nil
+}
+
 // Available returns the number of objects currently free.
 func (p *Pool[T]) Available() int { return len(p.free) }
 

@@ -1,6 +1,7 @@
 package mempool
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -201,5 +202,27 @@ func BenchmarkRingPushPop(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r.Push(i)
 		r.Pop()
+	}
+}
+
+func TestAssertDrained(t *testing.T) {
+	p := New[thing]("drain", 4, nil)
+	if err := p.AssertDrained(); err != nil {
+		t.Fatalf("fresh pool not drained: %v", err)
+	}
+	a, b := p.MustGet(), p.MustGet()
+	err := p.AssertDrained()
+	if err == nil {
+		t.Fatal("2 outstanding objects, AssertDrained returned nil")
+	}
+	for _, want := range []string{`"drain"`, "2 object(s)", "gets 2", "puts 0"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q missing %q", err, want)
+		}
+	}
+	p.Put(a)
+	p.Put(b)
+	if err := p.AssertDrained(); err != nil {
+		t.Fatalf("drained pool still errors: %v", err)
 	}
 }

@@ -1,0 +1,10 @@
+//go:build debugChecks
+
+package netio
+
+// debugChecks mirrors mempool's build-tag switch: `-tags debugChecks` turns
+// accounting inconsistencies (RX-queue counter underflow) into panics at
+// the point of corruption instead of silently clamped values. A variable,
+// not a constant, so white-box tests can exercise the guard without the
+// tag.
+var debugChecks = true

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"nba/internal/invariant"
 	"nba/internal/mempool"
 	"nba/internal/packet"
 	"nba/internal/simtime"
@@ -72,6 +73,10 @@ type RxQueue struct {
 	Tracer           *trace.Tracer
 	tracedDrops      uint64
 	tracedAllocFails uint64
+
+	// Checker, when non-nil, receives the queue's accounting after every
+	// poll (the rxq.accounting invariant).
+	Checker *invariant.Checker
 }
 
 // NewRxQueue creates a queue fed by gen at the given per-queue packet rate.
@@ -132,7 +137,21 @@ func (q *RxQueue) arrivalTime(k uint64) simtime.Time {
 // advancing overflow accounting).
 func (q *RxQueue) Backlog(now simtime.Time) int {
 	q.advance(now)
-	return int(q.arrivalsSeen - q.delivered - q.dropped)
+	return int(q.backlog())
+}
+
+// backlog computes arrivals − delivered − dropped. The subtraction is in
+// uint64, so a counter bug (delivering or dropping more than arrived) would
+// wrap to a huge positive backlog and corrupt every downstream decision;
+// under debugChecks that underflow panics at the point of corruption.
+func (q *RxQueue) backlog() uint64 {
+	accounted := q.delivered + q.dropped
+	if debugChecks && accounted > q.arrivalsSeen {
+		panic(fmt.Sprintf(
+			"netio: rx queue %d.%d backlog underflow: delivered %d + dropped %d > arrivals %d",
+			q.Port, q.Queue, q.delivered, q.dropped, q.arrivalsSeen))
+	}
+	return q.arrivalsSeen - accounted
 }
 
 // advance brings arrival and overflow accounting up to now. Overflowing
@@ -140,8 +159,7 @@ func (q *RxQueue) Backlog(now simtime.Time) int {
 // keeps delivered sequence numbers contiguous with arrival order.
 func (q *RxQueue) advance(now simtime.Time) {
 	q.arrivalsSeen = q.totalArrivals(now)
-	backlog := q.arrivalsSeen - q.delivered - q.dropped
-	if backlog > uint64(q.capacity) {
+	if backlog := q.backlog(); backlog > uint64(q.capacity) {
 		q.dropped += backlog - uint64(q.capacity)
 	}
 }
@@ -152,7 +170,7 @@ func (q *RxQueue) advance(now simtime.Time) {
 func (q *RxQueue) Poll(now simtime.Time, burst int, pool *PacketPool, out []*packet.Packet) []*packet.Packet {
 	start := len(out)
 	q.advance(now)
-	backlog := q.arrivalsSeen - q.delivered - q.dropped
+	backlog := q.backlog()
 	n := uint64(burst)
 	if n > backlog {
 		n = backlog
@@ -187,9 +205,10 @@ func (q *RxQueue) Poll(now simtime.Time, burst int, pool *PacketPool, out []*pac
 		}
 		if delivered := len(out) - start; delivered > 0 {
 			q.Tracer.Emit(now, trace.KindRx, int32(q.Port), "",
-				int64(q.Queue), int64(delivered), int64(q.arrivalsSeen-q.delivered-q.dropped), 0)
+				int64(q.Queue), int64(delivered), int64(q.backlog()), 0)
 		}
 	}
+	q.Checker.RxQueue(now, q.Port, q.Queue, q.arrivalsSeen, q.delivered, q.dropped, q.capacity)
 	return out
 }
 

@@ -1,7 +1,9 @@
 package netio
 
 import (
+	"fmt"
 	"math"
+	"strings"
 	"testing"
 
 	"nba/internal/gen"
@@ -234,4 +236,37 @@ func TestRxQueueFlap(t *testing.T) {
 	for _, p := range got {
 		pool.Put(p)
 	}
+}
+
+func TestBacklogUnderflowGuard(t *testing.T) {
+	q, _ := newQueue(1e6, 4096)
+	q.advance(simtime.Millisecond)
+
+	// Corrupt the counters so delivered+dropped exceeds arrivals — the bug
+	// class the guard exists for. Without debugChecks the uint64 subtraction
+	// wraps; with it, backlog() must panic with the queue's identity and the
+	// three counters in the message.
+	saved := debugChecks
+	defer func() { debugChecks = saved }()
+
+	debugChecks = false
+	q.delivered = q.arrivalsSeen + 3
+	if b := q.backlog(); b < 1<<62 {
+		t.Fatalf("expected wrapped backlog without debugChecks, got %d", b)
+	}
+
+	debugChecks = true
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("backlog underflow did not panic under debugChecks")
+		}
+		msg := fmt.Sprint(r)
+		for _, want := range []string{"rx queue 0.0", "underflow", "delivered"} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("panic %q missing %q", msg, want)
+			}
+		}
+	}()
+	q.Backlog(simtime.Millisecond)
 }

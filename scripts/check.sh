@@ -16,6 +16,10 @@
 #                         fault-free and with the canonical injected GPU
 #                         outage (-faults: the plan is part of the run
 #                         identity)
+#   8. chaos smoke        a fixed-seed nbachaos sweep (every app, a couple of
+#                         seeds): random-but-seeded fault plans must pass the
+#                         invariant oracle with matching digests across the
+#                         doubled runs
 #
 # The race run doubles as the regression tripwire for future parallel-worker
 # PRs: the engine is single-threaded by design, so any data race is new code
@@ -58,5 +62,8 @@ go run ./cmd/nbatrace diff "$tracedir/a.jsonl" "$tracedir/b.jsonl"
 go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -faults -o "$tracedir/fa.jsonl" >/dev/null
 go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -faults -o "$tracedir/fb.jsonl" >/dev/null
 go run ./cmd/nbatrace diff "$tracedir/fa.jsonl" "$tracedir/fb.jsonl"
+
+echo "==> chaos smoke (fixed-seed fault sweep under the invariant oracle)"
+go run ./cmd/nbachaos sweep -seeds 2 -base 1
 
 echo "check.sh: all gates passed"
