@@ -73,6 +73,7 @@ var simPackagePrefixes = []string{
 	"nba/internal/fault",
 	"nba/internal/invariant",
 	"nba/internal/chaos",
+	"nba/internal/overload",
 }
 
 func hasPathPrefix(path, prefix string) bool {

@@ -10,6 +10,7 @@
 //	nbatrace record -app ipv4 -lb cpu -gbps 1 -o run.jsonl
 //	nbatrace record -app ipsec -lb fixed=0.8 -chrome run.chrome.json -o run.jsonl
 //	nbatrace record -app ipsec -lb fixed=0.8 -faults -o outage.jsonl
+//	nbatrace record -app ipsec -lb fixed=0.8 -overload -o shed.jsonl
 //	nbatrace summary run.jsonl
 //	nbatrace diff a.jsonl b.jsonl
 //
@@ -26,6 +27,7 @@ import (
 
 	"nba/internal/bench"
 	"nba/internal/fault"
+	"nba/internal/overload"
 	"nba/internal/simtime"
 	"nba/internal/trace"
 )
@@ -67,6 +69,7 @@ func record(args []string) {
 		seed     = fs.Uint64("seed", 42, "simulation seed")
 		events   = fs.Int("events", 1<<16, "ring capacity: trace events retained for export")
 		faults   = fs.Bool("faults", false, "inject the canonical GPU outage (device 0 fails at 1/4 of the run, recovers at 1/2)")
+		overl    = fs.Bool("overload", false, "arm overload control and inject a sustained 2.5x load burst over the middle half of the run")
 		out      = fs.String("o", "", "output JSONL path (required)")
 		chrome   = fs.String("chrome", "", "also export Chrome trace_event JSON to this path")
 	)
@@ -97,12 +100,23 @@ func record(args []string) {
 		span := spec.Warmup + spec.Duration
 		spec.FaultPlan = fault.GPUOutage(span/4, span/2, 0)
 	}
+	if *overl {
+		// Overload control plus a sustained burst: the shed decisions, level
+		// transitions and bias updates are ordinary trace events, so armed
+		// recordings replay and diff exactly like the rest.
+		if spec.FaultPlan != nil {
+			fatal(fmt.Errorf("-overload and -faults are mutually exclusive"))
+		}
+		span := spec.Warmup + spec.Duration
+		spec.Overload = overload.Defaults()
+		spec.FaultPlan = &fault.Plan{Events: fault.Burst(span/4, span/2, 2.5)}
+	}
 	if _, err := bench.Execute(spec); err != nil {
 		fatal(err)
 	}
 
-	label := fmt.Sprintf("app=%s lb=%s gbps=%g size=%d workers=%d seed=%d faults=%v",
-		*app, *lbAlg, *gbps, *size, *workers, *seed, *faults)
+	label := fmt.Sprintf("app=%s lb=%s gbps=%g size=%d workers=%d seed=%d faults=%v overload=%v",
+		*app, *lbAlg, *gbps, *size, *workers, *seed, *faults, *overl)
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)

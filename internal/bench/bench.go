@@ -13,7 +13,9 @@ import (
 	"nba/internal/fault"
 	"nba/internal/gen"
 	"nba/internal/graph"
+	"nba/internal/invariant"
 	"nba/internal/netio"
+	"nba/internal/overload"
 	"nba/internal/packet"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
@@ -174,6 +176,11 @@ type RunSpec struct {
 	// TaskTimeout overrides the worker-side offload completion timeout
 	// (0 = framework default, negative = disabled).
 	TaskTimeout simtime.Time
+	// Overload, when non-nil, arms the overload-control subsystem
+	// (bounded device queue, backpressure, CoDel shedder, governor).
+	Overload *overload.Config
+	// Checker, when non-nil, attaches the invariant oracle to the run.
+	Checker *invariant.Checker
 }
 
 // Execute assembles and runs one system.
@@ -220,6 +227,8 @@ func ExecuteConfig(cfgText string, spec RunSpec) (*core.Report, error) {
 		Tracer:            spec.Tracer,
 		FaultPlan:         spec.FaultPlan,
 		TaskTimeout:       spec.TaskTimeout,
+		Overload:          spec.Overload,
+		Checker:           spec.Checker,
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {

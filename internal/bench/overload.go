@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"nba/internal/core"
+	"nba/internal/invariant"
+	"nba/internal/overload"
+	"nba/internal/simtime"
+	"nba/internal/sysinfo"
+	"nba/internal/trace"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "overload",
+		Title: "Graceful degradation under sustained overload (backpressure + shedding)",
+		Paper: "Robustness extension: bounded interior queues, admission control and deterministic CoDel shedding keep the tail latency of admitted packets flat as offered load passes capacity, trading goodput for latency instead of letting backlog grow without bound",
+		Run:   runOverload,
+	})
+}
+
+// overloadBaseBps is the 1.0x offered load per port for the sweep, chosen so
+// the small single-socket machine saturates between 1.0x and 1.5x: the low
+// multipliers establish the uncongested baseline, the high ones drive the
+// shedder and governor.
+const overloadBaseBps = 2e9
+
+// overloadMults is the offered-load sweep, in multiples of overloadBaseBps.
+var overloadMults = []float64{0.5, 0.8, 1, 1.5, 2, 3}
+
+// overloadSpec is one arm of the sweep: IPsec 64 B under the static
+// fixed=0.8 balancer (so every latency change is the overload machinery's,
+// not the ALB's) on a 4-core, 2-port, 1-GPU socket.
+func overloadSpec(o Options, mult float64, shed bool) RunSpec {
+	warm, dur := o.durations(2*simtime.Millisecond, 20*simtime.Millisecond)
+	spec := RunSpec{
+		App: "ipsec", LB: "fixed=0.8", Size: 64,
+		OfferedBps: overloadBaseBps * mult,
+		Warmup:     warm, Duration: dur, Seed: o.Seed,
+		Topology:      sysinfo.SingleSocketTopology(4, 2),
+		LatencySample: 4,
+	}
+	if shed {
+		// CoDel's convergence clock must fit the run: the default 500 us
+		// interval is sized for long-lived service, while this sweep measures
+		// tens of milliseconds. A 100 us interval lets the drop rate ramp to
+		// the 2x excess within the window; every other knob keeps its default.
+		spec.Overload = &overload.Config{
+			CoDelTarget:   50 * simtime.Microsecond,
+			CoDelInterval: 100 * simtime.Microsecond,
+		}
+		spec.Checker = invariant.New()
+	}
+	return spec
+}
+
+// runOverload sweeps offered load from 0.5x to 3x of the base rate with the
+// overload subsystem armed and disarmed, prints both trajectories, verifies
+// the armed runs against the invariant oracle, checks the tail-latency bound
+// against the 0.8x baseline and cross-checks determinism of the shedding
+// decisions by digesting the 2x armed run twice.
+func runOverload(o Options, w io.Writer) error {
+	type row struct {
+		mult    float64
+		on, off *core.Report
+		onViol  int
+	}
+	rows := make([]row, 0, len(overloadMults))
+	for _, m := range overloadMults {
+		on := overloadSpec(o, m, true)
+		repOn, err := Execute(on)
+		if err != nil {
+			return err
+		}
+		repOff, err := Execute(overloadSpec(o, m, false))
+		if err != nil {
+			return err
+		}
+		rows = append(rows, row{mult: m, on: repOn, off: repOff, onViol: len(on.Checker.Violations())})
+	}
+
+	fmt.Fprintf(w, "IPsec 64B fixed=0.8, 1 socket / 2 ports, base load %.1f Gbps per port\n\n", overloadBaseBps/1e9)
+	fmt.Fprintf(w, "%-6s %-5s %-8s %-10s %-9s %-8s %-8s %-7s %-7s %s\n",
+		"load", "shed", "goodput", "p99.9", "rx-drop", "shed-pkt", "rejects", "devHWM", "rxHWM", "governor")
+	for _, r := range rows {
+		for _, arm := range []struct {
+			name string
+			rep  *core.Report
+		}{{"on", r.on}, {"off", r.off}} {
+			fmt.Fprintf(w, "%-6s %-5s %-8s %-10v %-9d %-8d %-8d %-7d %-7d %v\n",
+				fmt.Sprintf("%.1fx", r.mult), arm.name, gbpsCell(arm.rep.TxGbps),
+				arm.rep.Latency.Percentile(99.9), arm.rep.RxDropped, arm.rep.ShedPackets,
+				arm.rep.RejectedTasks, arm.rep.DeviceQueueHWM, arm.rep.RxBacklogHWM,
+				arm.rep.OverloadPeak)
+		}
+	}
+
+	// Tail-latency bound: with shedding, p99.9 at 2x load stays within 10x
+	// of the uncongested 0.8x baseline.
+	var base, at2 row
+	for _, r := range rows {
+		if r.mult == 0.8 {
+			base = r
+		}
+		if r.mult == 2 {
+			at2 = r
+		}
+	}
+	basePk := base.on.Latency.Percentile(99.9)
+	onPk := at2.on.Latency.Percentile(99.9)
+	offPk := at2.off.Latency.Percentile(99.9)
+	ratio := float64(onPk) / float64(basePk)
+	fmt.Fprintf(w, "\np99.9 at 2.0x: %v shed-on vs %v shed-off (0.8x baseline %v)\n", onPk, offPk, basePk)
+	fmt.Fprintf(w, "shed-on tail inflation over baseline: %.1fx (bound 10x: %s)\n", ratio, passFail(ratio <= 10))
+
+	viol := 0
+	for _, r := range rows {
+		viol += r.onViol
+	}
+	fmt.Fprintf(w, "invariant violations across armed runs (queue.bound, conservation-with-shed, ...): %d\n", viol)
+
+	// Determinism: the 2x armed run — the one making the most shedding
+	// decisions — must produce the identical event stream twice.
+	digest := func() (string, error) {
+		spec := overloadSpec(o, 2, true)
+		spec.Tracer = trace.New(trace.Options{Capacity: 1, CheckpointInterval: -1})
+		if _, err := Execute(spec); err != nil {
+			return "", err
+		}
+		return spec.Tracer.Digest(), nil
+	}
+	d1, err := digest()
+	if err != nil {
+		return err
+	}
+	d2, err := digest()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "2.0x armed run digest twice: %.12s vs %.12s (%s)\n", d1, d2, passFail(d1 == d2))
+	return nil
+}
+
+func passFail(ok bool) string {
+	if ok {
+		return "PASS"
+	}
+	return "FAIL"
+}

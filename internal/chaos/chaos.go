@@ -20,6 +20,7 @@ import (
 	"nba/internal/core"
 	"nba/internal/fault"
 	"nba/internal/invariant"
+	"nba/internal/overload"
 	"nba/internal/rng"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
@@ -135,6 +136,11 @@ func Run(c Case) (*Outcome, error) {
 		DrainGrace:        caseDrainGrace,
 		FaultPlan:         c.Plan,
 		TaskTimeout:       c.TaskTimeout,
+		// Chaos always runs with overload control armed: bounded queues,
+		// backpressure, shedding and the governor are themselves searched
+		// (queue.bound, conservation-with-shed, determinism of the shed
+		// decisions across the doubled runs).
+		Overload: overload.Defaults(),
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"nba/internal/graph"
 	"nba/internal/invariant"
 	"nba/internal/netio"
+	"nba/internal/overload"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
 	"nba/internal/trace"
@@ -121,6 +122,14 @@ type Config struct {
 	// Without a Checker the watchdog is armed only when DrainGrace > 0.
 	DrainGrace simtime.Time
 
+	// Overload, when non-nil, arms the end-to-end overload-control
+	// subsystem: the bounded device task queue (admission → CPU rescue or
+	// shed), saturation backpressure on RX polling, the CoDel sojourn
+	// shedder and the per-socket degradation governor. Nil disables all of
+	// it — no extra engine events, no behavioural change — so pre-overload
+	// event timelines and golden trace digests are unchanged.
+	Overload *overload.Config
+
 	// TaskTimeout is the worker-side completion timeout for offloaded
 	// tasks: a task not completed within it is re-executed on the CPU (the
 	// rescue path for hung devices). 0 selects the default (5 ms, far above
@@ -206,6 +215,10 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.TaskTimeout == 0 {
 		c.TaskTimeout = 5 * simtime.Millisecond
+	}
+	if c.Overload != nil {
+		oc := c.Overload.WithDefaults()
+		c.Overload = &oc
 	}
 	if c.DrainGrace == 0 && c.Checker != nil {
 		c.DrainGrace = simtime.Second

@@ -10,6 +10,7 @@ import (
 	"nba/internal/gpu"
 	"nba/internal/lb"
 	"nba/internal/netio"
+	"nba/internal/overload"
 	"nba/internal/rng"
 	"nba/internal/simtime"
 	"nba/internal/stats"
@@ -26,6 +27,7 @@ type System struct {
 	workers     []*worker
 	nodeLocals  []*element.NodeLocal // per socket
 	controllers []*lb.Controller     // per socket (nil if no LB state)
+	governors   []*overload.Governor // per socket; empty when Overload is nil
 
 	parsed *conflang.Config
 
@@ -83,6 +85,9 @@ func NewSystem(cfg Config) (*System, error) {
 		dev.Tracer = cfg.Tracer
 		dev.TraceActor = int32(i)
 		dev.Checker = cfg.Checker
+		if cfg.Overload != nil {
+			dev.QueueDepth = cfg.Overload.DeviceQueueDepth
+		}
 		s.devices = append(s.devices, dev)
 	}
 
@@ -129,7 +134,23 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 	}
 
+	// Overload governors, one per socket when overload control is armed.
+	if cfg.Overload != nil {
+		for socket := 0; socket < top.Sockets; socket++ {
+			s.governors = append(s.governors, overload.NewGovernor(*cfg.Overload))
+		}
+	}
+
 	return s, nil
+}
+
+// overloadLevel returns the socket's current governor level, LevelNormal
+// when overload control is disabled.
+func (s *System) overloadLevel(socket int) overload.Level {
+	if socket >= len(s.governors) {
+		return overload.LevelNormal
+	}
+	return s.governors[socket].Level()
 }
 
 // Engine exposes the virtual clock (for tests and the bench harness).
@@ -323,6 +344,25 @@ func (s *System) Run() (*Report, error) {
 		s.eng.After(s.cfg.ALBUpdate, update)
 	}
 
+	// Overload governor loop: once per window per socket, fold a saturation
+	// observation and apply the resulting degradation level. Armed only when
+	// overload control is configured, so ordinary runs keep their exact
+	// event timeline (and their golden trace digests).
+	if oc := s.cfg.Overload; oc != nil {
+		for socket := range s.governors {
+			socket := socket
+			var prevDrops, prevShed uint64
+			var tick func()
+			tick = func() {
+				s.governorTick(socket, &prevDrops, &prevShed)
+				if s.eng.Now() < s.stopTime {
+					s.eng.After(oc.GovernorWindow, tick)
+				}
+			}
+			s.eng.After(oc.GovernorWindow, tick)
+		}
+	}
+
 	// Drain watchdog: after arrivals stop, the run should drain within the
 	// grace window. A worker that can never retire (a hung device with the
 	// rescue timeout disabled, say) would otherwise idle-poll forever and
@@ -348,6 +388,111 @@ func (s *System) Run() (*Report, error) {
 	s.eng.Run()
 
 	return s.report(), nil
+}
+
+// governorTick runs one overload-governor window for a socket: observe
+// saturation (bounded device queue full or backlogged = device-side; RX
+// drops or sheds still accruing = CPU-side), fold it into the governor and
+// apply the resulting degradation level.
+func (s *System) governorTick(socket int, prevDrops, prevShed *uint64) {
+	oc := s.cfg.Overload
+	g := s.governors[socket]
+	now := s.eng.Now()
+
+	devSat := false
+	cm := s.cfg.CostModel
+	for _, di := range s.cfg.Topology.DevicesOnSocket(socket) {
+		d := s.devices[di]
+		if d.Saturated() || (cm.MaxDeviceBacklog > 0 && d.Backlog() > cm.MaxDeviceBacklog) {
+			devSat = true
+			break
+		}
+	}
+	drops := s.socketRxDropped(socket)
+	shed := s.socketShed(socket)
+	cpuSat := drops > *prevDrops || shed > *prevShed
+	*prevDrops, *prevShed = drops, shed
+
+	old := g.Level()
+	lvl, changed := g.Observe(devSat || cpuSat)
+	if changed {
+		// Trim: shrink the offload aggregation age so packets stop maturing
+		// behind a congested device; restore it on recovery below Trim.
+		scale := 1.0
+		if lvl >= overload.LevelTrim {
+			scale = oc.TrimAgeScale
+		}
+		for _, w := range s.workers {
+			if w.socket == socket {
+				w.agg.AgeScale = scale
+			}
+		}
+		// Leaving Bias on the way up releases the ALB weight bounds.
+		if lvl < overload.LevelBias && old >= overload.LevelBias {
+			if ctl := s.controllers[socket]; ctl != nil {
+				ctl.SetWBounds(0, 1)
+				s.emitBias(socket, 0, 1, devSat, cpuSat)
+			}
+		}
+		if tr := s.cfg.Tracer; tr != nil {
+			tr.Emit(now, trace.KindOverloadLevel, int32(socket), lvl.String(),
+				int64(lvl), int64(old), b2i(devSat), b2i(cpuSat))
+		}
+	}
+	// Bias ratchet: each saturated window at LevelBias and above with an
+	// unambiguous direction moves the weight bound one step toward the
+	// uncongested processor (device congested → ceiling down toward the CPU,
+	// CPU congested → floor up toward the device).
+	if lvl >= overload.LevelBias && devSat != cpuSat {
+		if ctl := s.controllers[socket]; ctl != nil {
+			lo, hi := ctl.WBounds()
+			if devSat {
+				hi = math.Max(lo, hi-oc.BiasStep)
+			} else {
+				lo = math.Min(hi, lo+oc.BiasStep)
+			}
+			ctl.SetWBounds(lo, hi)
+			s.emitBias(socket, lo, hi, devSat, cpuSat)
+		}
+	}
+}
+
+func (s *System) emitBias(socket int, lo, hi float64, devSat, cpuSat bool) {
+	if tr := s.cfg.Tracer; tr != nil {
+		tr.Emit(s.eng.Now(), trace.KindOverloadBias, int32(socket), "bias",
+			int64(math.Float64bits(lo)), int64(math.Float64bits(hi)),
+			b2i(devSat), b2i(cpuSat))
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// socketRxDropped sums cumulative RX overflow + alloc-failure drops over the
+// socket's ports.
+func (s *System) socketRxDropped(socket int) uint64 {
+	var total uint64
+	for _, pid := range s.cfg.Topology.PortsOnSocket(socket) {
+		_, dr, af := s.ports[pid].RxStats()
+		total += dr + af
+	}
+	return total
+}
+
+// socketShed sums cumulative overload-control activity (shed packets plus
+// admission rejections) over the socket's workers.
+func (s *System) socketShed(socket int) uint64 {
+	var total uint64
+	for _, w := range s.workers {
+		if w.socket == socket {
+			total += w.shedPkts + w.rejectedTasks
+		}
+	}
+	return total
 }
 
 // socketRecentP99 merges and resets the per-worker latency windows of one
@@ -413,7 +558,7 @@ type Report struct {
 	GraphDrops uint64
 	// TxPackets counts packets transmitted over the whole run (including
 	// warmup), the TX side of the conservation identity
-	// RxDelivered == TxPackets + GraphDrops.
+	// RxDelivered == TxPackets + GraphDrops + ShedPackets.
 	TxPackets uint64
 	// OffloadedPackets counts packets processed via accelerators.
 	OffloadedPackets uint64
@@ -424,6 +569,25 @@ type Report struct {
 	// failures behind those rescues.
 	FailedTasks   uint64
 	TimedOutTasks uint64
+	// ShedPackets counts packets dropped by overload control (CoDel sojourn
+	// shedding plus admission-rejected aggregates at LevelShed). Part of the
+	// conservation identity RxDelivered == TxPackets + GraphDrops + Shed.
+	ShedPackets uint64
+	// RejectedTasks counts device submissions refused by admission control
+	// (the bounded task queue was full), whether rescued or shed.
+	RejectedTasks uint64
+	// RxBacklogHWM is the deepest RX-ring backlog observed on any queue.
+	RxBacklogHWM uint64
+	// WorkerInflightHWM is the most outstanding device tasks any worker had.
+	WorkerInflightHWM int
+	// DeviceQueueHWM is the deepest task-queue occupancy observed on any
+	// device — with overload control armed it never exceeds the configured
+	// DeviceQueueDepth (the queue.bound invariant).
+	DeviceQueueHWM int
+	// OverloadPeak / OverloadFinal are the most severe and final governor
+	// levels across sockets (always normal when overload control is off).
+	OverloadPeak  overload.Level
+	OverloadFinal overload.Level
 	// TailGbps is the throughput over the last quarter of the measurement
 	// window — the converged state of adaptive runs.
 	TailGbps float64
@@ -451,6 +615,11 @@ func (s *System) report() *Report {
 		r.RxDelivered += d
 		r.RxDropped += dr
 		r.AllocFailed += af
+		for _, q := range p.Rx {
+			if h := q.HighWatermark(); h > r.RxBacklogHWM {
+				r.RxBacklogHWM = h
+			}
+		}
 	}
 	for _, w := range s.workers {
 		r.Latency.Merge(&w.latency)
@@ -460,10 +629,27 @@ func (s *System) report() *Report {
 		r.FallbackPackets += w.fallbackPkts
 		r.FailedTasks += w.failedTasks
 		r.TimedOutTasks += w.timedOutTasks
+		r.ShedPackets += w.shedPkts
+		r.RejectedTasks += w.rejectedTasks
+		if w.inflightHWM > r.WorkerInflightHWM {
+			r.WorkerInflightHWM = w.inflightHWM
+		}
 		r.PoolOutstanding += w.pktPool.Stats().Outstanding
 	}
 	for _, d := range s.devices {
-		r.DeviceStats = append(r.DeviceStats, d.Stats())
+		st := d.Stats()
+		r.DeviceStats = append(r.DeviceStats, st)
+		if st.MaxQueued > r.DeviceQueueHWM {
+			r.DeviceQueueHWM = st.MaxQueued
+		}
+	}
+	for _, g := range s.governors {
+		if g.Peak() > r.OverloadPeak {
+			r.OverloadPeak = g.Peak()
+		}
+		if g.Level() > r.OverloadFinal {
+			r.OverloadFinal = g.Level()
+		}
 	}
 	if dt := (s.stopTime - s.tailMarkTime).Seconds(); s.tailMarkTime > 0 && dt > 0 {
 		var bytes uint64
@@ -524,9 +710,10 @@ func (s *System) endOfRunChecks(r *Report) {
 		return
 	}
 	// Packet conservation over the whole run: every NIC-delivered packet is
-	// accounted exactly once as transmitted or dropped inside a pipeline.
+	// accounted exactly once as transmitted, dropped inside a pipeline, or
+	// shed by overload control.
 	if drained {
-		ck.Conservation(now, r.RxDelivered, r.TxPackets, r.GraphDrops)
+		ck.Conservation(now, r.RxDelivered, r.TxPackets, r.GraphDrops, r.ShedPackets)
 	}
 	for i, d := range s.devices {
 		st := d.Stats()

@@ -10,6 +10,7 @@ import (
 	"nba/internal/mempool"
 	"nba/internal/netio"
 	"nba/internal/offload"
+	"nba/internal/overload"
 	"nba/internal/packet"
 	"nba/internal/simtime"
 	"nba/internal/stats"
@@ -64,6 +65,11 @@ type worker struct {
 	sockDev      *gpu.Device // first local device (admission signal), may be nil
 	inflight     int         // outstanding device tasks
 	inflightPkts int
+	inflightHWM  int // high watermark of outstanding device tasks
+
+	// Overload control (armed only when cfg.Overload is set).
+	codel   overload.CoDel
+	codelOn bool
 
 	// cycles accumulates cost within the current IO-loop iteration.
 	cycles    simtime.Cycles
@@ -80,6 +86,8 @@ type worker struct {
 	fallbackPkts  uint64 // packets rescued onto the CPU after a task failure/timeout
 	failedTasks   uint64 // tasks completed by the device as failed
 	timedOutTasks uint64 // tasks rescued by the completion timeout
+	shedPkts      uint64 // packets dropped by overload control (CoDel or admission shed)
+	rejectedTasks uint64 // device submissions refused by admission control
 }
 
 func newWorker(s *System, id, socket, local int, localPorts, localDevs []int) (*worker, error) {
@@ -132,6 +140,10 @@ func newWorker(s *System, id, socket, local int, localPorts, localDevs []int) (*
 	w.batchPool = batch.NewPool(fmt.Sprintf("batch.w%d", id), s.cfg.BatchPoolPerWorker)
 	w.agg = offload.NewAggregator(s.cfg.CostModel)
 	w.completions = mempool.NewRing[completion](256)
+	if oc := s.cfg.Overload; oc != nil && oc.CoDelTarget > 0 {
+		w.codel = overload.CoDel{Target: oc.CoDelTarget, Interval: oc.CoDelInterval}
+		w.codelOn = true
+	}
 	return w, nil
 }
 
@@ -175,6 +187,12 @@ func (w *worker) iterate() {
 		w.inflight > 0 && w.sockDev.Backlog() > cm.MaxDeviceBacklog {
 		backpressured = true
 	}
+	// Backpressure propagation: a saturated bounded device queue throttles
+	// RX polling, so overflow accrues in the NIC ring's head-drop accounting
+	// instead of hidden interior queues.
+	if !backpressured && w.sockDev != nil && w.sockDev.Saturated() {
+		backpressured = true
+	}
 	if !backpressured {
 		var burst [batch.MaxBatchSize]*packet.Packet
 		for _, q := range w.rxqs {
@@ -188,6 +206,12 @@ func (w *worker) iterate() {
 			}
 			didWork = true
 			w.cycles += cm.RxPerPacket * simtime.Cycles(len(pkts))
+			if w.codelOn {
+				pkts = w.shedSojourn(pkts)
+				if len(pkts) == 0 {
+					continue
+				}
+			}
 			w.injectPackets(pkts)
 		}
 	}
@@ -335,7 +359,93 @@ func (w *worker) flush(p *offload.Pending) {
 			}
 		})
 	}
-	dev.Submit(task)
+	if !dev.Submit(task) {
+		// Admission control refused the task (bounded queue full). Undo the
+		// submission accounting; below LevelShed the aggregate is rescued on
+		// the CPU right here, at LevelShed it is dropped and counted as shed.
+		if it.timer != nil {
+			it.timer.Cancel()
+		}
+		it.done = true
+		w.inflight--
+		w.inflightPkts -= p.NPkts
+		w.offloadedPkts -= uint64(p.NPkts)
+		w.rejectedTasks++
+		lvl := w.sys.overloadLevel(w.socket)
+		if lvl >= overload.LevelShed {
+			if tr := w.sys.cfg.Tracer; tr != nil {
+				tr.Emit(w.now(), trace.KindOverloadShed, int32(w.id), "admission",
+					int64(p.NPkts), 1, int64(dev.Queued()), int64(lvl))
+			}
+			w.shedAggregate(p)
+		} else {
+			w.rescueRejected(it, lvl)
+		}
+		return
+	}
+	if w.inflight > w.inflightHWM {
+		w.inflightHWM = w.inflight
+	}
+}
+
+// rescueRejected runs an admission-rejected aggregate on the CPU immediately
+// (the refused device never saw it) and resumes its batches in the pipeline.
+func (w *worker) rescueRejected(it *inflightTask, lvl overload.Level) {
+	p := it.pending
+	w.fallbackPkts += uint64(p.NPkts)
+	if tr := w.sys.cfg.Tracer; tr != nil {
+		tr.Emit(w.now(), trace.KindFallback, int32(w.id), "fallback",
+			0, int64(p.NPkts), 2, int64(lvl))
+	}
+	w.execChainOnCPU(p)
+	it.executed = true
+	w.resumeAggregate(p)
+}
+
+// shedAggregate drops every live packet of a refused aggregate (overload
+// shedding at LevelShed) and recycles its batches.
+func (w *worker) shedAggregate(p *offload.Pending) {
+	for _, b := range p.Batches {
+		b.ForEachLive(func(i int, pkt *packet.Packet) {
+			w.shedPkts++
+			w.pktPool.Put(pkt)
+		})
+		b.Reset()
+		w.batchPool.Put(b)
+	}
+}
+
+// shedSojourn applies the CoDel shedder to one polled RX burst: packets the
+// control law selects are dropped before pipeline injection, in place,
+// preserving arrival order of the survivors.
+func (w *worker) shedSojourn(pkts []*packet.Packet) []*packet.Packet {
+	now := w.now()
+	kept := pkts[:0]
+	var shed int64
+	var maxSojourn simtime.Time
+	for _, p := range pkts {
+		sojourn := now - p.Arrival
+		if sojourn < 0 {
+			sojourn = 0
+		}
+		if sojourn > maxSojourn {
+			maxSojourn = sojourn
+		}
+		if w.codel.ShouldDrop(now, sojourn) {
+			shed++
+			w.shedPkts++
+			w.pktPool.Put(p)
+			continue
+		}
+		kept = append(kept, p)
+	}
+	if shed > 0 {
+		if tr := w.sys.cfg.Tracer; tr != nil {
+			tr.Emit(now, trace.KindOverloadShed, int32(w.id), "codel",
+				shed, 0, int64(maxSojourn), int64(w.sys.overloadLevel(w.socket)))
+		}
+	}
+	return kept
 }
 
 // handleCompletion postprocesses a finished, failed or timed-out device
@@ -350,13 +460,20 @@ func (w *worker) handleCompletion(c completion) {
 	if it.timer != nil {
 		it.timer.Cancel()
 	}
-	cm := w.sys.cfg.CostModel
 	p := it.pending
 	w.inflight--
 	w.inflightPkts -= p.NPkts
 	if c.timedOut || it.task.Failed {
 		w.fallback(it, c.timedOut)
 	}
+	w.resumeAggregate(p)
+}
+
+// resumeAggregate postprocesses a completed aggregate and resumes its
+// batches in the pipeline (shared by the normal completion, fallback and
+// admission-rescue paths).
+func (w *worker) resumeAggregate(p *offload.Pending) {
+	cm := w.sys.cfg.CostModel
 	w.cycles += cm.OffloadPostPerPacket * simtime.Cycles(p.NPkts)
 	head := p.Head
 	for _, b := range p.Batches {
@@ -385,7 +502,6 @@ func (w *worker) handleCompletion(c completion) {
 // the kernel, or a hung task's kernel had finished), the results are valid
 // and only the rescue is counted.
 func (w *worker) fallback(it *inflightTask, timedOut bool) {
-	cm := w.sys.cfg.CostModel
 	p := it.pending
 	if timedOut {
 		w.timedOutTasks++
@@ -405,6 +521,14 @@ func (w *worker) fallback(it *inflightTask, timedOut bool) {
 		return
 	}
 	it.executed = true
+	w.execChainOnCPU(p)
+}
+
+// execChainOnCPU re-executes an aggregate's device-side computation on the
+// CPU via the same ProcessOffloaded host closures, charged at the honest CPU
+// per-packet element cost.
+func (w *worker) execChainOnCPU(p *offload.Pending) {
+	cm := w.sys.cfg.CostModel
 	for _, node := range p.Chain {
 		cost := cm.ElementCostOf(node.Elem.Class())
 		var cycles simtime.Cycles

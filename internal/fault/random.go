@@ -37,6 +37,11 @@ func (p Profile) withDefaults() Profile {
 // and shrink to tidy reproducers.
 const timeGrid = 10 * simtime.Microsecond
 
+// overloadMinDur is the minimum duration of a sustained-overload episode:
+// long enough (≥ 1 ms) for interior queues to fill and the overload
+// governor's windows to observe saturation, not just a transient blip.
+const overloadMinDur = simtime.Millisecond
+
 // RandomPlan generates a valid, bounded fault plan from the seeded rng —
 // the chaos-search input generator. Plans are valid by construction (each
 // target keeps a forward-moving time cursor, windows are paired or
@@ -95,6 +100,9 @@ func RandomPlan(r *rng.Rand, prof Profile) *Plan {
 		}
 		if prof.Ports > 0 && prof.Queues > 0 {
 			kinds = append(kinds, 3)
+		}
+		if prof.Horizon >= overloadMinDur+4*timeGrid {
+			kinds = append(kinds, 5) // sustained overload fits the horizon
 		}
 		switch kinds[r.Intn(len(kinds))] {
 		case 0: // fail → recover
@@ -165,6 +173,21 @@ func RandomPlan(r *rng.Rand, prof Profile) *Plan {
 			plan.Events = append(plan.Events, Event{At: start, Kind: RateBurst, RateFactor: factor})
 			plan.Events = append(plan.Events, Event{At: end, Kind: RateBurst, RateFactor: 1})
 			rateCursor = end + timeGrid
+		case 5: // sustained overload: ≥ 2x offered load for ≥ 1 ms
+			room := prof.Horizon - rateCursor
+			if room < overloadMinDur+4*timeGrid {
+				continue
+			}
+			start := quant(rateCursor + simtime.Time(r.Float64()*float64(room-overloadMinDur)*0.5))
+			if start < rateCursor {
+				start = rateCursor
+			}
+			extra := float64(prof.Horizon - start - overloadMinDur)
+			dur := overloadMinDur + quant(simtime.Time(extra*r.Float64()*0.5))
+			factor := 2 + r.Float64()*2 // 2x .. 4x
+			plan.Events = append(plan.Events, Event{At: start, Kind: RateBurst, RateFactor: factor})
+			plan.Events = append(plan.Events, Event{At: start + dur, Kind: RateBurst, RateFactor: 1})
+			rateCursor = start + dur + timeGrid
 		}
 	}
 

@@ -85,6 +85,13 @@ type Stats struct {
 	HostBusy     simtime.Time
 	LastFinish   simtime.Time
 	MaxQueueWait simtime.Time
+	// RejectedTasks counts submissions refused by admission control (the
+	// bounded task queue was full). Rejected tasks appear in no other
+	// counter: the refusal happens before any accounting.
+	RejectedTasks uint64
+	// MaxQueued is the task-queue high watermark (scheduled + parked tasks
+	// observed after each accepted submission).
+	MaxQueued int
 }
 
 // copyGap is an idle interval on the copy engine earlier than its frontier,
@@ -103,6 +110,12 @@ type inflight struct {
 type Device struct {
 	Name string
 	Kind sysinfo.DeviceKind
+
+	// QueueDepth, when positive, bounds the task queue (scheduled plus
+	// parked tasks): Submit refuses tasks that would exceed it, before any
+	// accounting, and the submitter rescues or sheds the aggregate. Zero
+	// leaves the queue unbounded (the pre-overload-control behaviour).
+	QueueDepth int
 
 	eng    *simtime.Engine
 	params sysinfo.DeviceParams
@@ -161,12 +174,23 @@ func New(name string, kind sysinfo.DeviceKind, eng *simtime.Engine, cm *sysinfo.
 	}, nil
 }
 
-// Submit enqueues a task at the current virtual time. On a healthy device
-// the full pipeline schedule is computed immediately (all stage timelines
-// are known) and Execute/Complete callbacks are scheduled. On a failed
-// device the task completes immediately with Failed set; on a hung device
-// it is parked until Recover.
-func (d *Device) Submit(t *Task) {
+// Submit enqueues a task at the current virtual time and reports whether it
+// was admitted. On a healthy device the full pipeline schedule is computed
+// immediately (all stage timelines are known) and Execute/Complete callbacks
+// are scheduled. On a failed device the task completes immediately with
+// Failed set; on a hung device it is parked until Recover.
+//
+// With a positive QueueDepth, a task that would push the queue (inflight +
+// parked) beyond the depth is refused before any accounting — no ID, no
+// stats, no callbacks — and Submit returns false; the caller keeps ownership
+// of the task and its packets. This is what bounds pending growth during a
+// hang: once the queue is full, further submissions bounce back to the
+// workers instead of accumulating against the frozen device.
+func (d *Device) Submit(t *Task) bool {
+	if d.Saturated() {
+		d.stats.RejectedTasks++
+		return false
+	}
 	d.nextID++
 	t.ID = d.nextID
 	t.Submitted = d.eng.Now()
@@ -184,6 +208,22 @@ func (d *Device) Submit(t *Task) {
 	default:
 		d.schedule(t)
 	}
+	if q := d.Queued(); q > d.stats.MaxQueued {
+		d.stats.MaxQueued = q
+	}
+	d.Checker.DeviceQueue(d.eng.Now(), d.Name, d.Queued(), d.QueueDepth)
+	return true
+}
+
+// Queued returns the current task-queue occupancy: scheduled (inflight)
+// plus parked (pending) tasks.
+func (d *Device) Queued() int { return len(d.inflight) + len(d.pending) }
+
+// Saturated reports whether a bounded queue is at capacity, i.e. the next
+// Submit would be refused. A failed device is never saturated — submissions
+// there fail fast and carry no queue occupancy.
+func (d *Device) Saturated() bool {
+	return d.QueueDepth > 0 && !d.failed && d.Queued() >= d.QueueDepth
 }
 
 // schedule computes the task's pipeline timeline and registers callbacks.

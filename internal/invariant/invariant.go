@@ -28,7 +28,11 @@
 //	lb.collapse     — a control step that observed task failures collapses W
 //	rxq.accounting  — delivered + dropped ≤ arrivals; backlog ≤ capacity
 //	pool.drained    — every mempool has Outstanding == 0 after the drain
-//	conservation    — every delivered packet is exactly once TX'd or dropped
+//	conservation    — every delivered packet is exactly once TX'd, dropped
+//	                  or shed (shed = dropped by overload control: CoDel or
+//	                  admission rejection at LevelShed)
+//	queue.bound     — a bounded interior queue (device task queue) never
+//	                  exceeds its configured depth
 //	drain.stuck     — the run drained within the post-stop grace window
 package invariant
 
@@ -50,6 +54,7 @@ const (
 	CheckPoolDrained   = "pool.drained"
 	CheckConservation  = "conservation"
 	CheckDrainStuck    = "drain.stuck"
+	CheckQueueBound    = "queue.bound"
 	// CheckDeterminism is recorded by the chaos driver, not the runtime
 	// hooks: two runs of the same case produced different trace digests.
 	CheckDeterminism = "determinism"
@@ -79,7 +84,7 @@ const maxPerCheck = 16
 // is a cheap no-op, mirroring the trace.Tracer contract.
 type Checker struct {
 	violations []Violation
-	perCheck   [10]int // indexed by checkIndex; counts all breaches
+	perCheck   [11]int // indexed by checkIndex; counts all breaches
 	suppressed int
 
 	lastDispatch simtime.Time
@@ -115,8 +120,10 @@ func checkIndex(check string) int {
 		return 7
 	case CheckDrainStuck:
 		return 8
-	default:
+	case CheckQueueBound:
 		return 9
+	default:
+		return 10
 	}
 }
 
@@ -298,17 +305,33 @@ func (c *Checker) PoolDrained(at simtime.Time, err error) {
 }
 
 // Conservation checks end-of-run packet conservation: every buffer the NIC
-// layer materialised was either transmitted or dropped exactly once.
-// (Double accounting shows up as tx+drops exceeding delivered; a leak shows
-// up as the opposite plus a pool.drained breach.)
-func (c *Checker) Conservation(at simtime.Time, delivered, transmitted, dropped uint64) {
+// layer materialised was either transmitted, dropped in the graph, or shed
+// by overload control — each exactly once. (Double accounting shows up as
+// tx+drops+shed exceeding delivered; a leak shows up as the opposite plus a
+// pool.drained breach.)
+func (c *Checker) Conservation(at simtime.Time, delivered, transmitted, dropped, shed uint64) {
 	if c == nil {
 		return
 	}
-	if delivered != transmitted+dropped {
+	if delivered != transmitted+dropped+shed {
 		c.Violatef(at, CheckConservation,
-			"delivered %d != transmitted %d + dropped %d (diff %+d)",
-			delivered, transmitted, dropped, int64(transmitted+dropped)-int64(delivered))
+			"delivered %d != transmitted %d + dropped %d + shed %d (diff %+d)",
+			delivered, transmitted, dropped, shed,
+			int64(transmitted+dropped+shed)-int64(delivered))
+	}
+}
+
+// DeviceQueue observes a bounded device task queue's occupancy after an
+// accepted submission: admission control must keep the queue at or below its
+// configured depth. A non-positive depth means the queue is unbounded and
+// nothing is checked.
+func (c *Checker) DeviceQueue(at simtime.Time, dev string, queued, depth int) {
+	if c == nil || depth <= 0 {
+		return
+	}
+	if queued > depth {
+		c.Violatef(at, CheckQueueBound,
+			"device %s task queue at %d, over configured depth %d", dev, queued, depth)
 	}
 }
 

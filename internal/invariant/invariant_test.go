@@ -36,7 +36,8 @@ func TestNilCheckerIsSafe(t *testing.T) {
 	c.RxQueue(ms, 0, 0, 10, 5, 1, 64)
 	c.DeviceUtil(ms, "g", ms, ms, 2*ms)
 	c.PoolDrained(ms, nil)
-	c.Conservation(ms, 1, 1, 0)
+	c.Conservation(ms, 1, 1, 0, 0)
+	c.DeviceQueue(ms, "g", 5, 4)
 	c.StuckDrain(ms, 1)
 	c.EndOfRun(ms)
 	c.Violatef(ms, CheckConservation, "x")
@@ -123,12 +124,26 @@ func TestDeviceUtil(t *testing.T) {
 
 func TestConservation(t *testing.T) {
 	c := New()
-	c.Conservation(ms, 100, 90, 10)
+	c.Conservation(ms, 100, 90, 10, 0)
+	c.Conservation(ms, 100, 80, 10, 10) // shed packets balance the identity
 	wantClean(t, c)
-	c.Conservation(2*ms, 100, 95, 10) // double account
+	c.Conservation(2*ms, 100, 95, 10, 0) // double account
 	wantCheck(t, c, CheckConservation, "diff +5")
-	c.Conservation(3*ms, 100, 90, 5) // leak
+	c.Conservation(3*ms, 100, 90, 5, 0) // leak
 	wantCheck(t, c, CheckConservation, "diff -5")
+	c.Conservation(4*ms, 100, 90, 5, 15) // shed over-account
+	wantCheck(t, c, CheckConservation, "shed 15")
+}
+
+func TestDeviceQueueBound(t *testing.T) {
+	c := New()
+	c.DeviceQueue(ms, "gpu0", 64, 64) // exactly at depth is legal
+	c.DeviceQueue(ms, "gpu0", 12, 64)
+	c.DeviceQueue(ms, "gpu0", 999, 0)  // unbounded queue: skipped
+	c.DeviceQueue(ms, "gpu0", 999, -1) // ditto
+	wantClean(t, c)
+	c.DeviceQueue(2*ms, "gpu0", 65, 64)
+	wantCheck(t, c, CheckQueueBound, "task queue at 65, over configured depth 64")
 }
 
 func TestPerCheckCapAndErr(t *testing.T) {

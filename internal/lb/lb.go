@@ -170,6 +170,11 @@ type Controller struct {
 	last    float64
 	wait    int
 	bounces int // consecutive rejected perturbations at a boundary
+	// Externally-imposed bounds on W (the overload governor's bias
+	// mechanism). Inactive until SetWBounds is called, so the zero value
+	// keeps the classic unconstrained hill-climb.
+	wmin, wmax float64
+	hasBounds  bool
 	// recentFails counts failed/timed-out offload completions reported via
 	// NoteTaskFailures since the last control step.
 	recentFails int
@@ -221,6 +226,39 @@ func NewController(state *State) *Controller {
 // Observe feeds one throughput sample (e.g. pps over the last 10 ms).
 func (c *Controller) Observe(pps float64) { c.avg.Push(pps) }
 
+// SetWBounds constrains the offloading fraction to [lo, hi] from now on —
+// the overload governor's bias mechanism: ratcheting hi down steers load off
+// a congested device, ratcheting lo up steers it off congested CPUs. The
+// current W is clamped immediately. Bounds are sanitised to 0 ≤ lo ≤ hi ≤ 1.
+func (c *Controller) SetWBounds(lo, hi float64) {
+	lo = math.Max(0, math.Min(1, lo))
+	hi = math.Max(0, math.Min(1, hi))
+	if hi < lo {
+		hi = lo
+	}
+	c.wmin, c.wmax, c.hasBounds = lo, hi, true
+	if w := c.clampW(c.state.W); w != c.state.W {
+		c.state.W = w
+		c.Checker.LBUpdated(c.now(), w)
+	}
+}
+
+// WBounds returns the active bounds on W, (0, 1) when unconstrained.
+func (c *Controller) WBounds() (lo, hi float64) {
+	if !c.hasBounds {
+		return 0, 1
+	}
+	return c.wmin, c.wmax
+}
+
+// clampW applies the external bounds; identity until SetWBounds is called.
+func (c *Controller) clampW(w float64) float64 {
+	if !c.hasBounds {
+		return w
+	}
+	return math.Max(c.wmin, math.Min(c.wmax, w))
+}
+
 // W returns the current offloading fraction.
 func (c *Controller) W() float64 { return c.state.W }
 
@@ -247,6 +285,11 @@ func (c *Controller) reactToFailures() bool {
 	w := c.state.W / 2
 	if w < c.Delta {
 		w = 0
+	}
+	// Honour only the ceiling here: a bias floor must never hold W up
+	// against a failing device's collapse.
+	if c.hasBounds && w > c.wmax {
+		w = c.wmax
 	}
 	c.state.W = w
 	c.dir = -1
@@ -298,6 +341,11 @@ func (c *Controller) Update() {
 	case w >= 1:
 		w = 1
 		c.dir = -1
+	}
+	if cl := c.clampW(w); cl != w {
+		// A bias bound rejected the step: turn around, as at a boundary.
+		c.dir = -c.dir
+		w = cl
 	}
 	c.state.W = w
 	c.Checker.LBUpdated(c.now(), w)

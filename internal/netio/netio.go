@@ -65,6 +65,7 @@ type RxQueue struct {
 	delivered    uint64
 	dropped      uint64 // queue overflow drops
 	allocFailed  uint64 // mempool exhaustion drops
+	hwm          uint64 // backlog high watermark (post-drop, so ≤ capacity)
 	down         bool   // fault-injected flap: no delivery, arrivals overflow
 
 	// Tracer, when non-nil, receives rx / rx.drop events from Poll. Drops
@@ -162,7 +163,14 @@ func (q *RxQueue) advance(now simtime.Time) {
 	if backlog := q.backlog(); backlog > uint64(q.capacity) {
 		q.dropped += backlog - uint64(q.capacity)
 	}
+	if b := q.backlog(); b > q.hwm {
+		q.hwm = b
+	}
 }
+
+// HighWatermark returns the deepest backlog ever observed on the queue
+// (after head-drop accounting, so it never exceeds the ring capacity).
+func (q *RxQueue) HighWatermark() uint64 { return q.hwm }
 
 // Poll delivers up to burst packets into out, drawing buffers from pool.
 // It returns the packets received. Buffer-pool exhaustion drops packets

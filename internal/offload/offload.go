@@ -58,6 +58,11 @@ type Aggregator struct {
 	cm      *sysinfo.CostModel
 	pending map[int]*Pending // keyed by head node ID
 	heads   []int            // deterministic iteration order
+
+	// AgeScale scales the aggregation age limit (MaxAggDelay). The overload
+	// governor shrinks it (e.g. 0.5) at LevelTrim and above so packets stop
+	// maturing behind a congested device. Zero or one means nominal.
+	AgeScale float64
 }
 
 // NewAggregator creates an empty aggregator.
@@ -140,12 +145,17 @@ func (a *Aggregator) account(p *Pending, b *batch.Batch) *Pending {
 	return nil
 }
 
-// Expired removes and returns aggregates older than MaxAggDelay.
+// Expired removes and returns aggregates older than MaxAggDelay (scaled by
+// AgeScale when the overload governor has trimmed it).
 func (a *Aggregator) Expired(now simtime.Time) []*Pending {
+	maxAge := a.cm.MaxAggDelay
+	if a.AgeScale > 0 && a.AgeScale != 1 {
+		maxAge = simtime.Time(float64(maxAge) * a.AgeScale)
+	}
 	var out []*Pending
 	for _, id := range append([]int(nil), a.heads...) {
 		p := a.pending[id]
-		if p != nil && now-p.FirstAdd >= a.cm.MaxAggDelay {
+		if p != nil && now-p.FirstAdd >= maxAge {
 			a.remove(id)
 			out = append(out, p)
 		}

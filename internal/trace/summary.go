@@ -48,6 +48,40 @@ type LBProfile struct {
 	FinalW  float64
 }
 
+// ShedProfile aggregates overload-control sheds per (worker, mechanism).
+type ShedProfile struct {
+	Worker    int32
+	Mechanism string // "codel" or "admission"
+	Events    uint64
+	Packets   uint64
+}
+
+// levelName renders a governor degradation level carried in an event payload
+// (trace cannot import internal/overload, so the mapping is mirrored here).
+func levelName(l int64) string {
+	switch l {
+	case 0:
+		return "normal"
+	case 1:
+		return "trim"
+	case 2:
+		return "bias"
+	case 3:
+		return "shed"
+	default:
+		return fmt.Sprintf("level(%d)", l)
+	}
+}
+
+// OverloadProfile aggregates governor activity per socket.
+type OverloadProfile struct {
+	Socket      int32
+	Transitions uint64
+	PeakLevel   int64
+	FinalLevel  int64
+	BiasUpdates uint64
+}
+
 // Summary is the aggregate view of an event stream.
 type Summary struct {
 	Events    uint64
@@ -56,6 +90,8 @@ type Summary struct {
 	Queues    []*QueueProfile
 	Devices   []*DeviceProfile
 	Balancers []*LBProfile
+	Sheds     []*ShedProfile
+	Overloads []*OverloadProfile
 }
 
 // Summarize folds an event stream into per-element / per-queue / per-device
@@ -66,6 +102,22 @@ func Summarize(events []Event) *Summary {
 	queues := map[[2]int64]*QueueProfile{}
 	devs := map[string]*DeviceProfile{}
 	lbs := map[int32]*LBProfile{}
+	sheds := map[[2]int64]*ShedProfile{}
+	ovls := map[int32]*OverloadProfile{}
+	mechIdx := func(name string) int64 {
+		if name == "admission" {
+			return 1
+		}
+		return 0
+	}
+	ovl := func(actor int32) *OverloadProfile {
+		op := ovls[actor]
+		if op == nil {
+			op = &OverloadProfile{Socket: actor}
+			ovls[actor] = op
+		}
+		return op
+	}
 
 	for i := range events {
 		ev := &events[i]
@@ -119,6 +171,24 @@ func Summarize(events []Event) *Summary {
 			}
 			lp.Updates++
 			lp.FinalW = math.Float64frombits(uint64(ev.A))
+		case KindOverloadShed:
+			key := [2]int64{int64(ev.Actor), mechIdx(ev.Name)}
+			sp := sheds[key]
+			if sp == nil {
+				sp = &ShedProfile{Worker: ev.Actor, Mechanism: ev.Name}
+				sheds[key] = sp
+			}
+			sp.Events++
+			sp.Packets += uint64(ev.A)
+		case KindOverloadLevel:
+			op := ovl(ev.Actor)
+			op.Transitions++
+			op.FinalLevel = ev.A
+			if ev.A > op.PeakLevel {
+				op.PeakLevel = ev.A
+			}
+		case KindOverloadBias:
+			ovl(ev.Actor).BiasUpdates++
 		}
 	}
 
@@ -148,6 +218,27 @@ func Summarize(events []Event) *Summary {
 	sort.Ints(skeys)
 	for _, k := range skeys {
 		s.Balancers = append(s.Balancers, lbs[int32(k)])
+	}
+	shkeys := make([][2]int64, 0, len(sheds))
+	for k := range sheds {
+		shkeys = append(shkeys, k)
+	}
+	sort.Slice(shkeys, func(i, j int) bool {
+		if shkeys[i][0] != shkeys[j][0] {
+			return shkeys[i][0] < shkeys[j][0]
+		}
+		return shkeys[i][1] < shkeys[j][1]
+	})
+	for _, k := range shkeys {
+		s.Sheds = append(s.Sheds, sheds[k])
+	}
+	okeys := make([]int, 0, len(ovls))
+	for k := range ovls {
+		okeys = append(okeys, int(k))
+	}
+	sort.Ints(okeys)
+	for _, k := range okeys {
+		s.Overloads = append(s.Overloads, ovls[int32(k)])
 	}
 	return s
 }
@@ -200,6 +291,21 @@ func (s *Summary) Write(w io.Writer) error {
 		fmt.Fprintf(w, "\nload balancers:\n")
 		for _, b := range s.Balancers {
 			fmt.Fprintf(w, "  socket %d: %d updates, final W=%.4f\n", b.Socket, b.Updates, b.FinalW)
+		}
+	}
+	if len(s.Sheds) > 0 {
+		fmt.Fprintf(w, "\noverload sheds:\n")
+		fmt.Fprintf(w, "  %-18s %10s %12s\n", "worker/mechanism", "events", "packets")
+		for _, sp := range s.Sheds {
+			fmt.Fprintf(w, "  %-18s %10d %12d\n",
+				fmt.Sprintf("%d/%s", sp.Worker, sp.Mechanism), sp.Events, sp.Packets)
+		}
+	}
+	if len(s.Overloads) > 0 {
+		fmt.Fprintf(w, "\noverload governors:\n")
+		for _, o := range s.Overloads {
+			fmt.Fprintf(w, "  socket %d: %d level transitions, peak %s, final %s, %d bias updates\n",
+				o.Socket, o.Transitions, levelName(o.PeakLevel), levelName(o.FinalLevel), o.BiasUpdates)
 		}
 	}
 	return nil

@@ -80,8 +80,25 @@ const (
 	KindFaultRecover
 	// KindFallback is a worker re-executing an offloaded aggregate on the
 	// CPU after a device failure or completion timeout. Actor = worker.
-	// A = task ID, B = packets, C = reason (0 = device failed, 1 = timeout).
+	// A = task ID (0 when the task was refused before getting one),
+	// B = packets, C = reason (0 = device failed, 1 = timeout,
+	// 2 = admission rejected), D = governor level (admission rescues only).
 	KindFallback
+	// KindOverloadShed is overload control dropping packets. Actor = worker,
+	// Name = mechanism ("codel" or "admission"). A = packets shed, B =
+	// reason (0 = CoDel sojourn, 1 = admission rejection), C = max observed
+	// sojourn (ps) for CoDel or device queue occupancy for admission,
+	// D = governor level at the time.
+	KindOverloadShed
+	// KindOverloadLevel is a governor level transition. Actor = socket,
+	// Name = new level. A = new level, B = old level, C = device-saturation
+	// flag, D = CPU-saturation flag for the window that fired it.
+	KindOverloadLevel
+	// KindOverloadBias is the governor ratcheting the ALB weight bounds
+	// toward the uncongested processor. Actor = socket. A =
+	// math.Float64bits(lo), B = math.Float64bits(hi), C = device-saturation
+	// flag, D = CPU-saturation flag.
+	KindOverloadBias
 
 	numKinds
 )
@@ -100,6 +117,9 @@ var kindNames = [numKinds]string{
 	"fault.inject",
 	"fault.recover",
 	"fallback",
+	"overload.shed",
+	"overload.level",
+	"overload.bias",
 }
 
 func (k Kind) String() string {

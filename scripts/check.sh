@@ -12,10 +12,12 @@
 #   6. fuzz smoke         a few seconds per fuzz target (conflang round-trip,
 #                         packet header parsing) to catch shallow regressions
 #   7. nbatrace self-check the same config+seed recorded twice must diff to
-#                         zero divergence (dynamic determinism gate), both
-#                         fault-free and with the canonical injected GPU
-#                         outage (-faults: the plan is part of the run
-#                         identity)
+#                         zero divergence (dynamic determinism gate):
+#                         fault-free, with the canonical injected GPU outage
+#                         (-faults) and with overload control armed under a
+#                         sustained load burst (-overload: shed decisions,
+#                         governor transitions and bias updates are part of
+#                         the run identity)
 #   8. chaos smoke        a fixed-seed nbachaos sweep (every app, a couple of
 #                         seeds): random-but-seeded fault plans must pass the
 #                         invariant oracle with matching digests across the
@@ -62,6 +64,9 @@ go run ./cmd/nbatrace diff "$tracedir/a.jsonl" "$tracedir/b.jsonl"
 go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -faults -o "$tracedir/fa.jsonl" >/dev/null
 go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -faults -o "$tracedir/fb.jsonl" >/dev/null
 go run ./cmd/nbatrace diff "$tracedir/fa.jsonl" "$tracedir/fb.jsonl"
+go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -gbps 3 -overload -o "$tracedir/oa.jsonl" >/dev/null
+go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -gbps 3 -overload -o "$tracedir/ob.jsonl" >/dev/null
+go run ./cmd/nbatrace diff "$tracedir/oa.jsonl" "$tracedir/ob.jsonl"
 
 echo "==> chaos smoke (fixed-seed fault sweep under the invariant oracle)"
 go run ./cmd/nbachaos sweep -seeds 2 -base 1
