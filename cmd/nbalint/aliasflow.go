@@ -1,0 +1,112 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// aliasflowAnalyzer is the interprocedural extension of batchalias: a pooled
+// *packet.Packet that is passed through helper functions and stashed into a
+// struct field, package-level variable or channel is flagged at the escape
+// site, with the path from the pool access to the store. batchalias only sees
+// escapes inside the function that obtained the packet; aliasflow summarizes
+// which parameters of every module function escape and propagates pool taint
+// through call chains. Purely local escapes stay batchalias findings (the
+// trail must cross a function boundary here).
+var aliasflowAnalyzer = &modAnalyzer{
+	name: "aliasflow",
+	doc:  "flag pooled *packet.Packet values escaping through helpers into fields, globals or channels",
+	run:  runAliasflow,
+}
+
+var aliasflowSpec = &flowSpec{
+	name:              "aliasflow",
+	seedCall:          aliasflowSeedCall,
+	seedFuncLitParams: aliasflowSeedForEachLive,
+	sinkStore:         aliasflowSinkStore,
+	sendSink:          "sent on a channel",
+	typeOK:            packetCarrier,
+	skipPkg:           aliasflowSkipPkg,
+	interOnly:         true,
+	reportAtSink:      true,
+}
+
+func runAliasflow(m *module) []finding {
+	var out []finding
+	for _, ff := range runFlow(m, aliasflowSpec) {
+		out = append(out, finding{
+			pos:  ff.pos,
+			rule: "aliasflow",
+			msg: "pooled *packet.Packet escapes into long-lived storage through a helper " +
+				"(aliases memory reclaimed on Reset; copy the bytes you need); path: " +
+				renderPath(ff.path),
+			path: ff.path,
+		})
+	}
+	return out
+}
+
+// aliasflowSkipPkg exempts the packages that legitimately own pooled packet
+// storage: the pool itself, the batch slot arrays, the packet internals, and
+// the netio RX queues that buffer packets between polls.
+func aliasflowSkipPkg(path string) bool {
+	return path == batchPkgPath || path == mempoolPkgPath ||
+		path == packetPkgPath || path == "nba/internal/netio"
+}
+
+func aliasflowSeedCall(p *lintPackage, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if isMethodOn(p.Info.Selections[sel], batchPkgPath, "Batch", "Packet") {
+		return "pooled packet from Batch.Packet"
+	}
+	return ""
+}
+
+func aliasflowSeedForEachLive(p *lintPackage, call *ast.CallExpr) ([]*ast.Ident, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !isMethodOn(p.Info.Selections[sel], batchPkgPath, "Batch", "ForEachLive") {
+		return nil, ""
+	}
+	if len(call.Args) != 1 {
+		return nil, ""
+	}
+	lit, ok := call.Args[0].(*ast.FuncLit)
+	if !ok || len(lit.Type.Params.List) != 2 {
+		return nil, ""
+	}
+	return lit.Type.Params.List[1].Names, "pooled packet from Batch.ForEachLive"
+}
+
+func aliasflowSinkStore(p *lintPackage, lhs ast.Expr) string {
+	return escapeKind(p.Info, lhs)
+}
+
+// packetCarrier reports whether a type can carry a pooled packet reference:
+// *packet.Packet itself, or a slice/array/map/channel of carriers. Structs
+// are not carriers — a struct holding a packet is exactly the escape the rule
+// flags, not a conduit.
+func packetCarrier(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch u := types.Unalias(t).(type) {
+	case *types.Pointer:
+		n := namedOrigin(u)
+		return n != nil && n.Obj().Name() == "Packet" &&
+			n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == packetPkgPath
+	case *types.Slice:
+		return packetCarrier(u.Elem())
+	case *types.Array:
+		return packetCarrier(u.Elem())
+	case *types.Map:
+		return packetCarrier(u.Elem())
+	case *types.Chan:
+		return packetCarrier(u.Elem())
+	case *types.Named:
+		return packetCarrier(u.Underlying())
+	}
+	return false
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// detflowAnalyzer is the interprocedural complement of the per-file
+// nondeterminism rule: it tracks values produced by nondeterminism sources —
+// wall-clock reads, the global math/rand source, map iteration order,
+// variables written from unsynchronized goroutines — through call chains,
+// struct fields and package-level variables into the run-identity sinks:
+// trace.Tracer.Emit payloads and hash inputs. The per-file rule only bans the
+// sources inside simulation packages; detflow catches a helper in any package
+// laundering such a value into the digest, and reports the full source→sink
+// path.
+var detflowAnalyzer = &modAnalyzer{
+	name: "detflow",
+	doc:  "taint-track nondeterminism sources into trace digest and hash sinks across call chains",
+	run:  runDetflow,
+}
+
+var detflowSpec = &flowSpec{
+	name:                  "detflow",
+	seedCall:              detflowSeedCall,
+	seedMapRange:          true,
+	seedGoroutine:         true,
+	sinkCall:              detflowSinkCall,
+	trackFields:           true,
+	trackGlobals:          true,
+	unknownCallPropagates: true,
+}
+
+func runDetflow(m *module) []finding {
+	var out []finding
+	for _, ff := range runFlow(m, detflowSpec) {
+		out = append(out, finding{
+			pos:  ff.pos,
+			rule: "detflow",
+			msg: "nondeterministic value flows into a run-identity sink; path: " +
+				renderPath(ff.path),
+			path: ff.path,
+		})
+	}
+	return out
+}
+
+// detflowSeedCall recognizes the call-shaped nondeterminism sources. The
+// source catalogue mirrors the per-file nondeterminism rule (bannedTimeFuncs,
+// allowedRandFuncs) so the two rules cannot drift apart.
+func detflowSeedCall(p *lintPackage, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch pkgNameOf(p.Info, sel.X) {
+	case "time":
+		if bannedTimeFuncs[sel.Sel.Name] {
+			return "wall clock (time." + sel.Sel.Name + ")"
+		}
+	case "math/rand", "math/rand/v2":
+		if _, isFunc := p.Info.Uses[sel.Sel].(*types.Func); isFunc && !allowedRandFuncs[sel.Sel.Name] {
+			return "global math/rand source (rand." + sel.Sel.Name + ")"
+		}
+	}
+	return ""
+}
+
+// detflowSinkCall recognizes the run-identity sinks: trace.Tracer.Emit (its
+// payload feeds the streaming digest) and the methods of hash.Hash values
+// (Write/Sum inputs become digests directly).
+func detflowSinkCall(p *lintPackage, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	s := p.Info.Selections[sel]
+	if isMethodOn(s, tracePkgPath, "Tracer", "Emit") {
+		return "trace digest via (*trace.Tracer).Emit"
+	}
+	if s != nil && s.Kind() == types.MethodVal {
+		if name := sel.Sel.Name; name == "Write" || name == "Sum" {
+			if n := namedOrigin(s.Recv()); n != nil && n.Obj().Pkg() != nil && n.Obj().Pkg().Path() == "hash" {
+				return "hash input via hash." + n.Obj().Name() + "." + name
+			}
+		}
+	}
+	return ""
+}

@@ -47,7 +47,7 @@ func TestDirectives(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	findings := runPackage(l.fset, lp, false)
+	findings := lintPackages(l, []*lintPackage{lp}, false).findings
 	lines := fixtureLines(t)
 
 	at := func(rule string, line int) bool {
@@ -111,13 +111,13 @@ func TestAuditAllows(t *testing.T) {
 
 	// Without the audit, the stale directive is silent.
 	stale := lineWhere(t, lines, "two lines up so it must not apply", 0)
-	for _, f := range runPackage(l.fset, lp, false) {
+	for _, f := range lintPackages(l, []*lintPackage{lp}, false).findings {
 		if f.pos.Line == stale && strings.Contains(f.msg, "suppresses nothing") {
 			t.Fatal("unused allow reported without -audit-allows")
 		}
 	}
 
-	findings := runPackage(l.fset, lp, true)
+	findings := lintPackages(l, []*lintPackage{lp}, true).findings
 	found := false
 	for _, f := range findings {
 		if !strings.Contains(f.msg, "suppresses nothing") {

@@ -28,67 +28,94 @@ func testLoader(t *testing.T) *loader {
 	return newLoader(moduleRoot, modulePath, filepath.Join(cwd, "testdata", "src"))
 }
 
+// loadTargets loads the given import paths as lint targets.
+func loadTargets(t *testing.T, l *loader, pkgs ...string) []*lintPackage {
+	t.Helper()
+	var targets []*lintPackage
+	for _, pkg := range pkgs {
+		lp, err := l.load(pkg)
+		if err != nil {
+			t.Fatalf("loading %s: %v", pkg, err)
+		}
+		targets = append(targets, lp)
+	}
+	return targets
+}
+
 func findingKey(f finding) string {
 	return fmt.Sprintf("%s:%d %s", filepath.Base(f.pos.Filename), f.pos.Line, f.rule)
 }
 
-// wantFindings scans a fixture directory for "// want <rule>..." markers and
+// wantFindings scans fixture directories for "// want <rule>..." markers and
 // returns the expected multiset of "file:line rule" keys.
-func wantFindings(t *testing.T, dir string) map[string]int {
+func wantFindings(t *testing.T, dirs ...string) map[string]int {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
 	want := map[string]int{}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i, line := range strings.Split(string(data), "\n") {
-			_, marker, ok := strings.Cut(line, "// want ")
-			if !ok {
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 				continue
 			}
-			for _, rule := range strings.Fields(marker) {
-				want[fmt.Sprintf("%s:%d %s", e.Name(), i+1, rule)]++
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, line := range strings.Split(string(data), "\n") {
+				_, marker, ok := strings.Cut(line, "// want ")
+				if !ok {
+					continue
+				}
+				for _, rule := range strings.Fields(marker) {
+					want[fmt.Sprintf("%s:%d %s", e.Name(), i+1, rule)]++
+				}
 			}
 		}
 	}
 	return want
 }
 
-// TestAnalyzers runs every analyzer fixture package and compares the
-// reported findings against the fixtures' want markers.
+// TestAnalyzers runs every rule over each fixture case (per-file rules on
+// the target packages, interprocedural rules over the whole module filtered
+// to the targets) and compares the findings against the fixtures' want
+// markers. Cases with multiple packages exercise cross-package flows: the
+// detflow case launders wall-clock values through nba/internal/detutil,
+// where the per-file nondeterminism rule does not apply, and the finding
+// anchors at the sink in the simulation-path package.
 func TestAnalyzers(t *testing.T) {
 	l := testLoader(t)
 	tests := []struct {
 		name string
-		pkg  string
+		pkgs []string
 	}{
-		{"nondeterminism", "nba/internal/core/nondetfix"},
-		{"nondeterminism-scope", "nba/internal/wallclockok"},
-		{"maprange", "nba/internal/stats/maprangefix"},
-		{"batchalias", "nba/internal/apps/aliasfix"},
-		{"mempoolerr", "nba/internal/poolfix"},
-		{"mempoolerr-cmd-exempt", "nba/cmd/poolcmdfix"},
-		{"printban", "nba/internal/printfix"},
+		{"nondeterminism", []string{"nba/internal/core/nondetfix"}},
+		{"nondeterminism-scope", []string{"nba/internal/wallclockok"}},
+		{"maprange", []string{"nba/internal/stats/maprangefix"}},
+		{"batchalias", []string{"nba/internal/apps/aliasfix"}},
+		{"mempoolerr", []string{"nba/internal/poolfix"}},
+		{"mempoolerr-cmd-exempt", []string{"nba/cmd/poolcmdfix"}},
+		{"printban", []string{"nba/internal/printfix"}},
+		{"detflow-cross-package", []string{"nba/internal/detutil", "nba/internal/core/detflowfix"}},
+		{"aliasflow", []string{"nba/internal/apps/aliasflowfix"}},
+		{"hotalloc", []string{"nba/internal/hotfix"}},
+		{"sharedstate", []string{"nba/internal/core/sharedfix"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
-			lp, err := l.load(tt.pkg)
-			if err != nil {
-				t.Fatalf("loading %s: %v", tt.pkg, err)
-			}
+			targets := loadTargets(t, l, tt.pkgs...)
+			res := lintPackages(l, targets, false)
 			got := map[string]int{}
-			for _, f := range runPackage(l.fset, lp, false) {
+			for _, f := range res.findings {
 				got[findingKey(f)]++
 			}
-			want := wantFindings(t, lp.Dir)
+			var dirs []string
+			for _, lp := range targets {
+				dirs = append(dirs, lp.Dir)
+			}
+			want := wantFindings(t, dirs...)
 			for k, n := range want {
 				if got[k] != n {
 					t.Errorf("want %d finding(s) %q, got %d", n, k, got[k])
@@ -100,6 +127,61 @@ func TestAnalyzers(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestFixtureAllowsAreUsed checks that the fixtures' //nbalint:allow lines
+// suppress real findings: the -audit-allows accounting must count them used,
+// not stale (a stale directive would mean the negative fixture case is
+// vacuous).
+func TestFixtureAllowsAreUsed(t *testing.T) {
+	l := testLoader(t)
+	targets := loadTargets(t, l,
+		"nba/internal/detutil", "nba/internal/core/detflowfix",
+		"nba/internal/apps/aliasflowfix", "nba/internal/hotfix",
+		"nba/internal/core/sharedfix")
+	res := lintPackages(l, targets, true)
+	for _, rule := range []string{"detflow", "aliasflow", "hotalloc", "sharedstate"} {
+		c := res.allows[rule]
+		if c == nil || c.Used == 0 {
+			t.Errorf("rule %s: no used //nbalint:allow directive in its fixture", rule)
+			continue
+		}
+		if c.Stale != 0 {
+			t.Errorf("rule %s: %d stale directive(s) in its fixture", rule, c.Stale)
+		}
+	}
+}
+
+// TestRealTreeClean is the self-lint regression gate: the repository itself
+// must lint clean under every rule, including the stale-directive audit. A
+// failure here means a change introduced a violation (fix it) or an
+// unjustified //nbalint:allow (remove it).
+func TestRealTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	moduleRoot, err := findModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := packageDirs(moduleRoot + "/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := testLoader(t)
+	var pkgs []string
+	for _, dir := range dirs {
+		path, err := importPathFor(dir, l.moduleRoot, l.modulePath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, path)
+	}
+	targets := loadTargets(t, l, pkgs...)
+	res := lintPackages(l, targets, true)
+	for _, f := range res.findings {
+		t.Errorf("real tree not lint-clean: %s:%d: [%s] %s", f.pos.Filename, f.pos.Line, f.rule, f.msg)
 	}
 }
 
@@ -180,19 +262,16 @@ func TestFixtureTreeFails(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	total := 0
+	var pkgs []string
 	for _, dir := range dirs {
 		path, err := importPathFor(dir, l.moduleRoot, l.modulePath)
 		if err != nil {
 			t.Fatal(err)
 		}
-		lp, err := l.load(path)
-		if err != nil {
-			t.Fatalf("loading %s: %v", path, err)
-		}
-		total += len(runPackage(l.fset, lp, false))
+		pkgs = append(pkgs, path)
 	}
-	if total == 0 {
+	targets := loadTargets(t, l, pkgs...)
+	if res := lintPackages(l, targets, false); len(res.findings) == 0 {
 		t.Fatal("fixture tree produced no findings; the CLI would exit 0 on it")
 	}
 }

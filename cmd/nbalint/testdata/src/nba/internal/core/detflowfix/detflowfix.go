@@ -1,0 +1,45 @@
+// Package detflowfix exercises the detflow rule: nondeterminism sources
+// laundered through helpers, fields and map iteration into the trace digest.
+// The package path mimics a simulation package; the sources live in
+// nba/internal/detutil where the per-file nondeterminism rule does not look,
+// so every finding here is one the old rule provably misses.
+package detflowfix
+
+import (
+	"nba/internal/detutil"
+	"nba/internal/simtime"
+	"nba/internal/trace"
+)
+
+// emitStamp feeds a cross-package wall-clock value into the run digest.
+func emitStamp(tr *trace.Tracer, now simtime.Time) {
+	tr.Emit(now, trace.KindBatch, 0, "stamp", detutil.Stamp(), 0, 0, 0) // want detflow
+}
+
+// emitStashed feeds a wall-clock value laundered through a package-level
+// variable in another package into the run digest.
+func emitStashed(tr *trace.Tracer, now simtime.Time) {
+	detutil.Record()
+	tr.Emit(now, trace.KindBatch, 0, "stash", detutil.Last(), 0, 0, 0) // want detflow
+}
+
+// emitMapOrder feeds a value that depends on map iteration order into the
+// run digest (the surviving value is whichever the runtime visits last).
+func emitMapOrder(tr *trace.Tracer, now simtime.Time, m map[int]int64) {
+	var last int64
+	for _, v := range m { // want maprange
+		last = v
+	}
+	tr.Emit(now, trace.KindBatch, 0, "order", last, 0, 0, 0) // want detflow
+}
+
+// emitAllowed shows the escape hatch: a justified directive suppresses the
+// finding (and is counted by -audit-allows).
+func emitAllowed(tr *trace.Tracer, now simtime.Time) {
+	tr.Emit(now, trace.KindBatch, 0, "ok", detutil.Stamp(), 0, 0, 0) //nbalint:allow detflow fixture: documented nondeterministic diagnostic payload
+}
+
+// emitClean is the negative case: deterministic payloads are fine.
+func emitClean(tr *trace.Tracer, now simtime.Time, pkts int64) {
+	tr.Emit(now, trace.KindBatch, 0, "clean", pkts, 0, 0, 0)
+}

@@ -1,0 +1,69 @@
+// Package sharedfix exercises the sharedstate rule: state written from
+// simtime.Engine callback context and read outside it. The package path
+// mimics a simulation package (field reads are only flagged for sim-package
+// readers).
+package sharedfix
+
+import (
+	"sync"
+
+	"nba/internal/simtime"
+)
+
+// counter is written by an engine callback and read by Snapshot, which can
+// run concurrently once the engine goes parallel.
+var counter int
+
+func arm(eng *simtime.Engine) {
+	eng.After(simtime.Millisecond, func() {
+		counter++ // want sharedstate
+	})
+}
+
+// Snapshot reads the callback-written counter outside callback context.
+func Snapshot() int { return counter }
+
+// Mutex-guarded state is exempt on both sides.
+var (
+	mu      sync.Mutex
+	guarded int
+)
+
+func armGuarded(eng *simtime.Engine) {
+	eng.After(simtime.Millisecond, func() {
+		mu.Lock()
+		guarded++
+		mu.Unlock()
+	})
+}
+
+// SnapshotGuarded reads under the same lock.
+func SnapshotGuarded() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return guarded
+}
+
+// confined is only touched from callback context: no finding.
+var confined int
+
+func armConfined(eng *simtime.Engine) {
+	eng.After(simtime.Millisecond, func() {
+		confined++
+		eng.After(simtime.Millisecond, func() {
+			confined++
+		})
+	})
+}
+
+// documented shows the escape hatch for intentional happens-after reads.
+var documented int
+
+func armDocumented(eng *simtime.Engine) {
+	eng.After(simtime.Millisecond, func() {
+		documented++ //nbalint:allow sharedstate fixture: read strictly after Run returns
+	})
+}
+
+// SnapshotDocumented is the post-run reader of the documented counter.
+func SnapshotDocumented() int { return documented }

@@ -1,0 +1,19 @@
+// Package detutil is a helper package OUTSIDE the simulation prefixes: the
+// per-file nondeterminism rule does not apply here, so nothing in this file
+// carries a want marker. The wall-clock read below is only caught when
+// detflow follows the value across the package boundary into a digest sink.
+package detutil
+
+import "time"
+
+// Stamp launders wall-clock time through an innocent-looking helper.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// StashedStamp launders the same value through a package-level variable.
+var lastStamp int64
+
+// Record stores a wall-clock reading for later.
+func Record() { lastStamp = time.Now().UnixNano() }
+
+// Last returns the stored reading.
+func Last() int64 { return lastStamp }

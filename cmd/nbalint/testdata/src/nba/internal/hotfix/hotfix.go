@@ -1,0 +1,89 @@
+// Package hotfix exercises the hotalloc rule: allocation constructs inside
+// //nba:hotpath-annotated functions. Identical constructs in unannotated
+// functions are the negative cases.
+package hotfix
+
+import "fmt"
+
+type ring struct {
+	data []int
+	cb   func()
+}
+
+// grow appends into a struct field on a hot path.
+//
+//nba:hotpath
+func grow(r *ring, v int) {
+	r.data = append(r.data, v) // want hotalloc
+}
+
+// coldGrow is the same construct without the annotation: not flagged.
+func coldGrow(r *ring, v int) {
+	r.data = append(r.data, v)
+}
+
+// allowedGrow documents amortised growth with the escape hatch.
+//
+//nba:hotpath
+func allowedGrow(r *ring, v int) {
+	r.data = append(r.data, v) //nbalint:allow hotalloc fixture: growth amortises over the run
+}
+
+// makeScratch allocates a fresh slice per call.
+//
+//nba:hotpath
+func makeScratch(n int) []int {
+	return make([]int, n) // want hotalloc
+}
+
+// newRing returns a fresh composite literal per call.
+//
+//nba:hotpath
+func newRing() *ring {
+	return &ring{} // want hotalloc
+}
+
+// storeClosure stores a capturing function literal into a field.
+//
+//nba:hotpath
+func storeClosure(r *ring, v int) {
+	r.cb = func() { r.data[0] = v } // want hotalloc
+}
+
+type clock struct{}
+
+func (clock) tick() {}
+
+// methodValue returns a method value, which allocates a closure.
+//
+//nba:hotpath
+func methodValue(c clock) func() {
+	return c.tick // want hotalloc
+}
+
+// stringify converts []byte to string, copying the bytes.
+//
+//nba:hotpath
+func stringify(bs []byte) string {
+	return string(bs) // want hotalloc
+}
+
+func sink(v any) any { return v }
+
+// box passes a non-pointer value to an interface parameter.
+//
+//nba:hotpath
+func box(v int) any {
+	return sink(v) // want hotalloc
+}
+
+// guarded shows the panic-argument exemption: the failing path may allocate
+// its message.
+//
+//nba:hotpath
+func guarded(i int) int {
+	if i < 0 {
+		panic(fmt.Sprintf("hotfix: negative index %d", i))
+	}
+	return i
+}

@@ -54,6 +54,8 @@ type Batch struct {
 }
 
 // Reset clears the batch for reuse (mempool.Resetter).
+//
+//nba:hotpath
 func (b *Batch) Reset() {
 	for i := 0; i < b.count; i++ {
 		b.pkts[i] = nil
@@ -66,6 +68,8 @@ func (b *Batch) Reset() {
 }
 
 // Add appends a packet; it reports false when the batch is full.
+//
+//nba:hotpath
 func (b *Batch) Add(p *packet.Packet) bool {
 	if b.count >= MaxBatchSize {
 		return false
@@ -93,6 +97,8 @@ func (b *Batch) IsMasked(i int) bool { return b.masked[i] }
 // Mask excludes slot i from further processing. The caller owns the packet
 // afterwards (it is NOT released here). Masking an already-masked slot
 // panics — it indicates double handling.
+//
+//nba:hotpath
 func (b *Batch) Mask(i int) {
 	if b.masked[i] {
 		panic(fmt.Sprintf("batch: slot %d masked twice", i))
@@ -108,6 +114,8 @@ func (b *Batch) Result(i int) int { return b.results[i] }
 func (b *Batch) SetResult(i, r int) { b.results[i] = r }
 
 // ForEachLive calls fn for every unmasked slot.
+//
+//nba:hotpath
 func (b *Batch) ForEachLive(fn func(i int, p *packet.Packet)) {
 	for i := 0; i < b.count; i++ {
 		if !b.masked[i] {
@@ -117,6 +125,8 @@ func (b *Batch) ForEachLive(fn func(i int, p *packet.Packet)) {
 }
 
 // TotalBytes returns the summed frame length of live packets.
+//
+//nba:hotpath
 func (b *Batch) TotalBytes() int {
 	total := 0
 	for i := 0; i < b.count; i++ {
@@ -140,6 +150,20 @@ func NewPool(name string, n int) *Pool {
 // slot 0. It is the input to the framework's split-vs-mask decision.
 func (b *Batch) ResultHistogram(maxResult int) []int {
 	hist := make([]int, maxResult+2)
+	b.ResultHistogramInto(hist, maxResult)
+	return hist
+}
+
+// ResultHistogramInto is ResultHistogram tallying into caller-provided
+// storage, so per-branch accounting on the hot path reuses one scratch
+// slice instead of allocating. dst must have length >= maxResult+2; it is
+// zeroed first.
+//
+//nba:hotpath
+func (b *Batch) ResultHistogramInto(dst []int, maxResult int) {
+	for i := range dst[:maxResult+2] {
+		dst[i] = 0
+	}
 	for i := 0; i < b.count; i++ {
 		if b.masked[i] {
 			continue
@@ -148,7 +172,6 @@ func (b *Batch) ResultHistogram(maxResult int) []int {
 		if r < ResultDrop || r > maxResult {
 			panic(fmt.Sprintf("batch: result %d out of range [-1,%d]", r, maxResult))
 		}
-		hist[r+1]++
+		dst[r+1]++
 	}
-	return hist
 }

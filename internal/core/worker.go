@@ -24,7 +24,7 @@ import (
 type inflightTask struct {
 	pending *offload.Pending
 	task    *gpu.Task
-	timer   *simtime.Timer // completion timeout, nil when disabled
+	timer   simtime.Timer // completion timeout, zero when disabled
 	// executed records that the device-side functional computation ran, so
 	// a CPU fallback never re-runs it (re-encrypting IPsec packets would
 	// corrupt them).
@@ -75,6 +75,10 @@ type worker struct {
 	cycles    simtime.Cycles
 	iterStart simtime.Time
 	stopped   bool
+
+	// iterateFn is the method value w.iterate, bound once at construction so
+	// rescheduling the IO loop every iteration does not allocate a closure.
+	iterateFn func()
 
 	// Stats.
 	txPackets     uint64
@@ -144,11 +148,14 @@ func newWorker(s *System, id, socket, local int, localPorts, localDevs []int) (*
 		w.codel = overload.CoDel{Target: oc.CoDelTarget, Interval: oc.CoDelInterval}
 		w.codelOn = true
 	}
+	w.iterateFn = w.iterate
 	return w, nil
 }
 
 // now returns the worker's current position in virtual time: the iteration
 // start plus the cycles consumed so far this iteration.
+//
+//nba:hotpath
 func (w *worker) now() simtime.Time {
 	return w.iterStart + simtime.CyclesToTime(w.cycles, w.sys.cfg.Topology.CoreFreqHz)
 }
@@ -156,6 +163,8 @@ func (w *worker) now() simtime.Time {
 // iterate is one run-to-completion IO loop pass: drain offload completions,
 // poll each RX queue, run batches through the pipeline, flush aged offload
 // aggregates, then reschedule after the consumed virtual time.
+//
+//nba:hotpath
 func (w *worker) iterate() {
 	if w.stopped {
 		return
@@ -241,7 +250,7 @@ func (w *worker) iterate() {
 		w.stopped = true
 		return
 	}
-	w.sys.eng.After(next, w.iterate)
+	w.sys.eng.After(next, w.iterateFn)
 }
 
 // done reports whether the worker can retire: arrivals stopped, queues
@@ -269,6 +278,8 @@ func (w *worker) done() bool {
 
 // injectPackets wraps received packets into computation batches and runs
 // them through the pipeline.
+//
+//nba:hotpath
 func (w *worker) injectPackets(pkts []*packet.Packet) {
 	cm := w.sys.cfg.CostModel
 	for off := 0; off < len(pkts); off += w.sys.cfg.CompBatchSize {
@@ -363,9 +374,7 @@ func (w *worker) flush(p *offload.Pending) {
 		// Admission control refused the task (bounded queue full). Undo the
 		// submission accounting; below LevelShed the aggregate is rescued on
 		// the CPU right here, at LevelShed it is dropped and counted as shed.
-		if it.timer != nil {
-			it.timer.Cancel()
-		}
+		it.timer.Cancel()
 		it.done = true
 		w.inflight--
 		w.inflightPkts -= p.NPkts
@@ -418,6 +427,8 @@ func (w *worker) shedAggregate(p *offload.Pending) {
 // shedSojourn applies the CoDel shedder to one polled RX burst: packets the
 // control law selects are dropped before pipeline injection, in place,
 // preserving arrival order of the survivors.
+//
+//nba:hotpath
 func (w *worker) shedSojourn(pkts []*packet.Packet) []*packet.Packet {
 	now := w.now()
 	kept := pkts[:0]
@@ -451,15 +462,15 @@ func (w *worker) shedSojourn(pkts []*packet.Packet) []*packet.Packet {
 // handleCompletion postprocesses a finished, failed or timed-out device
 // task and resumes the batches in the pipeline (after a CPU fallback when
 // the device never ran them).
+//
+//nba:hotpath
 func (w *worker) handleCompletion(c completion) {
 	it := c.it
 	if it.done {
 		return // duplicate: the task was already resumed via another path
 	}
 	it.done = true
-	if it.timer != nil {
-		it.timer.Cancel()
-	}
+	it.timer.Cancel()
 	p := it.pending
 	w.inflight--
 	w.inflightPkts -= p.NPkts
@@ -472,6 +483,8 @@ func (w *worker) handleCompletion(c completion) {
 // resumeAggregate postprocesses a completed aggregate and resumes its
 // batches in the pipeline (shared by the normal completion, fallback and
 // admission-rescue paths).
+//
+//nba:hotpath
 func (w *worker) resumeAggregate(p *offload.Pending) {
 	cm := w.sys.cfg.CostModel
 	w.cycles += cm.OffloadPostPerPacket * simtime.Cycles(p.NPkts)
@@ -486,7 +499,7 @@ func (w *worker) resumeAggregate(p *offload.Pending) {
 			if b.Result(i) == batch.ResultDrop {
 				w.pktPool.Put(b.Packet(i))
 				b.Mask(i)
-				head.Dropped++
+				head.Dropped++ //nbalint:allow sharedstate stats counter; read happens-after the event loop drains
 				continue
 			}
 			b.SetResult(i, 0)
@@ -527,6 +540,8 @@ func (w *worker) fallback(it *inflightTask, timedOut bool) {
 // execChainOnCPU re-executes an aggregate's device-side computation on the
 // CPU via the same ProcessOffloaded host closures, charged at the honest CPU
 // per-packet element cost.
+//
+//nba:hotpath
 func (w *worker) execChainOnCPU(p *offload.Pending) {
 	cm := w.sys.cfg.CostModel
 	for _, node := range p.Chain {
@@ -548,9 +563,12 @@ func (w *worker) execChainOnCPU(p *offload.Pending) {
 // --- graph.Env implementation ---
 
 // Transmit implements graph.Env.
+//
+//nba:hotpath
 func (w *worker) Transmit(pkt *packet.Packet) {
 	port := int(pkt.Anno[packet.AnnoOutPort]) % len(w.sys.ports)
 	if w.sys.cfg.CaptureTx > 0 && len(w.sys.captured) < w.sys.cfg.CaptureTx {
+		//nbalint:allow hotalloc TX capture is a bounded debug facility, off in production runs
 		w.sys.captured = append(w.sys.captured, netio.CapturedPacket{
 			Time: w.now(),
 			Data: append([]byte(nil), pkt.Data()...),
@@ -577,12 +595,18 @@ func (w *worker) Transmit(pkt *packet.Packet) {
 }
 
 // ReleasePacket implements graph.Env.
+//
+//nba:hotpath
 func (w *worker) ReleasePacket(pkt *packet.Packet) { w.pktPool.Put(pkt) }
 
 // GetBatch implements graph.Env.
+//
+//nba:hotpath
 func (w *worker) GetBatch() (*batch.Batch, error) { return w.batchPool.Get() }
 
 // PutBatch implements graph.Env.
+//
+//nba:hotpath
 func (w *worker) PutBatch(b *batch.Batch) {
 	b.Reset()
 	w.batchPool.Put(b)
@@ -590,6 +614,8 @@ func (w *worker) PutBatch(b *batch.Batch) {
 
 // Offload implements graph.Env (paper Figure 7: the framework takes over
 // batches whose device annotation selects an accelerator).
+//
+//nba:hotpath
 func (w *worker) Offload(head *graph.Node, chain []*graph.Node, resume int, b *batch.Batch) {
 	full, err := w.agg.Add(w.iterStart, head, chain, resume, b)
 	if err != nil {
@@ -608,6 +634,8 @@ func (w *worker) Offload(head *graph.Node, chain []*graph.Node, resume int, b *b
 }
 
 // Charge implements graph.Env.
+//
+//nba:hotpath
 func (w *worker) Charge(c simtime.Cycles) { w.cycles += c }
 
 // graphDrops sums packets dropped inside this worker's pipeline.

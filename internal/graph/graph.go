@@ -125,6 +125,15 @@ type Graph struct {
 	Tracer     *trace.Tracer
 	TraceNow   func() simtime.Time
 	TraceActor int32
+
+	// Traversal scratch, reused across batches so the steady-state pipeline
+	// allocates nothing (the alloc_test gate). stack is shared by nested
+	// RunFrom invocations (an offload completing synchronously re-enters the
+	// executor) via a base index; histScratch and splitScratch are sized in
+	// Build to the widest node and only live within one forward call.
+	stack        []workItem
+	histScratch  []int
+	splitScratch []*batch.Batch
 }
 
 // Build instantiates a parsed configuration into an executable graph,
@@ -183,6 +192,15 @@ func Build(cfg *conflang.Config, cctx *element.ConfigContext, cm *sysinfo.CostMo
 		}
 		from.out[e.FromPort] = to.ID
 	}
+
+	maxPorts := 1
+	for _, n := range g.Nodes {
+		if len(n.out) > maxPorts {
+			maxPorts = len(n.out)
+		}
+	}
+	g.histScratch = make([]int, maxPorts+2)
+	g.splitScratch = make([]*batch.Batch, maxPorts)
 
 	return g, g.validate()
 }
@@ -299,23 +317,43 @@ type workItem struct {
 
 // Inject runs a freshly received batch through the pipeline, starting at
 // the source's successor. The graph takes ownership of the batch.
+//
+//nba:hotpath
 func (g *Graph) Inject(env Env, pctx *element.ProcContext, b *batch.Batch) {
 	g.RunFrom(env, pctx, g.Source.out[0], b)
+}
+
+// push schedules a (node, batch) pair on the shared traversal stack.
+//
+//nba:hotpath
+func (g *Graph) push(node int, b *batch.Batch) {
+	g.stack = append(g.stack, workItem{node: node, b: b}) //nbalint:allow hotalloc stack capacity reaches a steady state after the first branchy traversals
 }
 
 // RunFrom processes a batch beginning at the given node (used by Inject and
 // to resume after offload completion). Passing unconnected finishes the
 // batch: remaining packets are treated as unrouted drops.
+//
+// The traversal stack is a reusable field rather than a local so steady
+// state allocates nothing; a base index makes the loop re-entrant, since
+// step can reach back into RunFrom (an Offload that falls back to the CPU
+// resumes the aggregate synchronously).
+//
+//nba:hotpath
 func (g *Graph) RunFrom(env Env, pctx *element.ProcContext, nodeID int, b *batch.Batch) {
-	stack := []workItem{{node: nodeID, b: b}}
-	for len(stack) > 0 {
-		item := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		g.step(env, pctx, item, &stack)
+	base := len(g.stack)
+	g.push(nodeID, b)
+	for len(g.stack) > base {
+		n := len(g.stack) - 1
+		item := g.stack[n]
+		g.stack[n] = workItem{}
+		g.stack = g.stack[:n]
+		g.step(env, pctx, item)
 	}
 }
 
-func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem, stack *[]workItem) {
+//nba:hotpath
+func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem) {
 	b := item.b
 	if b.Live() == 0 {
 		env.Charge(g.cm.BatchFree)
@@ -323,7 +361,7 @@ func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem, stack *[
 		return
 	}
 	if item.node == unconnected {
-		g.DropUnrouted += uint64(b.Live())
+		g.DropUnrouted += uint64(b.Live()) //nbalint:allow sharedstate stats counter; read happens-after the event loop drains
 		g.dropAll(env, b, nil)
 		return
 	}
@@ -348,7 +386,7 @@ func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem, stack *[
 				int64(live), int64(charged), int64(n.ID), 0)
 		}
 		r := n.batchElem.ProcessBatch(pctx, b)
-		n.Processed += uint64(b.Live())
+		n.Processed += uint64(b.Live()) //nbalint:allow sharedstate stats counter; read happens-after the event loop drains
 		if r == batch.ResultDrop {
 			n.Dropped += uint64(b.Live())
 			g.dropAll(env, b, nil)
@@ -357,7 +395,7 @@ func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem, stack *[
 		if r >= len(n.out) {
 			panic(fmt.Sprintf("graph: %s returned port %d of %d", n.Name, r, len(n.out)))
 		}
-		*stack = append(*stack, workItem{node: n.out[r], b: b})
+		g.push(n.out[r], b)
 		return
 	}
 
@@ -389,11 +427,13 @@ func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem, stack *[
 		return
 	}
 
-	g.forward(env, n, b, stack)
+	g.forward(env, n, b)
 }
 
 // scaled applies the worker's current cost scale (memory contention, NUMA
 // penalty) to a cycle count.
+//
+//nba:hotpath
 func scaled(c simtime.Cycles, pctx *element.ProcContext) simtime.Cycles {
 	if pctx.CostScale == 0 || pctx.CostScale == 1 {
 		return c
@@ -401,6 +441,7 @@ func scaled(c simtime.Cycles, pctx *element.ProcContext) simtime.Cycles {
 	return simtime.Cycles(float64(c) * pctx.CostScale)
 }
 
+//nba:hotpath
 func (g *Graph) finishAtSink(env Env, n *Node, b *batch.Batch) {
 	if n.sinkKind == element.SinkTransmit {
 		env.Charge(g.cm.TxBatchFixed)
@@ -422,6 +463,8 @@ func (g *Graph) finishAtSink(env Env, n *Node, b *batch.Batch) {
 
 // dropAll releases every live packet and the batch itself. If n is non-nil
 // its drop counter is charged.
+//
+//nba:hotpath
 func (g *Graph) dropAll(env Env, b *batch.Batch, n *Node) {
 	b.ForEachLive(func(i int, pkt *packet.Packet) {
 		if n != nil {
@@ -435,8 +478,11 @@ func (g *Graph) dropAll(env Env, b *batch.Batch, n *Node) {
 
 // forward routes a processed batch to successor nodes, handling drops,
 // single-path fast forwarding, and branches with prediction or splitting.
-func (g *Graph) forward(env Env, n *Node, b *batch.Batch, stack *[]workItem) {
-	hist := b.ResultHistogram(len(n.out) - 1)
+//
+//nba:hotpath
+func (g *Graph) forward(env Env, n *Node, b *batch.Batch) {
+	hist := g.histScratch
+	b.ResultHistogramInto(hist, len(n.out)-1)
 
 	// Release dropped packets (hist[0]).
 	if hist[0] > 0 {
@@ -472,7 +518,7 @@ func (g *Graph) forward(env Env, n *Node, b *batch.Batch, stack *[]workItem) {
 		// branch prediction disabled, multi-edge nodes always split into
 		// fresh batches (the paper's Figure 1 worst case does no reuse at
 		// all), so the fast path only applies to single-edge nodes there.
-		*stack = append(*stack, workItem{node: n.out[lastPort], b: b})
+		g.push(n.out[lastPort], b)
 		return
 	}
 
@@ -503,9 +549,11 @@ func (g *Graph) forward(env Env, n *Node, b *batch.Batch, stack *[]workItem) {
 		n.predCount[p] = uint64(hist[p+1])
 	}
 
-	// Move packets of non-reuse ports into split batches.
+	// Move packets of non-reuse ports into split batches. splits is the
+	// port-indexed scratch sized at Build; entries are cleared before the
+	// function returns, so no batch pointer outlives the call.
 	var cycles simtime.Cycles
-	splits := make(map[int]*batch.Batch)
+	splits := g.splitScratch
 	for i := 0; i < b.Count(); i++ {
 		if b.IsMasked(i) {
 			continue
@@ -529,7 +577,7 @@ func (g *Graph) forward(env Env, n *Node, b *batch.Batch, stack *[]workItem) {
 			nb.Anno = b.Anno
 			splits[r] = nb
 			sb = nb
-			n.Splits++
+			n.Splits++ //nbalint:allow sharedstate stats counter; read happens-after the event loop drains
 		}
 		sb.Add(b.Packet(i))
 		b.Mask(i)
@@ -537,16 +585,18 @@ func (g *Graph) forward(env Env, n *Node, b *batch.Batch, stack *[]workItem) {
 	}
 	env.Charge(cycles)
 
-	// Dispatch split batches (in deterministic port order).
+	// Dispatch split batches (in deterministic port order), clearing the
+	// scratch as we go.
 	for p := 0; p < len(n.out); p++ {
 		if sb := splits[p]; sb != nil {
-			*stack = append(*stack, workItem{node: n.out[p], b: sb})
+			splits[p] = nil
+			g.push(n.out[p], sb)
 		}
 	}
 
 	if reusePort >= 0 && b.Live() > 0 {
-		n.Reuses++
-		*stack = append(*stack, workItem{node: n.out[reusePort], b: b})
+		n.Reuses++ //nbalint:allow sharedstate stats counter; read happens-after the event loop drains
+		g.push(n.out[reusePort], b)
 	} else {
 		env.Charge(g.cm.BatchFree)
 		env.PutBatch(b)

@@ -75,6 +75,8 @@ func New[T any](name string, n int, construct func(*T)) *Pool[T] {
 func (p *Pool[T]) Name() string { return p.name }
 
 // Get pops an object from the freelist.
+//
+//nba:hotpath
 func (p *Pool[T]) Get() (*T, error) {
 	if len(p.free) == 0 {
 		p.stats.Failures++
@@ -87,7 +89,7 @@ func (p *Pool[T]) Get() (*T, error) {
 		delete(p.inFree, obj)
 	}
 	p.stats.Gets++
-	p.stats.Outstanding++
+	p.stats.Outstanding++ //nbalint:allow sharedstate stats counter; read happens-after the event loop drains
 	if p.stats.Outstanding > p.stats.HighWater {
 		p.stats.HighWater = p.stats.Outstanding
 	}
@@ -107,6 +109,8 @@ func (p *Pool[T]) MustGet() *T {
 // Put returns an object to the freelist. If the object implements Resetter
 // it is reset first. Returning more objects than the capacity panics: it
 // always indicates a double-free bug.
+//
+//nba:hotpath
 func (p *Pool[T]) Put(obj *T) {
 	if obj == nil {
 		panic(fmt.Sprintf("mempool %q: Put(nil)", p.name))
@@ -120,7 +124,7 @@ func (p *Pool[T]) Put(obj *T) {
 	if r, ok := any(obj).(Resetter); ok {
 		r.Reset()
 	}
-	p.free = append(p.free, obj)
+	p.free = append(p.free, obj) //nbalint:allow hotalloc free is preallocated to capacity in New; the overflow panic above bounds len
 	if p.inFree != nil {
 		p.inFree[obj] = true
 	}

@@ -112,6 +112,8 @@ func (q *RxQueue) SetGenerator(gen Generator) { q.gen = gen }
 func (q *RxQueue) SetDown(down bool) { q.down = down }
 
 // totalArrivals returns how many packets have arrived by time now.
+//
+//nba:hotpath
 func (q *RxQueue) totalArrivals(now simtime.Time) uint64 {
 	if q.stopTime > 0 && now > q.stopTime {
 		now = q.stopTime
@@ -126,6 +128,8 @@ func (q *RxQueue) totalArrivals(now simtime.Time) uint64 {
 // arrivalTime returns when the k-th arrival (0-based, in the current rate
 // segment accounting) occurred. Exact for a constant-rate segment; after a
 // rate change it is exact for packets arriving in the new segment.
+//
+//nba:hotpath
 func (q *RxQueue) arrivalTime(k uint64) simtime.Time {
 	if k < q.baseCount || q.rate <= 0 {
 		return q.baseTime
@@ -145,6 +149,8 @@ func (q *RxQueue) Backlog(now simtime.Time) int {
 // uint64, so a counter bug (delivering or dropping more than arrived) would
 // wrap to a huge positive backlog and corrupt every downstream decision;
 // under debugChecks that underflow panics at the point of corruption.
+//
+//nba:hotpath
 func (q *RxQueue) backlog() uint64 {
 	accounted := q.delivered + q.dropped
 	if debugChecks && accounted > q.arrivalsSeen {
@@ -158,6 +164,8 @@ func (q *RxQueue) backlog() uint64 {
 // advance brings arrival and overflow accounting up to now. Overflowing
 // packets are dropped from the head of the queue (oldest first), which
 // keeps delivered sequence numbers contiguous with arrival order.
+//
+//nba:hotpath
 func (q *RxQueue) advance(now simtime.Time) {
 	q.arrivalsSeen = q.totalArrivals(now)
 	if backlog := q.backlog(); backlog > uint64(q.capacity) {
@@ -175,6 +183,8 @@ func (q *RxQueue) HighWatermark() uint64 { return q.hwm }
 // Poll delivers up to burst packets into out, drawing buffers from pool.
 // It returns the packets received. Buffer-pool exhaustion drops packets
 // (and counts them in AllocFailed).
+//
+//nba:hotpath
 func (q *RxQueue) Poll(now simtime.Time, burst int, pool *PacketPool, out []*packet.Packet) []*packet.Packet {
 	start := len(out)
 	q.advance(now)

@@ -80,23 +80,33 @@ func TimeToCycles(t Time, hz float64) Cycles {
 	return Cycles(float64(t) / 1e12 * hz)
 }
 
-// event is a scheduled callback.
+// event is a scheduled callback. Events are recycled through the engine's
+// free list once fired or cancelled; gen disambiguates a recycled slot from
+// the event a stale Timer still points at.
 type event struct {
 	at   Time
 	seq  uint64 // schedule order; breaks ties deterministically
 	fn   func()
-	dead bool // cancelled
-	idx  int  // heap index, maintained by eventHeap
+	dead bool   // cancelled
+	idx  int    // heap index, maintained by eventHeap
+	gen  uint64 // bumped on every reuse; Timers carry the gen they were issued
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct{ ev *event }
+// Timer is a handle to a scheduled event that can be cancelled. It is a
+// small value (the zero Timer is valid and Cancel on it is a no-op), so
+// holding one in a struct costs no allocation. A Timer outliving its event
+// is safe: once the event fires, is cancelled, or its storage is recycled
+// for a later event, Cancel becomes a no-op.
+type Timer struct {
+	ev  *event
+	gen uint64
+}
 
-// Cancel prevents the callback from running. Cancelling an already-fired or
-// already-cancelled timer is a no-op. It reports whether the cancellation
-// took effect.
-func (t *Timer) Cancel() bool {
-	if t == nil || t.ev == nil || t.ev.dead {
+// Cancel prevents the callback from running. Cancelling an already-fired,
+// already-cancelled or zero timer is a no-op. It reports whether the
+// cancellation took effect.
+func (t Timer) Cancel() bool {
+	if t.ev == nil || t.ev.gen != t.gen || t.ev.dead {
 		return false
 	}
 	t.ev.dead = true
@@ -139,6 +149,11 @@ type Engine struct {
 	seq     uint64
 	events  eventHeap
 	stopped bool
+	// free recycles event structs: the steady-state schedule/fire cycle of
+	// the worker and device loops allocates nothing once the free list is
+	// warm (the hotalloc lint gate and TestScheduleSteadyStateAllocs pin
+	// this).
+	free []*event
 
 	// Fired counts events executed; useful for progress/diagnostics.
 	Fired uint64
@@ -159,19 +174,32 @@ func (e *Engine) Now() Time { return e.now }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics: it always indicates a cost-accounting bug in the caller.
-func (e *Engine) At(t Time, fn func()) *Timer {
+//
+//nba:hotpath
+func (e *Engine) At(t Time, fn func()) Timer {
 	if t < e.now {
 		panic(fmt.Sprintf("simtime: schedule at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.gen++
+	} else {
+		ev = &event{} //nbalint:allow hotalloc free-list warm-up; steady state reuses fired events
+	}
+	ev.at, ev.seq, ev.fn, ev.dead = t, e.seq, fn, false
 	e.seq++
 	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	return Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d is treated
 // as zero.
-func (e *Engine) After(d Time, fn func()) *Timer {
+//
+//nba:hotpath
+func (e *Engine) After(d Time, fn func()) Timer {
 	if d < 0 {
 		d = 0
 	}
@@ -217,15 +245,21 @@ func (e *Engine) RunUntil(t Time) {
 	}
 }
 
+//nba:hotpath
 func (e *Engine) step() {
 	ev := heap.Pop(&e.events).(*event)
 	if ev.dead {
+		e.free = append(e.free, ev) //nbalint:allow hotalloc free-list growth is bounded by peak pending events
 		return
 	}
 	e.now = ev.at
 	fn := ev.fn
 	ev.fn = nil
 	ev.dead = true
+	// Recycle before running the callback: nothing references ev anymore,
+	// and a callback scheduling a new event can reuse it immediately. Stale
+	// Timers are fenced by the generation counter.
+	e.free = append(e.free, ev) //nbalint:allow hotalloc free-list growth is bounded by peak pending events
 	e.Fired++
 	if e.OnFire != nil {
 		e.OnFire(e.now, e.Fired)

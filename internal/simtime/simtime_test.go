@@ -176,6 +176,54 @@ func TestTimerCancel(t *testing.T) {
 	}
 }
 
+func TestTimerZeroValueCancelIsNoOp(t *testing.T) {
+	var tm Timer
+	if tm.Cancel() {
+		t.Error("Cancel on zero Timer returned true")
+	}
+}
+
+func TestStaleTimerDoesNotCancelRecycledEvent(t *testing.T) {
+	e := NewEngine()
+	var firstFired bool
+	stale := e.At(10, func() { firstFired = true })
+	e.Run()
+	if !firstFired {
+		t.Fatal("first event did not fire")
+	}
+	// The fired event's storage is now on the free list; the next schedule
+	// reuses it with a bumped generation.
+	var secondFired bool
+	e.At(20, func() { secondFired = true })
+	if stale.Cancel() {
+		t.Error("stale Timer cancelled a recycled event")
+	}
+	e.Run()
+	if !secondFired {
+		t.Error("recycled event did not fire")
+	}
+}
+
+func TestScheduleSteadyStateAllocs(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the free list: after this, every schedule/fire cycle reuses a
+	// recycled event.
+	for i := 0; i < 64; i++ {
+		e.After(Time(i), fn)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(200, func() {
+		for i := 0; i < 32; i++ {
+			e.After(Time(i), fn)
+		}
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state schedule/run allocates %v per run, want 0", allocs)
+	}
+}
+
 func TestEngineStop(t *testing.T) {
 	e := NewEngine()
 	var count int

@@ -237,6 +237,8 @@ func New(opts Options) *Tracer {
 
 // Emit records one event. It is safe (and a cheap no-op) on a nil tracer or
 // a masked-out kind, and never allocates on the steady-state path.
+//
+//nba:hotpath
 func (t *Tracer) Emit(at simtime.Time, k Kind, actor int32, name string, a, b, c, d int64) {
 	if t == nil || t.mask&(1<<k) == 0 {
 		return
@@ -263,7 +265,7 @@ func (t *Tracer) Emit(at simtime.Time, k Kind, actor int32, name string, a, b, c
 	t.hash.Write(buf)
 
 	if t.cpInterval > 0 && t.total%t.cpInterval == 0 {
-		t.cps = append(t.cps, Checkpoint{Seq: t.total, At: at, Digest: t.digestHex()})
+		t.cps = append(t.cps, Checkpoint{Seq: t.total, At: at, Digest: t.digestHex()}) //nbalint:allow hotalloc checkpoint append is amortised over cpInterval (>=1024) events
 	}
 }
 

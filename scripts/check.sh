@@ -5,9 +5,15 @@
 #   1. gofmt -l           formatting (whole tree, fixtures included)
 #   2. go vet ./...       stdlib vet analyzers
 #   3. go build ./...     everything compiles
-#   4. nbalint ./...      framework determinism & invariant lint (cmd/nbalint),
-#                         with -audit-allows so stale or misspelled
-#                         //nbalint:allow escapes fail the gate
+#   4. nbalint ./...      framework determinism & invariant lint (cmd/nbalint):
+#                         per-file rules plus the interprocedural detflow /
+#                         aliasflow / hotalloc / sharedstate rules over one
+#                         shared type-checked module. Runs with -audit-allows
+#                         (stale or misspelled //nbalint:allow escapes fail
+#                         the gate), a per-rule wall-clock budget, and
+#                         -format json so the machine-readable findings /
+#                         allow counts / timings land in an artifact file
+#                         ($NBALINT_JSON, default nbalint.json under mktemp)
 #   5. go test -race ...  full test suite under the race detector
 #   6. fuzz smoke         a few seconds per fuzz target (conflang round-trip,
 #                         packet header parsing) to catch shallow regressions
@@ -43,8 +49,15 @@ go vet ./...
 echo "==> go build ./..."
 go build ./...
 
-echo "==> nbalint -audit-allows ./..."
-go run ./cmd/nbalint -audit-allows ./...
+echo "==> nbalint -audit-allows ./... (interprocedural rules, budget, json artifact)"
+lint_json="${NBALINT_JSON:-$(mktemp -d)/nbalint.json}"
+# One invocation serves as gate and artifact: the module is type-checked once
+# and shared across all rules, -budget trips on any single rule regressing
+# past 10s of wall clock (the whole suite runs in well under one), and the
+# JSON document (findings with source→sink paths, per-rule allow counts,
+# per-rule timings) is kept for inspection even though the gate passed.
+go run ./cmd/nbalint -audit-allows -timing -budget 10s -format json ./... > "$lint_json"
+echo "nbalint: json artifact at $lint_json"
 
 echo "==> go test -race ./..."
 go test -race ./...
