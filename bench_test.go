@@ -25,6 +25,8 @@ func runExperiment(b *testing.B, id string) {
 		b.Fatal(err)
 	}
 	opts := bench.Options{Quick: true, Seed: 42}
+	b.ReportAllocs()
+	bench.ResetSimSeconds()
 	for i := 0; i < b.N; i++ {
 		var buf bytes.Buffer
 		if err := e.Run(opts, &buf); err != nil {
@@ -33,6 +35,11 @@ func runExperiment(b *testing.B, id string) {
 		if buf.Len() == 0 {
 			b.Fatalf("%s produced no output", id)
 		}
+	}
+	// sim-sec/s is the trajectory headline: virtual seconds simulated per
+	// wall second across every run the experiment executed.
+	if wall := b.Elapsed().Seconds(); wall > 0 {
+		b.ReportMetric(bench.SimSeconds()/wall, "sim-sec/s")
 	}
 }
 
@@ -73,6 +80,8 @@ func BenchmarkHeadline(b *testing.B) {
 			spec.Warmup = 2 * simtime.Millisecond
 			spec.Duration = 8 * simtime.Millisecond
 			spec.Seed = 42
+			b.ReportAllocs()
+			bench.ResetSimSeconds()
 			var gbps float64
 			for i := 0; i < b.N; i++ {
 				r, err := bench.Execute(spec)
@@ -82,6 +91,9 @@ func BenchmarkHeadline(b *testing.B) {
 				gbps = r.TxGbps
 			}
 			b.ReportMetric(gbps, "virtGbps")
+			if wall := b.Elapsed().Seconds(); wall > 0 {
+				b.ReportMetric(bench.SimSeconds()/wall, "sim-sec/s")
+			}
 		})
 	}
 }

@@ -14,22 +14,32 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"nba/internal/bench"
+
+	// Register the perf-trajectory experiment (lives outside internal/bench
+	// because it drives internal/chaos, which itself imports bench).
+	_ "nba/internal/perf"
 )
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list experiments")
-		exp   = flag.String("exp", "", "experiment ID to run")
-		all   = flag.Bool("all", false, "run every experiment")
-		quick = flag.Bool("quick", false, "shrink simulated durations")
-		seed  = flag.Uint64("seed", 42, "simulation seed")
+		list     = flag.Bool("list", false, "list experiments")
+		exp      = flag.String("exp", "", "experiment ID to run")
+		all      = flag.Bool("all", false, "run every experiment")
+		quick    = flag.Bool("quick", false, "shrink simulated durations")
+		seed     = flag.Uint64("seed", 42, "simulation seed")
+		parallel = flag.Int("parallel", 1, "concurrent grid points per experiment (0 = NumCPU, 1 = serial; output is identical at any value)")
 	)
 	flag.Parse()
 
-	opts := bench.Options{Quick: *quick, Seed: *seed}
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	opts := bench.Options{Quick: *quick, Seed: *seed, Parallelism: workers}
 
 	switch {
 	case *list:

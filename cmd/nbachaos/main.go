@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"nba/internal/chaos"
@@ -50,6 +51,8 @@ sweep flags:
   -base N                     first seed (default 1)
   -repro-dir DIR              write reproducer files for failures
   -shrink-runs N              shrink probe budget per failure (default 60, 0 off)
+  -parallel N                 concurrent case runs (0 = NumCPU, 1 = serial;
+                              digests are identical at any value)
   -digest-only                print only the combined digest`)
 	os.Exit(2)
 }
@@ -62,15 +65,21 @@ func sweep(args []string) {
 		base       = fs.Uint64("base", 1, "first seed")
 		reproDir   = fs.String("repro-dir", "", "directory for reproducer files")
 		shrinkRuns = fs.Int("shrink-runs", 60, "shrink probe budget per failure (0 disables)")
+		parallel   = fs.Int("parallel", 1, "concurrent case runs (0 = NumCPU, 1 = serial)")
 		digestOnly = fs.Bool("digest-only", false, "print only the combined digest")
 	)
 	fs.Parse(args)
 
+	workers := *parallel
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
 	opts := chaos.SweepOptions{
 		Seeds:         *seeds,
 		BaseSeed:      *base,
 		ReproDir:      *reproDir,
 		MaxShrinkRuns: *shrinkRuns,
+		Parallelism:   workers,
 	}
 	if *apps != "" {
 		opts.Apps = strings.Split(*apps, ",")

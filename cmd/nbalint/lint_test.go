@@ -102,6 +102,7 @@ func TestAnalyzers(t *testing.T) {
 		{"aliasflow", []string{"nba/internal/apps/aliasflowfix"}},
 		{"hotalloc", []string{"nba/internal/hotfix"}},
 		{"sharedstate", []string{"nba/internal/core/sharedfix"}},
+		{"sharedstate-par", []string{"nba/internal/core/parfix"}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -139,7 +140,7 @@ func TestFixtureAllowsAreUsed(t *testing.T) {
 	targets := loadTargets(t, l,
 		"nba/internal/detutil", "nba/internal/core/detflowfix",
 		"nba/internal/apps/aliasflowfix", "nba/internal/hotfix",
-		"nba/internal/core/sharedfix")
+		"nba/internal/core/sharedfix", "nba/internal/core/parfix")
 	res := lintPackages(l, targets, true)
 	for _, rule := range []string{"detflow", "aliasflow", "hotalloc", "sharedstate"} {
 		c := res.allows[rule]
@@ -203,6 +204,7 @@ func TestRealTreeApplicability(t *testing.T) {
 		{"nba/internal/fault", true, true, false},
 		{"nba/internal/invariant", true, true, false},
 		{"nba/internal/chaos", true, true, false},
+		{"nba/internal/par", true, true, false},
 		{"nba/internal/stats", false, true, false},
 		{"nba/internal/corelike", false, true, false},
 		{"nba/cmd/nba", false, false, true},

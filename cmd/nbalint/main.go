@@ -104,6 +104,11 @@ var simPackagePrefixes = []string{
 	"nba/internal/invariant",
 	"nba/internal/chaos",
 	"nba/internal/overload",
+	// par is the audited bridge between virtual time and OS threads: its own
+	// goroutines carry an allow directive, and its jobs are sharedstate roots
+	// (see parDispatchRoots) so undisciplined writes from pool jobs are
+	// findings.
+	"nba/internal/par",
 }
 
 func hasPathPrefix(path, prefix string) bool {

@@ -22,6 +22,7 @@ const (
 	simtimePkgPath = "nba/internal/simtime"
 	tracePkgPath   = "nba/internal/trace"
 	packetPkgPath  = "nba/internal/packet"
+	parPkgPath     = "nba/internal/par"
 )
 
 // hotpathDirective is the annotation marking a function as part of the
@@ -83,7 +84,8 @@ type module struct {
 	funcValueSources map[*types.Var][]*types.Func
 }
 
-// callbackRoot is one entry point into engine-callback context.
+// callbackRoot is one entry point into engine-callback context, or — when
+// par is set — one job function handed to the parallel runner.
 type callbackRoot struct {
 	pos token.Pos
 	// fn is the named function passed as a callback (nil for literals).
@@ -94,6 +96,16 @@ type callbackRoot struct {
 	pkg *lintPackage
 	// desc describes the registration for finding messages.
 	desc string
+	// par marks a par.Run/Map/MapErr job root. Par roots are scanned
+	// shallowly (the job body only, no transitive call-graph closure): a
+	// chaos job calls the whole simulator, and closing over it would drown
+	// the sharedstate rule in the entire single-threaded hot path. The
+	// discipline par enforces is local by design — a job may write only its
+	// own slot — so the body is where violations appear.
+	par bool
+	// slot is the job's slot-index parameter (par roots with a literal job
+	// only; named jobs resolve it from their declaration).
+	slot *types.Var
 }
 
 // newModule builds the analysis universe over every package the loader has
@@ -344,25 +356,74 @@ func isOnFireInstall(info *types.Info, as *ast.AssignStmt) (ast.Expr, bool) {
 	return nil, false
 }
 
-// findCallbackRoots scans every function for engine callback registrations.
+// isParDispatch reports whether the call hands jobs to the parallel runner
+// (par.Run / par.Map / par.MapErr) and returns the job-function argument.
+func isParDispatch(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	if len(call.Args) != 3 {
+		return nil, false
+	}
+	fun := ast.Unparen(call.Fun)
+	if ix, ok := fun.(*ast.IndexExpr); ok { // explicit instantiation Map[T]
+		fun = ast.Unparen(ix.X)
+	}
+	var obj types.Object
+	switch x := fun.(type) {
+	case *ast.Ident:
+		obj = info.Uses[x] // call from inside package par itself
+	case *ast.SelectorExpr:
+		obj = info.Uses[x.Sel]
+	default:
+		return nil, false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != parPkgPath {
+		return nil, false
+	}
+	switch fn.Name() {
+	case "Run", "Map", "MapErr":
+		return call.Args[2], true
+	}
+	return nil, false
+}
+
+// slotParamOf returns the first parameter of a function literal — a par
+// job's slot index.
+func slotParamOf(info *types.Info, lit *ast.FuncLit) *types.Var {
+	if lit.Type.Params == nil || len(lit.Type.Params.List) == 0 {
+		return nil
+	}
+	names := lit.Type.Params.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	v, _ := info.Defs[names[0]].(*types.Var)
+	return v
+}
+
+// findCallbackRoots scans every function for engine callback registrations
+// and par job dispatches.
 func (m *module) findCallbackRoots() {
 	for _, fi := range m.order {
 		if fi.decl.Body == nil {
 			continue
 		}
 		info := fi.pkg.Info
-		addRoot := func(pos token.Pos, arg ast.Expr, how string) {
+		addRoot := func(pos token.Pos, arg ast.Expr, how string, par bool) {
 			arg = ast.Unparen(arg)
 			if lit, ok := arg.(*ast.FuncLit); ok {
-				m.callbackRoots = append(m.callbackRoots, callbackRoot{
-					pos: pos, lit: lit, pkg: fi.pkg,
+				r := callbackRoot{
+					pos: pos, lit: lit, pkg: fi.pkg, par: par,
 					desc: how + " with a function literal in " + fi.obj.Name(),
-				})
+				}
+				if par {
+					r.slot = slotParamOf(info, lit)
+				}
+				m.callbackRoots = append(m.callbackRoots, r)
 				return
 			}
 			if fn := m.funcValueOf(info, arg); fn != nil {
 				m.callbackRoots = append(m.callbackRoots, callbackRoot{
-					pos: pos, fn: fn, pkg: fi.pkg,
+					pos: pos, fn: fn, pkg: fi.pkg, par: par,
 					desc: how + " in " + fi.obj.Name(),
 				})
 				return
@@ -379,7 +440,7 @@ func (m *module) findCallbackRoots() {
 			if v != nil {
 				for _, fn := range m.funcValueSources[v.Origin()] {
 					m.callbackRoots = append(m.callbackRoots, callbackRoot{
-						pos: pos, fn: fn, pkg: fi.pkg,
+						pos: pos, fn: fn, pkg: fi.pkg, par: par,
 						desc: how + " via " + v.Name() + " in " + fi.obj.Name(),
 					})
 				}
@@ -389,11 +450,13 @@ func (m *module) findCallbackRoots() {
 			switch n := n.(type) {
 			case *ast.CallExpr:
 				if arg, ok := isEngineSchedule(info, n); ok {
-					addRoot(n.Pos(), arg, "scheduled on the engine")
+					addRoot(n.Pos(), arg, "scheduled on the engine", false)
+				} else if arg, ok := isParDispatch(info, n); ok {
+					addRoot(n.Pos(), arg, "dispatched as a par job", true)
 				}
 			case *ast.AssignStmt:
 				if rhs, ok := isOnFireInstall(info, n); ok {
-					addRoot(n.Pos(), rhs, "installed as Engine.OnFire")
+					addRoot(n.Pos(), rhs, "installed as Engine.OnFire", false)
 				}
 			}
 			return true

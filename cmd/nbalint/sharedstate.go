@@ -41,10 +41,14 @@ func runSharedstate(m *module) []finding {
 	globalWrites := map[*types.Var][]site{}
 	fieldWrites := map[*types.Var][]site{}
 
-	// Writes in callback context.
-	scanWrites := func(pkg *lintPackage, body ast.Node, how string) {
+	// Writes in callback context. slot, when non-nil, is a par job's slot
+	// parameter: writes indexed by it are the runner's discipline and exempt.
+	scanWrites := func(pkg *lintPackage, body ast.Node, how string, slot *types.Var) {
 		info := pkg.Info
 		record := func(lhs ast.Expr, pos token.Pos) {
+			if isSlotIndexedWrite(info, lhs, slot) {
+				return
+			}
 			switch v := writtenVar(info, lhs).(type) {
 			case nil:
 			case *types.Var:
@@ -75,13 +79,42 @@ func runSharedstate(m *module) []finding {
 		if !in || fi.decl.Body == nil || usesLock(fi.pkg.Info, fi.decl.Body) {
 			continue
 		}
-		scanWrites(fi.pkg, fi.decl.Body, how)
+		scanWrites(fi.pkg, fi.decl.Body, how, nil)
 	}
 	for _, lr := range ctx.lits {
 		if usesLock(lr.pkg.Info, lr.lit.Body) {
 			continue
 		}
-		scanWrites(lr.pkg, lr.lit.Body, lr.desc)
+		scanWrites(lr.pkg, lr.lit.Body, lr.desc, nil)
+	}
+
+	// Par job roots are scanned shallowly — the job body only, never the
+	// transitive call graph: a sweep job invokes the entire simulator, and
+	// closing over it would flood the rule with the single-threaded hot path.
+	// The runner's contract is local by design (a job may write only its own
+	// slot), so the body is where violations appear.
+	parFns := map[*types.Func]bool{}
+	var parLits []callbackRoot
+	for _, r := range m.callbackRoots {
+		if !r.par {
+			continue
+		}
+		if r.lit != nil {
+			parLits = append(parLits, r)
+			if !usesLock(r.pkg.Info, r.lit.Body) {
+				scanWrites(r.pkg, r.lit.Body, r.desc, r.slot)
+			}
+			continue
+		}
+		if r.fn == nil || parFns[r.fn] {
+			continue
+		}
+		parFns[r.fn] = true
+		fi := m.funcs[r.fn]
+		if fi == nil || fi.decl.Body == nil || usesLock(fi.pkg.Info, fi.decl.Body) {
+			continue
+		}
+		scanWrites(fi.pkg, fi.decl.Body, r.desc, firstParamOf(fi))
 	}
 
 	// Accesses outside callback context. Callback-root literals are callback
@@ -91,6 +124,9 @@ func runSharedstate(m *module) []finding {
 	rootLits := map[*ast.FuncLit]bool{}
 	for _, lr := range ctx.lits {
 		rootLits[lr.lit] = true
+	}
+	for _, lr := range parLits {
+		rootLits[lr.lit] = true // par job bodies are concurrent context, not outside readers
 	}
 	type access struct {
 		pos token.Position
@@ -102,7 +138,7 @@ func runSharedstate(m *module) []finding {
 		if _, in := ctx.funcs[fi.obj]; in || fi.decl.Body == nil {
 			continue
 		}
-		if usesLock(fi.pkg.Info, fi.decl.Body) {
+		if parFns[fi.obj] || usesLock(fi.pkg.Info, fi.decl.Body) {
 			continue
 		}
 		info := fi.pkg.Info
@@ -204,6 +240,9 @@ func callbackContext(m *module) *ctxSet {
 		queue = append(queue, fn)
 	}
 	for _, r := range m.callbackRoots {
+		if r.par {
+			continue // par jobs are scanned shallowly by runSharedstate, not closed over
+		}
 		if r.fn != nil {
 			add(r.fn, r.desc)
 			continue
@@ -297,6 +336,34 @@ func writesLocalValue(info *types.Info, lhs ast.Expr) bool {
 			}
 		}
 	}
+}
+
+// isSlotIndexedWrite reports whether lhs is an index expression whose index is
+// the par job's slot parameter (results[slot] = v). The runner guarantees each
+// job owns a distinct slot, so these writes are the sanctioned result channel.
+func isSlotIndexedWrite(info *types.Info, lhs ast.Expr, slot *types.Var) bool {
+	if slot == nil {
+		return false
+	}
+	ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(ix.Index).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	return ok && v.Origin() == slot.Origin()
+}
+
+// firstParamOf resolves a named par job's slot parameter from its signature.
+func firstParamOf(fi *funcInfo) *types.Var {
+	sig, ok := fi.obj.Type().(*types.Signature)
+	if !ok || sig.Params().Len() == 0 {
+		return nil
+	}
+	return sig.Params().At(0)
 }
 
 // usesLock reports whether a body takes a sync.Mutex / sync.RWMutex lock.

@@ -1,0 +1,69 @@
+// Package parfix exercises the sharedstate rule on internal/par job roots:
+// a function dispatched via par.Run / par.Map / par.MapErr runs on a pool
+// goroutine, so writes to shared state from a job body race with the other
+// workers unless they follow the runner's slot-index discipline. The package
+// path mimics a simulation package so outside readers are flagged.
+package parfix
+
+import "nba/internal/par"
+
+// appended collects results through append — a classic shared-slice race:
+// every worker mutates the same slice header concurrently.
+var appended []int
+
+func sweepAppend() {
+	par.Run(4, 2, func(slot int) {
+		appended = append(appended, slot*slot) // want sharedstate
+	})
+}
+
+// Appended reads the raced slice outside job context.
+func Appended() []int { return appended }
+
+// slots is written only through the job's own slot index: each worker owns a
+// distinct element, which is the runner's sanctioned result channel. Exempt.
+var slots [4]int
+
+func sweepSlots() {
+	par.Run(len(slots), 2, func(slot int) {
+		slots[slot] = slot * slot
+	})
+}
+
+// Slots reads the slot-indexed results after Run returns.
+func Slots() [4]int { return slots }
+
+// namedJob is a named (non-literal) par job root: its first parameter is the
+// slot, so the slot-indexed write stays exempt while the counter write is not.
+var (
+	named   [4]int
+	counter int
+)
+
+func namedJob(i int) {
+	named[i] = i
+	counter++ // want sharedstate
+}
+
+func sweepNamed() {
+	par.Run(len(named), 2, namedJob)
+}
+
+// Counter reads the raced counter outside job context.
+func Counter() int { return counter }
+
+// Named reads the per-slot results.
+func Named() [4]int { return named }
+
+// total shows the escape hatch for writes that are intentionally serialized
+// elsewhere (here: workers == 1 dispatch is the serial fast path).
+var total int
+
+func sweepSerial() {
+	par.Run(4, 1, func(slot int) {
+		total += slot //nbalint:allow sharedstate fixture: dispatched with workers == 1, serial by construction
+	})
+}
+
+// Total reads the serially accumulated sum.
+func Total() int { return total }

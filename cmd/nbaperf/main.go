@@ -1,0 +1,100 @@
+// Command nbaperf measures and gates the repository's performance
+// trajectory.
+//
+// Usage:
+//
+//	nbaperf measure [-quick] [-seed N] [-parallel N] -o BENCH_2026-08-08.json
+//	nbaperf compare [-tol 0.15] baseline.json fresh.json
+//
+// measure runs the pinned workloads (chaos sweep + figure grid) at
+// parallelism 1 and N and writes a schema-versioned snapshot. compare gates
+// a fresh snapshot against a baseline: it fails (exit 1) when any row's
+// sim-seconds-per-second falls more than the tolerance below the baseline.
+// scripts/perf_gate.sh wires the two together.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nba/internal/perf"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "measure":
+		measure(os.Args[2:])
+	case "compare":
+		compare(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  nbaperf measure [-quick] [-seed N] [-parallel N] -o FILE
+  nbaperf compare [-tol 0.15] BASELINE FRESH`)
+	os.Exit(2)
+}
+
+func measure(args []string) {
+	fs := flag.NewFlagSet("nbaperf measure", flag.ExitOnError)
+	var (
+		quick    = fs.Bool("quick", false, "shrink the workloads (the gate's mode)")
+		seed     = fs.Uint64("seed", 42, "workload seed")
+		parallel = fs.Int("parallel", 0, "parallel arm worker count (0 = max(2, GOMAXPROCS))")
+		out      = fs.String("o", "", "output snapshot path (default: stdout only)")
+	)
+	fs.Parse(args)
+
+	snap, err := perf.Measure(perf.MeasureOptions{Seed: *seed, Quick: *quick, Parallelism: *parallel})
+	if err != nil {
+		fatal(err)
+	}
+	snap.Print(os.Stdout)
+	if *out != "" {
+		if err := snap.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *out)
+	}
+}
+
+func compare(args []string) {
+	fs := flag.NewFlagSet("nbaperf compare", flag.ExitOnError)
+	tol := fs.Float64("tol", 0.15, "allowed fractional sim-s/s regression")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		usage()
+	}
+	base, err := perf.ReadFile(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	fresh, err := perf.ReadFile(fs.Arg(1))
+	if err != nil {
+		fatal(err)
+	}
+	cmp, err := perf.Compare(base, fresh, *tol)
+	if err != nil {
+		fatal(err)
+	}
+	for _, l := range cmp.Lines {
+		fmt.Println(l)
+	}
+	if !cmp.OK() {
+		fmt.Printf("perf gate: FAIL (%d regression(s), %d missing row(s))\n", cmp.Regressions, cmp.Missing)
+		os.Exit(1)
+	}
+	fmt.Println("perf gate: PASS")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nbaperf:", err)
+	os.Exit(1)
+}

@@ -2,6 +2,7 @@ package ids
 
 import (
 	"fmt"
+	"sync"
 
 	"nba/internal/batch"
 	"nba/internal/element"
@@ -66,6 +67,8 @@ func (e *MatchAC) Configure(ctx *element.ConfigContext, args []string) error {
 	e.mode = mode
 	var berr error
 	e.ac = element.GetOrCreate(ctx.NodeLocal, "ids.ac.default", func() *AC {
+		cacheMu.Lock()
+		defer cacheMu.Unlock()
 		if cachedAC != nil {
 			return cachedAC
 		}
@@ -81,7 +84,11 @@ func (e *MatchAC) Configure(ctx *element.ConfigContext, args []string) error {
 }
 
 // cachedAC/cachedDFA share the immutable default automata across Systems.
+// The mutex makes the lazy build safe for concurrent System construction
+// (internal/par sweeps); the automata are pure functions of the built-in
+// rule sets.
 var (
+	cacheMu   sync.Mutex
 	cachedAC  *AC
 	cachedDFA *DFA
 )
@@ -144,6 +151,8 @@ func (e *MatchRE) Configure(ctx *element.ConfigContext, args []string) error {
 	e.mode = mode
 	var berr error
 	e.dfa = element.GetOrCreate(ctx.NodeLocal, "ids.re.default", func() *DFA {
+		cacheMu.Lock()
+		defer cacheMu.Unlock()
 		if cachedDFA != nil {
 			return cachedDFA
 		}

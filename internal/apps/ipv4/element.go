@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"nba/internal/batch"
 	"nba/internal/element"
@@ -57,6 +58,8 @@ func (e *IPLookup) Configure(ctx *element.ConfigContext, args []string) error {
 	key := fmt.Sprintf("ipv4.fib.%d.%d", entries, seed)
 	var err error
 	e.table = element.GetOrCreate(ctx.NodeLocal, key, func() *Table {
+		tableMu.Lock()
+		defer tableMu.Unlock()
 		if t, ok := tableCache[key]; ok {
 			return t
 		}
@@ -76,8 +79,14 @@ func (e *IPLookup) Configure(ctx *element.ConfigContext, args []string) error {
 }
 
 // tableCache shares immutable FIBs across Systems in one process: building
-// a DIR-24-8 table is expensive and the result is read-only.
-var tableCache = map[string]*Table{}
+// a DIR-24-8 table is expensive and the result is read-only. The mutex makes
+// the cache safe for concurrent System construction (internal/par sweeps);
+// the table content is a pure function of the key, so whichever case builds
+// it first, every case reads identical routes.
+var (
+	tableMu    sync.Mutex
+	tableCache = map[string]*Table{}
+)
 
 // Process implements the CPU-side function.
 func (e *IPLookup) Process(ctx *element.ProcContext, pkt *packet.Packet) int {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"nba/internal/batch"
 	"nba/internal/element"
@@ -52,6 +53,8 @@ func (e *LookupIP6Route) Configure(ctx *element.ConfigContext, args []string) er
 	key := fmt.Sprintf("ipv6.fib.%d.%d", entries, seed)
 	var err error
 	e.table = element.GetOrCreate(ctx.NodeLocal, key, func() *Table {
+		tableMu.Lock()
+		defer tableMu.Unlock()
 		if t, ok := tableCache[key]; ok {
 			return t
 		}
@@ -70,8 +73,13 @@ func (e *LookupIP6Route) Configure(ctx *element.ConfigContext, args []string) er
 	return nil
 }
 
-// tableCache shares immutable FIBs across Systems in one process.
-var tableCache = map[string]*Table{}
+// tableCache shares immutable FIBs across Systems in one process. The mutex
+// makes the cache safe for concurrent System construction (internal/par
+// sweeps); the table content is a pure function of the key.
+var (
+	tableMu    sync.Mutex
+	tableCache = map[string]*Table{}
+)
 
 // Process implements the CPU-side function.
 func (e *LookupIP6Route) Process(ctx *element.ProcContext, pkt *packet.Packet) int {

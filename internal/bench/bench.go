@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"nba/internal/core"
 	"nba/internal/fault"
@@ -36,6 +38,19 @@ type Options struct {
 	Quick bool
 	// Seed drives the run randomness.
 	Seed uint64
+	// Parallelism bounds how many independent grid points an experiment may
+	// execute concurrently (internal/par). <= 1 runs serially; every
+	// experiment's output is byte-identical at any value because grid results
+	// are collected slot-indexed and printed in grid order.
+	Parallelism int
+}
+
+// workers is the effective par worker count for grid sweeps.
+func (o Options) workers() int {
+	if o.Parallelism <= 1 {
+		return 1
+	}
+	return o.Parallelism
 }
 
 // Experiment is one reproducible paper result.
@@ -50,6 +65,11 @@ type Experiment struct {
 var experiments []Experiment
 
 func register(e Experiment) { experiments = append(experiments, e) }
+
+// Register adds an externally-defined experiment. internal/perf uses it: the
+// perf-trajectory experiment drives internal/chaos, which itself imports
+// bench, so it cannot live in this package.
+func Register(e Experiment) { register(e) }
 
 // All returns every registered experiment, sorted by ID.
 func All() []Experiment {
@@ -126,17 +146,22 @@ func GeneratorFor(app string, size int, seed uint64) netio.Generator {
 
 // ipv6Dsts returns destination addresses drawn from the standard IPv6 FIB
 // (entries=65536, seed=42) so generated traffic spreads over real prefixes.
-var cachedIPv6Dsts []packet.IPv6Addr
+var (
+	cachedIPv6Dsts []packet.IPv6Addr
+	ipv6DstsOnce   sync.Once
+)
 
 func ipv6Dsts() []packet.IPv6Addr {
-	if cachedIPv6Dsts == nil {
+	// sync.Once rather than a nil check: grid points run concurrently under
+	// Options.Parallelism, and the address list must be built exactly once.
+	ipv6DstsOnce.Do(func() {
 		routes := ipv6.RandomRoutes(65536, 256, 42)
 		for i, rt := range routes {
 			if rt.PLen >= 16 && rt.PLen <= 64 && i%4 == 0 {
 				cachedIPv6Dsts = append(cachedIPv6Dsts, rt.Prefix)
 			}
 		}
-	}
+	})
 	return cachedIPv6Dsts
 }
 
@@ -234,8 +259,25 @@ func ExecuteConfig(cfgText string, spec RunSpec) (*core.Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return sys.Run()
+	rep, err := sys.Run()
+	if err == nil {
+		simAccount.Add(int64(spec.Warmup + spec.Duration))
+	}
+	return rep, err
 }
+
+// simAccount accumulates the virtual time simulated by Execute/ExecuteConfig
+// since the last ResetSimSeconds, atomically so concurrent grid points can
+// add to it. It feeds the sim-seconds-per-second trajectory metric reported
+// by the repository benchmarks and the perf snapshot (sums are commutative,
+// so the total stays deterministic under any parallelism).
+var simAccount atomic.Int64
+
+// ResetSimSeconds zeroes the simulated-time account.
+func ResetSimSeconds() { simAccount.Store(0) }
+
+// SimSeconds returns the virtual seconds simulated since the last reset.
+func SimSeconds() float64 { return simtime.Time(simAccount.Load()).Seconds() }
 
 // durations returns (warmup, duration) honouring Quick mode.
 func (o Options) durations(warm, dur simtime.Time) (simtime.Time, simtime.Time) {

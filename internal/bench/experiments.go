@@ -6,11 +6,32 @@ import (
 
 	"nba/internal/core"
 	"nba/internal/graph"
+	"nba/internal/par"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
 )
 
 const offeredPerPort = 10e9 // the paper offers 80 Gbps over 8 ports
+
+// gridJob is one point of an experiment grid: an optional explicit pipeline
+// text (empty = derive it from spec.App/spec.LB) plus the run spec. Grid
+// points are fully independent simulations, so they can execute concurrently.
+type gridJob struct {
+	cfg  string
+	spec RunSpec
+}
+
+// runGrid executes independent grid points at the Options parallelism and
+// returns the reports in slot order, so callers print rows in grid order and
+// the experiment output is byte-identical at any worker count.
+func runGrid(o Options, jobs []gridJob) ([]*core.Report, error) {
+	return par.MapErr(len(jobs), o.workers(), func(i int) (*core.Report, error) {
+		if jobs[i].cfg == "" {
+			return Execute(jobs[i].spec)
+		}
+		return ExecuteConfig(jobs[i].cfg, jobs[i].spec)
+	})
+}
 
 func init() {
 	register(Experiment{
@@ -84,31 +105,37 @@ func runBranchSweep(o Options, w io.Writer, includeMask bool) error {
 	warm, dur := o.durations(5*simtime.Millisecond, 20*simtime.Millisecond)
 	base := RunSpec{App: "echo", LB: "cpu", Size: 64, OfferedBps: offeredPerPort,
 		Warmup: warm, Duration: dur, Seed: o.Seed}
-	baseline, err := Execute(base)
-	if err != nil {
-		return err
-	}
-	if includeMask {
-		fmt.Fprintf(w, "%-22s %-10s %-10s %-10s\n", "minority(%)", "split", "masked", "baseline")
-	} else {
-		fmt.Fprintf(w, "%-22s %-10s %-10s\n", "minority(%)", "split", "baseline")
-	}
-	for _, pct := range []int{50, 40, 30, 20, 10, 5, 1} {
+	pcts := []int{50, 40, 30, 20, 10, 5, 1}
+	jobs := []gridJob{{spec: base}} // slot 0: branch-free baseline
+	for _, pct := range pcts {
 		cfgText := branchConfig(float64(pct) / 100)
 		split := graph.Options{BranchPrediction: false, OffloadChaining: true}
 		spec := base
 		spec.Opts = &split
-		rSplit, err := ExecuteConfig(cfgText, spec)
-		if err != nil {
-			return err
-		}
+		jobs = append(jobs, gridJob{cfg: cfgText, spec: spec})
 		if includeMask {
 			mask := graph.DefaultOptions()
+			spec := base
 			spec.Opts = &mask
-			rMask, err := ExecuteConfig(cfgText, spec)
-			if err != nil {
-				return err
-			}
+			jobs = append(jobs, gridJob{cfg: cfgText, spec: spec})
+		}
+	}
+	reps, err := runGrid(o, jobs)
+	if err != nil {
+		return err
+	}
+	baseline := reps[0]
+	stride := 1
+	if includeMask {
+		stride = 2
+		fmt.Fprintf(w, "%-22s %-10s %-10s %-10s\n", "minority(%)", "split", "masked", "baseline")
+	} else {
+		fmt.Fprintf(w, "%-22s %-10s %-10s\n", "minority(%)", "split", "baseline")
+	}
+	for i, pct := range pcts {
+		rSplit := reps[1+i*stride]
+		if includeMask {
+			rMask := reps[2+i*stride]
 			fmt.Fprintf(w, "%-22d %s %s %s\n", pct,
 				gbpsCell(rSplit.TxGbps), gbpsCell(rMask.TxGbps), gbpsCell(baseline.TxGbps))
 		} else {
@@ -125,28 +152,23 @@ func runFig10(o Options, w io.Writer) error { return runBranchSweep(o, w, true) 
 
 func runFig2(o Options, w io.Writer) error {
 	warm, dur := o.durations(5*simtime.Millisecond, 25*simtime.Millisecond)
-	var gpuOnly float64
-	type row struct {
-		frac int
-		gbps float64
-	}
-	var rows []row
+	var jobs []gridJob
+	var fracs []int
 	for frac := 0; frac <= 100; frac += 10 {
-		spec := RunSpec{App: "ipsec", LB: fmt.Sprintf("fixed=%.2f", float64(frac)/100),
-			Size: -1, OfferedBps: offeredPerPort, Warmup: warm, Duration: dur, Seed: o.Seed}
-		r, err := Execute(spec)
-		if err != nil {
-			return err
-		}
-		rows = append(rows, row{frac, r.TxGbps})
-		if frac == 100 {
-			gpuOnly = r.TxGbps
-		}
+		fracs = append(fracs, frac)
+		jobs = append(jobs, gridJob{spec: RunSpec{
+			App: "ipsec", LB: fmt.Sprintf("fixed=%.2f", float64(frac)/100),
+			Size: -1, OfferedBps: offeredPerPort, Warmup: warm, Duration: dur, Seed: o.Seed}})
 	}
+	reps, err := runGrid(o, jobs)
+	if err != nil {
+		return err
+	}
+	gpuOnly := reps[len(reps)-1].TxGbps
 	fmt.Fprintf(w, "%-22s %-12s %-16s\n", "offload fraction(%)", "Gbps", "vs GPU-only(%)")
-	for _, r := range rows {
-		rel := (r.gbps/gpuOnly - 1) * 100
-		fmt.Fprintf(w, "%-22d %s      %+7.1f\n", r.frac, gbpsCell(r.gbps), rel)
+	for i, frac := range fracs {
+		rel := (reps[i].TxGbps/gpuOnly - 1) * 100
+		fmt.Fprintf(w, "%-22d %s      %+7.1f\n", frac, gbpsCell(reps[i].TxGbps), rel)
 	}
 	return nil
 }
@@ -155,21 +177,27 @@ func runFig2(o Options, w io.Writer) error {
 
 func runComposition(o Options, w io.Writer) error {
 	warm, dur := o.durations(5*simtime.Millisecond, 25*simtime.Millisecond)
-	fmt.Fprintf(w, "%-12s %-14s %-14s\n", "no-ops", "avg lat(us)", "p99.9(us)")
+	var jobs []gridJob
+	var ks []int
 	for k := 0; k <= 27; k += 3 {
 		cfgText := "FromInput() "
 		for i := 0; i < k; i++ {
 			cfgText += "-> NoOp() "
 		}
 		cfgText += "-> EchoBack() -> ToOutput();"
-		spec := RunSpec{App: "echo", Size: 64, OfferedBps: 1e9 / 8, // 1 Gbps total
-			Warmup: warm, Duration: dur, Seed: o.Seed}
-		r, err := ExecuteConfig(cfgText, spec)
-		if err != nil {
-			return err
-		}
+		ks = append(ks, k)
+		jobs = append(jobs, gridJob{cfg: cfgText, spec: RunSpec{
+			App: "echo", Size: 64, OfferedBps: 1e9 / 8, // 1 Gbps total
+			Warmup: warm, Duration: dur, Seed: o.Seed}})
+	}
+	reps, err := runGrid(o, jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s %-14s %-14s\n", "no-ops", "avg lat(us)", "p99.9(us)")
+	for i, k := range ks {
 		fmt.Fprintf(w, "%-12d %-14.2f %-14.2f\n", k,
-			r.Latency.Mean().Micros(), r.Latency.Percentile(99.9).Micros())
+			reps[i].Latency.Mean().Micros(), reps[i].Latency.Percentile(99.9).Micros())
 	}
 	return nil
 }
@@ -184,20 +212,25 @@ func runFig9(o Options, w io.Writer) error {
 	}{
 		{"ipv4", 64}, {"ipv6", 64}, {"ipsec", 64}, {"ipsec", 1500},
 	}
-	fmt.Fprintf(w, "%-16s %-10s %-10s %-10s %-8s\n", "app,size", "batch=1", "batch=32", "batch=64", "gain")
+	batches := []int{1, 32, 64}
+	var jobs []gridJob
 	for _, c := range cases {
-		var gbps []float64
-		for _, bs := range []int{1, 32, 64} {
-			spec := RunSpec{App: c.app, LB: "cpu", Size: c.size, OfferedBps: offeredPerPort,
-				CompBatch: bs, Warmup: warm, Duration: dur, Seed: o.Seed}
-			r, err := Execute(spec)
-			if err != nil {
-				return err
-			}
-			gbps = append(gbps, r.TxGbps)
+		for _, bs := range batches {
+			jobs = append(jobs, gridJob{spec: RunSpec{
+				App: c.app, LB: "cpu", Size: c.size, OfferedBps: offeredPerPort,
+				CompBatch: bs, Warmup: warm, Duration: dur, Seed: o.Seed}})
 		}
+	}
+	reps, err := runGrid(o, jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-16s %-10s %-10s %-10s %-8s\n", "app,size", "batch=1", "batch=32", "batch=64", "gain")
+	for i, c := range cases {
+		row := reps[i*len(batches) : (i+1)*len(batches)]
 		fmt.Fprintf(w, "%-16s %s %s %s %7.2fx\n", fmt.Sprintf("%s,%dB", c.app, c.size),
-			gbpsCell(gbps[0]), gbpsCell(gbps[1]), gbpsCell(gbps[2]), gbps[2]/gbps[0])
+			gbpsCell(row[0].TxGbps), gbpsCell(row[1].TxGbps), gbpsCell(row[2].TxGbps),
+			row[2].TxGbps/row[0].TxGbps)
 	}
 	return nil
 }
@@ -206,19 +239,30 @@ func runFig9(o Options, w io.Writer) error {
 
 func runFig11(o Options, w io.Writer) error {
 	warm, dur := o.durations(5*simtime.Millisecond, 20*simtime.Millisecond)
+	apps, modes, workerCounts := []string{"ipv4", "ipv6", "ipsec"}, []string{"cpu", "gpu"}, []int{1, 2, 4, 7}
+	var jobs []gridJob
+	for _, app := range apps {
+		for _, mode := range modes {
+			for _, workers := range workerCounts {
+				jobs = append(jobs, gridJob{spec: RunSpec{
+					App: app, LB: mode, Size: 64, OfferedBps: offeredPerPort,
+					Workers: workers, Warmup: warm, Duration: dur, Seed: o.Seed}})
+			}
+		}
+	}
+	reps, err := runGrid(o, jobs)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-10s %-8s %-10s %-10s %-10s %-10s\n",
 		"app", "mode", "w=1", "w=2", "w=4", "w=7")
-	for _, app := range []string{"ipv4", "ipv6", "ipsec"} {
-		for _, mode := range []string{"cpu", "gpu"} {
+	slot := 0
+	for _, app := range apps {
+		for _, mode := range modes {
 			row := fmt.Sprintf("%-10s %-8s", app, mode)
-			for _, workers := range []int{1, 2, 4, 7} {
-				spec := RunSpec{App: app, LB: mode, Size: 64, OfferedBps: offeredPerPort,
-					Workers: workers, Warmup: warm, Duration: dur, Seed: o.Seed}
-				r, err := Execute(spec)
-				if err != nil {
-					return err
-				}
-				row += " " + gbpsCell(r.TxGbps) + "  "
+			for range workerCounts {
+				row += " " + gbpsCell(reps[slot].TxGbps) + "  "
+				slot++
 			}
 			fmt.Fprintln(w, row)
 		}
@@ -232,22 +276,33 @@ var fig12Sizes = []int{64, 128, 256, 512, 1024, 1500}
 
 func runFig12(o Options, w io.Writer) error {
 	warm, dur := o.durations(5*simtime.Millisecond, 20*simtime.Millisecond)
+	apps, modes := []string{"ipv4", "ipv6", "ipsec", "ids"}, []string{"cpu", "gpu"}
+	var jobs []gridJob
+	for _, app := range apps {
+		for _, mode := range modes {
+			for _, size := range fig12Sizes {
+				jobs = append(jobs, gridJob{spec: RunSpec{
+					App: app, LB: mode, Size: size, OfferedBps: offeredPerPort,
+					Warmup: warm, Duration: dur, Seed: o.Seed}})
+			}
+		}
+	}
+	reps, err := runGrid(o, jobs)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(w, "%-10s %-8s", "app", "mode")
 	for _, s := range fig12Sizes {
 		fmt.Fprintf(w, " %7dB ", s)
 	}
 	fmt.Fprintln(w)
-	for _, app := range []string{"ipv4", "ipv6", "ipsec", "ids"} {
-		for _, mode := range []string{"cpu", "gpu"} {
+	slot := 0
+	for _, app := range apps {
+		for _, mode := range modes {
 			fmt.Fprintf(w, "%-10s %-8s", app, mode)
-			for _, size := range fig12Sizes {
-				spec := RunSpec{App: app, LB: mode, Size: size, OfferedBps: offeredPerPort,
-					Warmup: warm, Duration: dur, Seed: o.Seed}
-				r, err := Execute(spec)
-				if err != nil {
-					return err
-				}
-				fmt.Fprintf(w, " %s  ", gbpsCell(r.TxGbps))
+			for range fig12Sizes {
+				fmt.Fprintf(w, " %s  ", gbpsCell(reps[slot].TxGbps))
+				slot++
 			}
 			fmt.Fprintln(w)
 		}
@@ -283,43 +338,43 @@ func runFig13(o Options, w io.Writer) error {
 		dur = 8 * simtime.Millisecond
 		albDur = 100 * simtime.Millisecond
 	}
-	fmt.Fprintf(w, "%-14s %-9s %-9s %-9s %-9s %-9s %-8s\n",
-		"case", "cpu", "gpu", "manual", "ALB", "ALB/man%", "finalW")
+	// Per case: the 11-point manual offload-fraction sweep plus one ALB run,
+	// flattened into a single grid (8 x 12 independent simulations).
+	const fracsPerCase = 11
+	const perCase = fracsPerCase + 1
+	var jobs []gridJob
 	for _, c := range fig13Cases {
 		base := RunSpec{App: c.app, Size: c.size, OfferedBps: offeredPerPort,
 			Warmup: warm, Duration: dur, Seed: o.Seed}
-
-		// Manual exhaustive sweep over the offload fraction.
-		manual := 0.0
-		var cpuG, gpuG float64
 		for frac := 0; frac <= 100; frac += 10 {
 			spec := base
 			spec.LB = fmt.Sprintf("fixed=%.2f", float64(frac)/100)
-			r, err := Execute(spec)
-			if err != nil {
-				return err
-			}
-			if r.TxGbps > manual {
-				manual = r.TxGbps
-			}
-			if frac == 0 {
-				cpuG = r.TxGbps
-			}
-			if frac == 100 {
-				gpuG = r.TxGbps
-			}
+			jobs = append(jobs, gridJob{spec: spec})
 		}
-
 		alb := base
 		alb.LB = "adaptive"
 		alb.Warmup, alb.Duration = albWarm, albDur
 		alb.ALBObserve = 250 * simtime.Microsecond
 		alb.ALBUpdate = 1 * simtime.Millisecond
 		alb.LatencySample = 64
-		r, err := Execute(alb)
-		if err != nil {
-			return err
+		jobs = append(jobs, gridJob{spec: alb})
+	}
+	reps, err := runGrid(o, jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-14s %-9s %-9s %-9s %-9s %-9s %-8s\n",
+		"case", "cpu", "gpu", "manual", "ALB", "ALB/man%", "finalW")
+	for ci, c := range fig13Cases {
+		row := reps[ci*perCase : (ci+1)*perCase]
+		manual := 0.0
+		for _, r := range row[:fracsPerCase] {
+			if r.TxGbps > manual {
+				manual = r.TxGbps
+			}
 		}
+		cpuG, gpuG := row[0].TxGbps, row[fracsPerCase-1].TxGbps
+		r := row[fracsPerCase]
 		// Judge ALB by its converged tail, not the convergence transient.
 		albG := r.TailGbps
 		if albG == 0 {
@@ -353,15 +408,19 @@ func runFig14(o Options, w io.Writer) error {
 		{"IPsec,64B gpu", "ipsec", 64, "gpu", 3e9},
 		{"IPsec,1024B gpu", "ipsec", 1024, "gpu", 3e9},
 	}
-	fmt.Fprintf(w, "%-18s %9s %9s %9s %9s %9s\n", "config", "min(us)", "avg(us)", "p50(us)", "p99(us)", "p99.9(us)")
+	var jobs []gridJob
 	for _, c := range cases {
-		spec := RunSpec{App: c.app, LB: c.mode, Size: c.size, OfferedBps: c.bps / 8,
-			Warmup: warm, Duration: dur, Seed: o.Seed}
-		r, err := Execute(spec)
-		if err != nil {
-			return err
-		}
-		h := &r.Latency
+		jobs = append(jobs, gridJob{spec: RunSpec{
+			App: c.app, LB: c.mode, Size: c.size, OfferedBps: c.bps / 8,
+			Warmup: warm, Duration: dur, Seed: o.Seed}})
+	}
+	reps, err := runGrid(o, jobs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-18s %9s %9s %9s %9s %9s\n", "config", "min(us)", "avg(us)", "p50(us)", "p99(us)", "p99.9(us)")
+	for i, c := range cases {
+		h := &reps[i].Latency
 		fmt.Fprintf(w, "%-18s %9.1f %9.1f %9.1f %9.1f %9.1f\n", c.name,
 			h.Min().Micros(), h.Mean().Micros(),
 			h.Percentile(50).Micros(), h.Percentile(99).Micros(), h.Percentile(99.9).Micros())

@@ -7,6 +7,7 @@ import (
 	"nba/internal/core"
 	"nba/internal/invariant"
 	"nba/internal/overload"
+	"nba/internal/par"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
 	"nba/internal/trace"
@@ -67,18 +68,23 @@ func runOverload(o Options, w io.Writer) error {
 		on, off *core.Report
 		onViol  int
 	}
-	rows := make([]row, 0, len(overloadMults))
+	// Flatten the (multiplier, arm) grid: even slots armed, odd slots
+	// disarmed. Each armed spec carries its own invariant.Checker, so the
+	// violation counts stay per-run even when the runs execute concurrently.
+	specs := make([]RunSpec, 0, 2*len(overloadMults))
 	for _, m := range overloadMults {
-		on := overloadSpec(o, m, true)
-		repOn, err := Execute(on)
-		if err != nil {
-			return err
-		}
-		repOff, err := Execute(overloadSpec(o, m, false))
-		if err != nil {
-			return err
-		}
-		rows = append(rows, row{mult: m, on: repOn, off: repOff, onViol: len(on.Checker.Violations())})
+		specs = append(specs, overloadSpec(o, m, true), overloadSpec(o, m, false))
+	}
+	reps, err := par.MapErr(len(specs), o.workers(), func(i int) (*core.Report, error) {
+		return Execute(specs[i])
+	})
+	if err != nil {
+		return err
+	}
+	rows := make([]row, 0, len(overloadMults))
+	for i, m := range overloadMults {
+		rows = append(rows, row{mult: m, on: reps[2*i], off: reps[2*i+1],
+			onViol: len(specs[2*i].Checker.Violations())})
 	}
 
 	fmt.Fprintf(w, "IPsec 64B fixed=0.8, 1 socket / 2 ports, base load %.1f Gbps per port\n\n", overloadBaseBps/1e9)
@@ -122,23 +128,20 @@ func runOverload(o Options, w io.Writer) error {
 	fmt.Fprintf(w, "invariant violations across armed runs (queue.bound, conservation-with-shed, ...): %d\n", viol)
 
 	// Determinism: the 2x armed run — the one making the most shedding
-	// decisions — must produce the identical event stream twice.
-	digest := func() (string, error) {
+	// decisions — must produce the identical event stream twice. The doubled
+	// runs are themselves independent cases, so they too run through par.
+	digests, err := par.MapErr(2, o.workers(), func(int) (string, error) {
 		spec := overloadSpec(o, 2, true)
 		spec.Tracer = trace.New(trace.Options{Capacity: 1, CheckpointInterval: -1})
 		if _, err := Execute(spec); err != nil {
 			return "", err
 		}
 		return spec.Tracer.Digest(), nil
-	}
-	d1, err := digest()
+	})
 	if err != nil {
 		return err
 	}
-	d2, err := digest()
-	if err != nil {
-		return err
-	}
+	d1, d2 := digests[0], digests[1]
 	fmt.Fprintf(w, "2.0x armed run digest twice: %.12s vs %.12s (%s)\n", d1, d2, passFail(d1 == d2))
 	return nil
 }

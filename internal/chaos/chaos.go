@@ -50,6 +50,11 @@ const (
 	caseDrainGrace = 200 * simtime.Millisecond
 )
 
+// CaseHorizon is the virtual time one chaos run simulates (warmup plus
+// measured duration). The perf trajectory uses it to convert executed cases
+// into simulated seconds.
+func CaseHorizon() simtime.Time { return caseWarmup + caseDuration }
+
 // Case is one chaos run: an application, a seed (driving the run's own
 // randomness) and a fault plan. The zero TaskTimeout selects the framework
 // default; a negative value disables the rescue timeout (used by tests to

@@ -288,3 +288,58 @@ func TestSweepCleanAndDeterministic(t *testing.T) {
 		t.Fatalf("sweep digest not reproducible: %s vs %s", a.Digest, b.Digest)
 	}
 }
+
+// TestSweepParallelEquivalence is the tentpole contract: the same sweep at
+// parallelism 1, 2 and 8 produces byte-identical per-case digests and the
+// identical combined digest — the parallel runner must be unobservable in
+// every output.
+func TestSweepParallelEquivalence(t *testing.T) {
+	opts := SweepOptions{Apps: []string{"ipv4", "ids"}, Seeds: 2, BaseSeed: 100, Parallelism: 1}
+	serial, err := Sweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.CaseDigests) != serial.Cases {
+		t.Fatalf("%d case digests for %d cases", len(serial.CaseDigests), serial.Cases)
+	}
+	for _, parallelism := range []int{2, 8} {
+		opts.Parallelism = parallelism
+		par, err := Sweep(opts)
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", parallelism, err)
+		}
+		if par.Digest != serial.Digest {
+			t.Errorf("parallelism %d: combined digest diverged:\nserial   %s\nparallel %s",
+				parallelism, serial.Digest, par.Digest)
+		}
+		for i, d := range par.CaseDigests {
+			if d != serial.CaseDigests[i] {
+				t.Errorf("parallelism %d: case %d diverged:\nserial   %s\nparallel %s",
+					parallelism, i, serial.CaseDigests[i], d)
+			}
+		}
+		if par.Cases != serial.Cases || len(par.Failures) != len(serial.Failures) {
+			t.Errorf("parallelism %d: cases %d/%d failures %d/%d", parallelism,
+				par.Cases, serial.Cases, len(par.Failures), len(serial.Failures))
+		}
+	}
+}
+
+// TestSweepParallelStress hammers the parallel sweep under the race detector
+// (scripts/check.sh runs the package with -race): many concurrent full
+// simulator cases sharing nothing but the process-wide immutable caches.
+func TestSweepParallelStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("parallel stress is for the -race gate")
+	}
+	res, err := Sweep(SweepOptions{Apps: Apps, Seeds: 2, BaseSeed: 1, Parallelism: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cases != 2*len(Apps) {
+		t.Fatalf("ran %d cases, want %d", res.Cases, 2*len(Apps))
+	}
+	for _, f := range res.Failures {
+		t.Errorf("case %s/%d failed: %v", f.Case.App, f.Case.Seed, f.Outcome.Violations)
+	}
+}

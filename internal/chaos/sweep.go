@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 
 	"nba/internal/fault"
+	"nba/internal/invariant"
+	"nba/internal/par"
 )
 
 // SweepOptions configures a chaos sweep.
@@ -20,6 +22,11 @@ type SweepOptions struct {
 	// MaxShrinkRuns bounds the shrinking probes per failing case; 0 disables
 	// shrinking (the reproducer then carries the unshrunk plan).
 	MaxShrinkRuns int
+	// Parallelism bounds how many case runs execute concurrently
+	// (internal/par). <= 1 runs serially. Every case is shared-nothing, and
+	// results are collected slot-indexed, so the sweep's digests are
+	// byte-identical at any value.
+	Parallelism int
 }
 
 // Failure is one failing case with its (possibly shrunk) reproducer.
@@ -41,6 +48,10 @@ type SweepResult struct {
 	Cases int
 	// Failures holds every case that violated an invariant, in sweep order.
 	Failures []Failure
+	// CaseDigests are the per-case "app seed digest" lines in sweep order —
+	// the exact input of Digest, exposed so equivalence tests can pinpoint
+	// which case diverged.
+	CaseDigests []string
 	// Digest fingerprints the whole sweep: the hash of every case's trace
 	// digest in order. Two sweeps of the same tree must agree on it exactly.
 	Digest string
@@ -50,48 +61,71 @@ type SweepResult struct {
 // cross-check); failing cases are shrunk to minimal reproducers and, when
 // ReproDir is set, written out as replayable plan files. The iteration
 // order (apps outer in the given order, seeds inner ascending) is part of
-// the sweep's identity.
+// the sweep's identity and independent of Parallelism: the doubled runs of
+// every case are themselves shared-nothing, so the sweep flattens to 2n
+// independent jobs (job j is run j%2 of case j/2) collected slot-indexed,
+// and digest pairing, shrinking and reproducer writing happen serially
+// afterwards in sweep order.
 func Sweep(opts SweepOptions) (*SweepResult, error) {
 	apps := opts.Apps
 	if apps == nil {
 		apps = Apps
 	}
-	res := &SweepResult{}
-	var digests []string
-	prof := Profile()
+	cases := make([]Case, 0, len(apps)*opts.Seeds)
 	for _, app := range apps {
 		for s := 0; s < opts.Seeds; s++ {
-			seed := opts.BaseSeed + uint64(s)
-			c := RandomCase(app, seed)
-			out, err := RunTwice(c)
-			if err != nil {
-				return nil, fmt.Errorf("chaos: case %s/%d: %w", app, seed, err)
-			}
-			res.Cases++
-			digests = append(digests, fmt.Sprintf("%s %d %s", app, seed, out.Digest))
-			if !out.Failed() {
-				continue
-			}
-			f := Failure{Case: c, Outcome: out, ShrunkFrom: len(c.Plan.Events)}
-			if opts.MaxShrinkRuns > 0 {
-				stillFails := func(p *fault.Plan) bool {
-					o, err := RunTwice(Case{App: c.App, Seed: c.Seed, Plan: p, TaskTimeout: c.TaskTimeout})
-					return err == nil && o.Failed()
-				}
-				valid := func(p *fault.Plan) bool {
-					return p.Validate(prof.Devices, prof.Ports, prof.Queues) == nil
-				}
-				f.Case.Plan, f.ShrinkRuns = Shrink(c.Plan, stillFails, valid, opts.MaxShrinkRuns)
-			}
-			if opts.ReproDir != "" {
-				f.ReproPath = filepath.Join(opts.ReproDir, fmt.Sprintf("repro-%s-%d.json", app, seed))
-				if err := WriteRepro(f.ReproPath, f.Case); err != nil {
-					return nil, err
-				}
-			}
-			res.Failures = append(res.Failures, f)
+			cases = append(cases, RandomCase(app, opts.BaseSeed+uint64(s)))
 		}
 	}
-	res.Digest = combinedDigest(digests)
+	workers := opts.Parallelism
+	if workers < 1 {
+		workers = 1
+	}
+	outs, err := par.MapErr(2*len(cases), workers, func(j int) (*Outcome, error) {
+		c := cases[j/2]
+		out, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: case %s/%d: %w", c.App, c.Seed, err)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &SweepResult{Cases: len(cases)}
+	prof := Profile()
+	for i, c := range cases {
+		out, dup := outs[2*i], outs[2*i+1]
+		if out.Digest != dup.Digest {
+			out.Violations = append(out.Violations, invariant.Violation{
+				Check: invariant.CheckDeterminism,
+				Msg:   fmt.Sprintf("trace digests differ across identical runs: %s vs %s", out.Digest, dup.Digest),
+			})
+		}
+		res.CaseDigests = append(res.CaseDigests, fmt.Sprintf("%s %d %s", c.App, c.Seed, out.Digest))
+		if !out.Failed() {
+			continue
+		}
+		f := Failure{Case: c, Outcome: out, ShrunkFrom: len(c.Plan.Events)}
+		if opts.MaxShrinkRuns > 0 {
+			stillFails := func(p *fault.Plan) bool {
+				o, err := RunTwice(Case{App: c.App, Seed: c.Seed, Plan: p, TaskTimeout: c.TaskTimeout})
+				return err == nil && o.Failed()
+			}
+			valid := func(p *fault.Plan) bool {
+				return p.Validate(prof.Devices, prof.Ports, prof.Queues) == nil
+			}
+			f.Case.Plan, f.ShrinkRuns = Shrink(c.Plan, stillFails, valid, opts.MaxShrinkRuns)
+		}
+		if opts.ReproDir != "" {
+			f.ReproPath = filepath.Join(opts.ReproDir, fmt.Sprintf("repro-%s-%d.json", c.App, c.Seed))
+			if err := WriteRepro(f.ReproPath, f.Case); err != nil {
+				return nil, err
+			}
+		}
+		res.Failures = append(res.Failures, f)
+	}
+	res.Digest = combinedDigest(res.CaseDigests)
 	return res, nil
 }

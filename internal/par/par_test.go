@@ -1,0 +1,210 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersClamp(t *testing.T) {
+	tests := []struct {
+		requested, n, want int
+	}{
+		{1, 100, 1},
+		{4, 100, 4},
+		{4, 2, 2},                       // never more workers than jobs
+		{0, 100, runtime.GOMAXPROCS(0)}, // 0 = all OS threads
+		{-3, 100, runtime.GOMAXPROCS(0)},
+		{8, 0, 1}, // degenerate: no jobs still yields a valid count
+	}
+	for _, tt := range tests {
+		if got := Workers(tt.requested, tt.n); got != tt.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", tt.requested, tt.n, got, tt.want)
+		}
+	}
+}
+
+// TestMapMatchesSerial is the core contract: for every worker count the
+// collected slice is element-for-element identical to the serial reference.
+func TestMapMatchesSerial(t *testing.T) {
+	const n = 257 // deliberately not a multiple of any worker count
+	f := func(i int) uint64 {
+		// A cheap but slot-sensitive computation.
+		h := uint64(i)*0x9E3779B97F4A7C15 + 1
+		h ^= h >> 33
+		return h
+	}
+	want := Map(n, 1, f)
+	for _, workers := range []int{2, 3, 8, 64, n + 10} {
+		got := Map(n, workers, f)
+		if len(got) != n {
+			t.Fatalf("workers=%d: len %d, want %d", workers, len(got), n)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunCoversEverySlotExactlyOnce(t *testing.T) {
+	const n = 1000
+	var counts [n]atomic.Int32
+	Run(n, 8, func(i int) { counts[i].Add(1) })
+	for i := range counts {
+		if c := counts[i].Load(); c != 1 {
+			t.Fatalf("slot %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestMapErrReturnsLowestSlotError(t *testing.T) {
+	sentinel := errors.New("boom")
+	out, err := MapErr(100, 8, func(i int) (int, error) {
+		if i == 71 || i == 13 {
+			return 0, fmt.Errorf("slot %d: %w", i, sentinel)
+		}
+		return i * 2, nil
+	})
+	if err == nil || !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	// Deterministic selection: the lowest failing slot, never the first to
+	// finish.
+	if !strings.Contains(err.Error(), "job 13") {
+		t.Fatalf("err = %v, want the lowest-slot error (job 13)", err)
+	}
+	// Successful slots are still populated.
+	if out[50] != 100 {
+		t.Fatalf("out[50] = %d, want 100", out[50])
+	}
+}
+
+func TestMapErrNilOnSuccess(t *testing.T) {
+	out, err := MapErr(10, 4, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestPanicPropagatesWithSlot(t *testing.T) {
+	for _, workers := range []int{1, 8} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic swallowed", workers)
+				}
+				if msg := fmt.Sprint(r); !strings.Contains(msg, "job 5") || !strings.Contains(msg, "kaput") {
+					t.Fatalf("workers=%d: panic %q, want job 5 / kaput", workers, msg)
+				}
+			}()
+			Run(20, workers, func(i int) {
+				if i == 5 {
+					panic("kaput")
+				}
+			})
+		}()
+	}
+}
+
+func TestRunZeroAndOneJobs(t *testing.T) {
+	Run(0, 8, func(i int) { t.Fatal("job ran for n=0") })
+	ran := false
+	Run(1, 8, func(i int) { ran = true })
+	if !ran {
+		t.Fatal("single job did not run")
+	}
+}
+
+// TestSerialPathAllocFree pins the serial fast path (workers <= 1): zero
+// allocations per Run, so wrapping an existing serial loop in par costs
+// nothing when parallelism is off.
+func TestSerialPathAllocFree(t *testing.T) {
+	out := make([]int, 64)
+	f := func(i int) { out[i] = i }
+	if allocs := testing.AllocsPerRun(100, func() { Run(len(out), 1, f) }); allocs != 0 {
+		t.Fatalf("serial Run allocates %.1f/run, want 0", allocs)
+	}
+}
+
+// TestDispatchAllocFree is the per-case dispatch gate: the pool's overhead
+// is a fixed number of allocations per Run (worker goroutines, the pool
+// bookkeeping), with zero allocations per additional job. Measured as the
+// delta between a large and a small run at the same worker count.
+func TestDispatchAllocFree(t *testing.T) {
+	const workers = 4
+	out := make([]int, 4096)
+	f := func(i int) { out[i] = i }
+	measure := func(n int) float64 {
+		return testing.AllocsPerRun(20, func() { Run(n, workers, f) })
+	}
+	small, large := measure(64), measure(4096)
+	if perJob := (large - small) / float64(4096-64); perJob > 0.001 {
+		t.Fatalf("parallel dispatch allocates %.4f/job (small=%.1f large=%.1f), want 0",
+			perJob, small, large)
+	}
+}
+
+// TestRaceStress hammers the pool with many tiny shared-nothing jobs so
+// that any future cross-job leak — a shared tracer, oracle, mempool or rng
+// smuggled into job state — trips the race detector deterministically in
+// CI (check.sh runs the suite under -race) rather than flaking in a real
+// sweep. Short mode skips it; the full gate does not.
+func TestRaceStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress run; the -race gate in check.sh exercises it")
+	}
+	const (
+		rounds = 8
+		n      = 4000
+	)
+	for r := 0; r < rounds; r++ {
+		out := Map(n, 8, func(i int) uint64 {
+			// Each job touches only values derived from its own slot.
+			h := uint64(i+r) * 0x9E3779B97F4A7C15
+			for k := 0; k < 50; k++ {
+				h ^= h >> 29
+				h *= 0xBF58476D1CE4E5B9
+			}
+			return h
+		})
+		for i := 0; i < n; i += 997 {
+			want := Map(1, 1, func(int) uint64 {
+				h := uint64(i+r) * 0x9E3779B97F4A7C15
+				for k := 0; k < 50; k++ {
+					h ^= h >> 29
+					h *= 0xBF58476D1CE4E5B9
+				}
+				return h
+			})[0]
+			if out[i] != want {
+				t.Fatalf("round %d slot %d diverged", r, i)
+			}
+		}
+	}
+	// Nested dispatch: a parallel job fanning out its own serial sub-jobs
+	// (the chaos sweep's doubled runs look exactly like this).
+	sums := Map(100, 8, func(i int) int {
+		sub := Map(10, 1, func(j int) int { return i*10 + j })
+		s := 0
+		for _, v := range sub {
+			s += v
+		}
+		return s
+	})
+	for i, s := range sums {
+		if want := i*100 + 45; s != want {
+			t.Fatalf("nested slot %d = %d, want %d", i, s, want)
+		}
+	}
+}

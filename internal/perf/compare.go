@@ -1,0 +1,82 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+)
+
+// Comparison is the outcome of gating a fresh snapshot against a baseline.
+type Comparison struct {
+	// Lines are human-readable per-row verdicts in baseline order.
+	Lines []string
+	// Regressions counts rows whose sim_s_per_s fell below tolerance.
+	Regressions int
+	// Missing counts baseline rows absent from the fresh snapshot.
+	Missing int
+}
+
+// OK reports whether the gate passes: no regressions and no missing rows.
+func (c *Comparison) OK() bool { return c.Regressions == 0 && c.Missing == 0 }
+
+// Compare gates fresh against base: for every baseline row (matched by
+// workload name + parallelism) the fresh sim_s_per_s must be at least
+// (1 - tol) of the baseline's. Only the headline metric gates — wall clock,
+// allocations and goroutine counts are recorded for the trajectory but a
+// faster-allocating faster build should not fail the gate. Improvements
+// never fail.
+//
+// Only parallelism-1 rows gate. The parallel arms exist to prove the digest
+// contract and to record the trajectory, but their wall clock on a saturated
+// or single-core runner measures scheduler and GC contention between
+// concurrent simulators, not the code under test — on the 1-CPU reference
+// box the same binary's parallel figure-grid arm varies >2x run to run.
+// Parallel rows still count as Missing if they disappear entirely.
+func Compare(base, fresh *Snapshot, tol float64) (*Comparison, error) {
+	if base.Schema != fresh.Schema {
+		return nil, fmt.Errorf("perf: schema mismatch: baseline %d vs fresh %d (refresh the baseline)", base.Schema, fresh.Schema)
+	}
+	if base.Quick != fresh.Quick {
+		return nil, fmt.Errorf("perf: quick mode mismatch: baseline %v vs fresh %v (measure with matching flags)", base.Quick, fresh.Quick)
+	}
+	key := func(r Result) string { return fmt.Sprintf("%s@%d", r.Name, r.Parallelism) }
+	freshBy := map[string]Result{}
+	for _, r := range fresh.Results {
+		freshBy[key(r)] = r
+	}
+	c := &Comparison{}
+	for _, b := range base.Results {
+		f, ok := freshBy[key(b)]
+		if !ok {
+			c.Missing++
+			c.Lines = append(c.Lines, fmt.Sprintf("MISSING %-14s p=%d: baseline row has no fresh counterpart", b.Name, b.Parallelism))
+			continue
+		}
+		ratio := 0.0
+		if b.SimSPerS > 0 {
+			ratio = f.SimSPerS / b.SimSPerS
+		}
+		verdict := "ok"
+		switch {
+		case b.Parallelism != 1:
+			verdict = "info" // recorded, not gated: contention-dominated arm
+		case ratio < 1-tol:
+			verdict = "REGRESSION"
+			c.Regressions++
+		}
+		c.Lines = append(c.Lines, fmt.Sprintf("%-10s %-14s p=%d: sim-s/s %8.2f -> %8.2f (%+.1f%%, tol -%.0f%%)",
+			verdict, b.Name, b.Parallelism, b.SimSPerS, f.SimSPerS, (ratio-1)*100, tol*100))
+	}
+	return c, nil
+}
+
+// Print writes the snapshot as the experiment table.
+func (s *Snapshot) Print(w io.Writer) {
+	fmt.Fprintf(w, "schema %d, %s, %s, GOMAXPROCS=%d, seed=%d, quick=%v\n\n",
+		s.Schema, s.Date, s.Go, s.GOMAXPROCS, s.Seed, s.Quick)
+	fmt.Fprintf(w, "%-14s %-4s %9s %9s %11s %9s %11s %8s\n",
+		"workload", "par", "wall(s)", "sim(s)", "sim-s/s", "cases/s", "allocs/case", "peak-gor")
+	for _, r := range s.Results {
+		fmt.Fprintf(w, "%-14s %-4d %9.3f %9.3f %11.2f %9.1f %11d %8d\n",
+			r.Name, r.Parallelism, r.WallS, r.SimS, r.SimSPerS, r.CasesPerS, r.AllocsPerCase, r.PeakGoroutines)
+	}
+}

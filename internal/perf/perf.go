@@ -1,0 +1,278 @@
+// Package perf measures the repository's performance trajectory: how fast
+// the simulator simulates. It runs a pinned workload — a chaos sweep plus a
+// figure-style spec grid, both fixed by construction — at parallelism 1 and
+// at a parallel worker count, and records wall-clock seconds, simulated
+// seconds per wall second (the headline metric), executed cases per second,
+// allocations per case and peak live goroutines into a schema-versioned
+// snapshot (BENCH_<date>.json at the repository root). scripts/perf_gate.sh
+// compares a fresh snapshot against the committed baseline and fails on a
+// sim-seconds-per-second regression beyond tolerance.
+//
+// perf is deliberately NOT a simulation package for nbalint purposes: it
+// measures the host (wall clock, goroutine counts, allocation counters), so
+// it may use time.Now and background samplers. Nothing here feeds back into
+// any simulation — the measured runs stay pure functions of (config, seed,
+// plan), which is why the snapshot's digests-equal property holds at any
+// parallelism.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"nba/internal/bench"
+	"nba/internal/chaos"
+	"nba/internal/par"
+	"nba/internal/simtime"
+)
+
+// Schema is the snapshot format version. Bump it when Result fields change
+// meaning; the gate refuses to compare snapshots across schema versions.
+const Schema = 1
+
+// Result is one measured workload at one parallelism.
+type Result struct {
+	// Name identifies the workload ("chaos-sweep" or "figure-grid").
+	Name string `json:"name"`
+	// Parallelism is the worker count the workload ran at.
+	Parallelism int `json:"parallelism"`
+	// WallS is the workload's wall-clock duration in seconds.
+	WallS float64 `json:"wall_s"`
+	// SimS is the virtual time simulated, in seconds.
+	SimS float64 `json:"sim_s"`
+	// SimSPerS is the headline metric: simulated seconds per wall second.
+	SimSPerS float64 `json:"sim_s_per_s"`
+	// Cases is the number of independent simulation runs executed.
+	Cases int `json:"cases"`
+	// CasesPerS is Cases / WallS.
+	CasesPerS float64 `json:"cases_per_s"`
+	// AllocsPerCase is the heap allocation count per executed case.
+	AllocsPerCase uint64 `json:"allocs_per_case"`
+	// PeakGoroutines is the highest live goroutine count sampled during the
+	// workload (1 ms sampling; a lower bound on the true peak).
+	PeakGoroutines int `json:"peak_goroutines"`
+	// Digest fingerprints the workload's behaviour (chaos combined digest;
+	// empty for workloads without one). Equal digests across parallelism rows
+	// are the determinism contract made visible in the snapshot.
+	Digest string `json:"digest,omitempty"`
+}
+
+// Snapshot is one BENCH_<date>.json file.
+type Snapshot struct {
+	Schema     int      `json:"schema"`
+	Date       string   `json:"date"`
+	Go         string   `json:"go"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Seed       uint64   `json:"seed"`
+	Quick      bool     `json:"quick"`
+	Results    []Result `json:"results"`
+}
+
+// MeasureOptions tunes a measurement.
+type MeasureOptions struct {
+	// Seed drives the workloads' randomness (default 42).
+	Seed uint64
+	// Quick shrinks the workloads for smoke runs and the CI gate.
+	Quick bool
+	// Parallelism is the parallel arm's worker count; <= 0 picks
+	// max(2, GOMAXPROCS) so the parallel code path is exercised even on a
+	// single-core host (concurrency without parallelism).
+	Parallelism int
+}
+
+func (o MeasureOptions) norm() MeasureOptions {
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+		if o.Parallelism < 2 {
+			o.Parallelism = 2
+		}
+	}
+	return o
+}
+
+// workload is one pinned measurement subject. run executes every case at the
+// given worker count and returns (executed cases, simulated virtual time,
+// behaviour digest).
+type workload struct {
+	name string
+	run  func(workers int) (int, simtime.Time, string, error)
+}
+
+// workloads returns the pinned subjects. The shapes are part of the
+// trajectory's identity: changing them invalidates baseline comparability,
+// so change them together with a baseline refresh (DESIGN.md §13).
+func workloads(o MeasureOptions) []workload {
+	seeds := 2
+	gridDur := 8 * simtime.Millisecond
+	if o.Quick {
+		seeds = 1
+		gridDur = 4 * simtime.Millisecond
+	}
+	return []workload{
+		{name: "chaos-sweep", run: func(workers int) (int, simtime.Time, string, error) {
+			res, err := chaos.Sweep(chaos.SweepOptions{
+				Seeds:       seeds,
+				BaseSeed:    o.Seed,
+				Parallelism: workers,
+			})
+			if err != nil {
+				return 0, 0, "", err
+			}
+			// Every case runs twice (determinism cross-check), so the
+			// executed-run count is 2x the case count.
+			runs := 2 * res.Cases
+			return runs, simtime.Time(runs) * chaos.CaseHorizon(), res.Digest, nil
+		}},
+		{name: "figure-grid", run: func(workers int) (int, simtime.Time, string, error) {
+			specs := gridSpecs(o.Seed, gridDur)
+			bench.ResetSimSeconds()
+			_, err := par.MapErr(len(specs), workers, func(i int) (struct{}, error) {
+				_, err := bench.Execute(specs[i])
+				return struct{}{}, err
+			})
+			if err != nil {
+				return 0, 0, "", err
+			}
+			simS := simtime.Time(bench.SimSeconds() * float64(simtime.Second))
+			return len(specs), simS, "", nil
+		}},
+	}
+}
+
+// gridSpecs is the pinned figure-style grid: every app family at two frame
+// sizes, CPU-side, short fixed horizons.
+func gridSpecs(seed uint64, dur simtime.Time) []bench.RunSpec {
+	var specs []bench.RunSpec
+	for _, app := range []string{"ipv4", "ipv6", "ipsec", "ids"} {
+		for _, size := range []int{64, 1024} {
+			specs = append(specs, bench.RunSpec{
+				App: app, LB: "cpu", Size: size, OfferedBps: 10e9,
+				Warmup: simtime.Millisecond, Duration: dur, Seed: seed,
+			})
+		}
+	}
+	return specs
+}
+
+// Measure runs every pinned workload at parallelism 1 and at the parallel
+// arm and returns the snapshot (not yet written anywhere).
+func Measure(o MeasureOptions) (*Snapshot, error) {
+	o = o.norm()
+	snap := &Snapshot{
+		Schema:     Schema,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		Go:         runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       o.Seed,
+		Quick:      o.Quick,
+	}
+	for _, wl := range workloads(o) {
+		// Warm the process-wide caches (FIBs, IDS automata, generator address
+		// lists) with one unrecorded pass, so the first measured arm does not
+		// pay one-time build costs the later arm then skips.
+		if _, _, _, err := wl.run(o.Parallelism); err != nil {
+			return nil, fmt.Errorf("perf: %s (warmup): %w", wl.name, err)
+		}
+		for _, workers := range []int{1, o.Parallelism} {
+			r, err := measureOne(wl, workers)
+			if err != nil {
+				return nil, fmt.Errorf("perf: %s (parallelism %d): %w", wl.name, workers, err)
+			}
+			snap.Results = append(snap.Results, r)
+		}
+	}
+	return snap, nil
+}
+
+// measureOne runs one workload at one worker count under the samplers.
+func measureOne(wl workload, workers int) (Result, error) {
+	var before, after runtime.MemStats
+	sampler := startGoroutineSampler()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	cases, simS, digest, err := wl.run(workers)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	peak := sampler.stop()
+	if err != nil {
+		return Result{}, err
+	}
+	r := Result{
+		Name:           wl.name,
+		Parallelism:    workers,
+		WallS:          wall.Seconds(),
+		SimS:           simS.Seconds(),
+		Cases:          cases,
+		PeakGoroutines: peak,
+		Digest:         digest,
+	}
+	if r.WallS > 0 {
+		r.SimSPerS = r.SimS / r.WallS
+		r.CasesPerS = float64(r.Cases) / r.WallS
+	}
+	if cases > 0 {
+		r.AllocsPerCase = (after.Mallocs - before.Mallocs) / uint64(cases)
+	}
+	return r, nil
+}
+
+// goroutineSampler polls the live goroutine count in the background while a
+// workload runs. Host measurement only — it never touches simulation state.
+type goroutineSampler struct {
+	quit chan struct{}
+	done chan int
+}
+
+func startGoroutineSampler() *goroutineSampler {
+	s := &goroutineSampler{quit: make(chan struct{}), done: make(chan int)}
+	go func() {
+		peak := runtime.NumGoroutine()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-s.quit:
+				s.done <- peak
+				return
+			case <-tick.C:
+				if n := runtime.NumGoroutine(); n > peak {
+					peak = n
+				}
+			}
+		}
+	}()
+	return s
+}
+
+func (s *goroutineSampler) stop() int {
+	close(s.quit)
+	return <-s.done
+}
+
+// WriteFile writes the snapshot as indented JSON.
+func (s *Snapshot) WriteFile(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a snapshot.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("perf: %s: %w", path, err)
+	}
+	return &s, nil
+}

@@ -1,0 +1,147 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nba/internal/simtime"
+)
+
+// tinyWorkload is a cheap stand-in so the tests don't pay for real sweeps.
+func tinyWorkload(cases int) workload {
+	return workload{name: "tiny", run: func(workers int) (int, simtime.Time, string, error) {
+		return cases, simtime.Time(cases) * simtime.Millisecond, "d", nil
+	}}
+}
+
+func TestMeasureOneComputesRates(t *testing.T) {
+	r, err := measureOne(tinyWorkload(10), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name != "tiny" || r.Parallelism != 3 || r.Cases != 10 {
+		t.Fatalf("row mangled: %+v", r)
+	}
+	if r.WallS <= 0 || r.SimS != 0.010 {
+		t.Fatalf("wall %v sim %v", r.WallS, r.SimS)
+	}
+	if r.SimSPerS <= 0 || r.CasesPerS <= 0 {
+		t.Fatalf("rates not computed: %+v", r)
+	}
+	if r.PeakGoroutines < 1 {
+		t.Fatalf("peak goroutines %d", r.PeakGoroutines)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := &Snapshot{Schema: Schema, Date: "2026-08-08", Go: "go1.24", GOMAXPROCS: 1,
+		Seed: 42, Quick: true,
+		Results: []Result{{Name: "chaos-sweep", Parallelism: 1, WallS: 1.5, SimS: 0.05,
+			SimSPerS: 0.033, Cases: 16, CasesPerS: 10.7, AllocsPerCase: 1000, PeakGoroutines: 3, Digest: "abc"}}}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := s.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != s.Schema || got.Quick != s.Quick || len(got.Results) != 1 ||
+		got.Results[0] != s.Results[0] {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", s, got)
+	}
+}
+
+func TestCompareGatesOnHeadlineOnly(t *testing.T) {
+	base := &Snapshot{Schema: Schema, Quick: true, Results: []Result{
+		{Name: "a", Parallelism: 1, SimSPerS: 100, AllocsPerCase: 10},
+		{Name: "a", Parallelism: 4, SimSPerS: 300},
+	}}
+
+	// Self-compare passes.
+	cmp, err := Compare(base, base, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() {
+		t.Fatalf("self-compare failed: %+v", cmp)
+	}
+
+	// Within tolerance, more allocations: still passes (headline gates).
+	fresh := &Snapshot{Schema: Schema, Quick: true, Results: []Result{
+		{Name: "a", Parallelism: 1, SimSPerS: 90, AllocsPerCase: 99999},
+		{Name: "a", Parallelism: 4, SimSPerS: 400},
+	}}
+	cmp, err = Compare(base, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() {
+		t.Fatalf("within-tolerance compare failed: %v", cmp.Lines)
+	}
+
+	// A collapse on a parallel arm is informational only: on a saturated
+	// runner that wall clock measures contention, not the code.
+	fresh.Results[1].SimSPerS = 10
+	cmp, err = Compare(base, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.OK() {
+		t.Fatalf("parallel-arm drop should not gate: %v", cmp.Lines)
+	}
+	if !strings.Contains(strings.Join(cmp.Lines, "\n"), "info") {
+		t.Fatalf("no info line for ungated parallel row: %v", cmp.Lines)
+	}
+
+	// Beyond tolerance on the serial row: fails and names the row.
+	fresh.Results[0].SimSPerS = 50
+	cmp, err = Compare(base, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OK() || cmp.Regressions != 1 {
+		t.Fatalf("regression not caught: %v", cmp.Lines)
+	}
+	if !strings.Contains(strings.Join(cmp.Lines, "\n"), "REGRESSION") {
+		t.Fatalf("no REGRESSION line: %v", cmp.Lines)
+	}
+
+	// Missing row: fails.
+	fresh.Results = fresh.Results[:1]
+	fresh.Results[0].SimSPerS = 100
+	cmp, err = Compare(base, fresh, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp.OK() || cmp.Missing != 1 {
+		t.Fatalf("missing row not caught: %v", cmp.Lines)
+	}
+
+	// Schema and quick-mode mismatches refuse to compare.
+	if _, err := Compare(&Snapshot{Schema: Schema + 1, Quick: true}, fresh, 0.15); err == nil {
+		t.Fatal("schema mismatch not rejected")
+	}
+	if _, err := Compare(&Snapshot{Schema: Schema, Quick: false}, fresh, 0.15); err == nil {
+		t.Fatal("quick mismatch not rejected")
+	}
+}
+
+// TestMeasureTinyEndToEnd exercises the real Measure loop shape against
+// stubbed workloads by checking the real pinned set only for its shape, then
+// doing one real (but minimal) quick measurement of the figure grid.
+func TestWorkloadShapes(t *testing.T) {
+	o := MeasureOptions{Seed: 1, Quick: true}.norm()
+	wls := workloads(o)
+	if len(wls) != 2 || wls[0].name != "chaos-sweep" || wls[1].name != "figure-grid" {
+		t.Fatalf("pinned workload set changed: %v", []string{wls[0].name, wls[1].name})
+	}
+	if o.Parallelism < 2 {
+		t.Fatalf("parallel arm %d, want >= 2", o.Parallelism)
+	}
+	specs := gridSpecs(1, simtime.Millisecond)
+	if len(specs) != 8 {
+		t.Fatalf("figure grid has %d specs, want 8", len(specs))
+	}
+}

@@ -1,0 +1,48 @@
+package perf
+
+import (
+	"fmt"
+	"io"
+
+	"nba/internal/bench"
+)
+
+func init() {
+	bench.Register(bench.Experiment{
+		ID:    "perf",
+		Title: "Performance trajectory snapshot (sim-seconds/sec headline)",
+		Paper: "repository extension: a machine-readable perf trajectory (BENCH_<date>.json) with a regression gate (scripts/perf_gate.sh)",
+		Run:   runPerf,
+	})
+}
+
+func runPerf(o bench.Options, w io.Writer) error {
+	// A serial bench invocation (Parallelism <= 1) still measures a real
+	// parallel arm: pass 0 so Measure picks max(2, GOMAXPROCS).
+	p := o.Parallelism
+	if p <= 1 {
+		p = 0
+	}
+	snap, err := Measure(MeasureOptions{Seed: o.Seed, Quick: o.Quick, Parallelism: p})
+	if err != nil {
+		return err
+	}
+	snap.Print(w)
+
+	// The determinism contract, visible in the snapshot: rows of the same
+	// workload must agree on their behaviour digest at every parallelism.
+	first := map[string]Result{}
+	for _, r := range snap.Results {
+		ref, seen := first[r.Name]
+		if !seen {
+			first[r.Name] = r
+			continue
+		}
+		if r.Digest != ref.Digest {
+			return fmt.Errorf("perf: %s digest diverged across parallelism %d vs %d: %s vs %s",
+				r.Name, ref.Parallelism, r.Parallelism, ref.Digest, r.Digest)
+		}
+	}
+	fmt.Fprintf(w, "\ndigests identical across parallelism arms: PASS\n")
+	return nil
+}

@@ -28,6 +28,13 @@
 #                         seeds): random-but-seeded fault plans must pass the
 #                         invariant oracle with matching digests across the
 #                         doubled runs
+#   9. parallel equiv     the same sweep at -parallel 1 and -parallel 8 must
+#                         print byte-identical combined digests (internal/par
+#                         determinism contract)
+#  10. perf gate          opt-in via PERF_GATE=1: scripts/perf_gate.sh
+#                         compares a fresh quick-mode perf snapshot against
+#                         the newest committed BENCH_<date>.json (±15% on the
+#                         sim-seconds/sec headline)
 #
 # The race run doubles as the regression tripwire for future parallel-worker
 # PRs: the engine is single-threaded by design, so any data race is new code
@@ -83,5 +90,21 @@ go run ./cmd/nbatrace diff "$tracedir/oa.jsonl" "$tracedir/ob.jsonl"
 
 echo "==> chaos smoke (fixed-seed fault sweep under the invariant oracle)"
 go run ./cmd/nbachaos sweep -seeds 2 -base 1
+
+echo "==> chaos parallel equivalence (same sweep, 8 workers, byte-identical digest)"
+d1=$(go run ./cmd/nbachaos sweep -seeds 2 -base 1 -parallel 1 -digest-only)
+d8=$(go run ./cmd/nbachaos sweep -seeds 2 -base 1 -parallel 8 -digest-only)
+if [[ "$d1" != "$d8" ]]; then
+    echo "chaos sweep digest diverged across parallelism: serial $d1 vs parallel-8 $d8" >&2
+    exit 1
+fi
+echo "chaos digest stable at parallelism 1 and 8: $d1"
+
+if [[ "${PERF_GATE:-0}" == "1" ]]; then
+    echo "==> perf gate (PERF_GATE=1: sim-sec/s vs committed BENCH_*.json baseline)"
+    scripts/perf_gate.sh
+else
+    echo "==> perf gate skipped (set PERF_GATE=1 to compare against the committed baseline)"
+fi
 
 echo "check.sh: all gates passed"

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# perf_gate.sh — the perf-trajectory regression gate.
+#
+# Measures a fresh quick-mode perf snapshot (cmd/nbaperf measure -quick) and
+# compares its sim-seconds-per-wall-second headline against the newest
+# committed BENCH_<date>.json baseline. Only the headline gates: allocs/case
+# and peak goroutines are recorded for the trajectory but deliberately do not
+# fail the build (they drift with the Go runtime).
+#
+# Usage:
+#   scripts/perf_gate.sh                    gate against the committed baseline
+#   scripts/perf_gate.sh -update-baseline   measure and write BENCH_$(date +%F).json
+#
+# Environment:
+#   PERF_TOL    relative tolerance on sim_s_per_s (default 0.15 = ±15%).
+#               Wall-clock noise on shared runners is real; the tolerance is
+#               wide by design — the gate exists to catch step regressions
+#               (an accidental O(n^2), a lost fast path), not 2% jitter.
+#   PERF_SEED   base seed for the pinned workloads (default 42).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+tol="${PERF_TOL:-0.15}"
+seed="${PERF_SEED:-42}"
+
+if [[ "${1:-}" == "-update-baseline" ]]; then
+    out="BENCH_$(date +%F).json"
+    echo "==> perf_gate: writing new baseline $out"
+    go run ./cmd/nbaperf measure -quick -seed "$seed" -o "$out"
+    echo "perf_gate: baseline updated; commit $out"
+    exit 0
+fi
+
+baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+if [[ -z "$baseline" ]]; then
+    echo "perf_gate: no BENCH_*.json baseline found; run scripts/perf_gate.sh -update-baseline" >&2
+    exit 1
+fi
+
+fresh=$(mktemp -d)/bench.json
+trap 'rm -rf "$(dirname "$fresh")"' EXIT
+
+echo "==> perf_gate: measuring fresh snapshot (quick mode)"
+go run ./cmd/nbaperf measure -quick -seed "$seed" -o "$fresh"
+
+echo "==> perf_gate: comparing against $baseline (tol ±$(awk "BEGIN{printf \"%.0f\", $tol*100}")%)"
+go run ./cmd/nbaperf compare -tol "$tol" "$baseline" "$fresh"
