@@ -7,6 +7,7 @@
 //	nba -config router.click -gbps 10 -size 64 -duration 100ms
 //	nba -app ipsec -lb adaptive -gbps 10 -size 256
 //	nba -app ipsec -lb fixed=0.8 -trace caida.nbatrace
+//	nba -tenants ipv4=2,ipsec -gbps 10 -size 64
 package main
 
 import (
@@ -14,9 +15,12 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"nba/internal/bench"
+	"nba/internal/core"
 	"nba/internal/gen"
 	"nba/internal/netio"
 	"nba/internal/simtime"
@@ -32,6 +36,7 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker threads per socket (0 = max)")
 		duration   = flag.Duration("duration", 50*time.Millisecond, "measured (virtual) duration")
 		warmup     = flag.Duration("warmup", 10*time.Millisecond, "warmup (virtual)")
+		tenants    = flag.String("tenants", "", "co-host built-in apps as tenants: app[=share],app[=share],... (overrides -config/-app)")
 		trace      = flag.String("trace", "", "replay an nbatrace file instead of synthetic traffic")
 		pcapOut    = flag.String("pcap", "", "capture the first 1000 transmitted frames to a pcap file")
 		verbose    = flag.Bool("v", false, "print per-element statistics")
@@ -52,6 +57,12 @@ func main() {
 
 	var cfgText string
 	switch {
+	case *tenants != "":
+		ts, err := parseTenants(*tenants, *lbAlg, *size, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		spec.Tenants = ts
 	case *configPath != "":
 		data, err := os.ReadFile(*configPath)
 		if err != nil {
@@ -114,6 +125,11 @@ func main() {
 	fmt.Printf("rx delivered/dropped: %d / %d (alloc failures %d)\n", r.RxDelivered, r.RxDropped, r.AllocFailed)
 	fmt.Printf("graph drops:          %d\n", r.GraphDrops)
 	fmt.Printf("offloaded packets:    %d\n", r.OffloadedPackets)
+	for _, tr := range r.Tenants {
+		fmt.Printf("tenant %-12s %.2f Gbps, rx %d/%d, shed %d, p99 %v\n",
+			tr.Name+":", tr.TxGbps, tr.RxDelivered, tr.RxDropped, tr.ShedPackets,
+			tr.Latency.Percentile(99))
+	}
 	if r.Latency.Count() > 0 {
 		fmt.Printf("latency min/avg/p99:  %.1f / %.1f / %.1f us\n",
 			r.Latency.Min().Micros(), r.Latency.Mean().Micros(), r.Latency.Percentile(99).Micros())
@@ -142,6 +158,35 @@ func main() {
 				n, st.Processed, st.Dropped, st.Splits, st.Reuses)
 		}
 	}
+}
+
+// parseTenants turns "app[=share],app[=share],..." into a tenant list. Each
+// tenant runs the built-in app's pipeline with the shared -lb algorithm and
+// its own generator stream (seeded per slot so co-tenants' traffic differs).
+func parseTenants(list, lbAlg string, size int, seed uint64) ([]core.Tenant, error) {
+	var out []core.Tenant
+	for i, item := range strings.Split(list, ",") {
+		name, shareStr, hasShare := strings.Cut(strings.TrimSpace(item), "=")
+		share := 1.0
+		if hasShare {
+			f, err := strconv.ParseFloat(shareStr, 64)
+			if err != nil {
+				return nil, fmt.Errorf("tenant %q: bad share %q", name, shareStr)
+			}
+			share = f
+		}
+		cfgText, err := bench.AppConfig(name, lbAlg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, core.Tenant{
+			Name:        name,
+			GraphConfig: cfgText,
+			Share:       share,
+			Generator:   bench.GeneratorFor(name, size, seed+1+uint64(i)),
+		})
+	}
+	return out, nil
 }
 
 func fatal(err error) {

@@ -47,6 +47,8 @@ func usage() {
 
 sweep flags:
   -apps ipv4,ipv6,ipsec,ids   apps to sweep (default all)
+  -tenants N                  co-host N apps per case as equal-share tenants
+                              (0/1 = classic single-app sweep)
   -seeds N                    seeds per app (default 50)
   -base N                     first seed (default 1)
   -repro-dir DIR              write reproducer files for failures
@@ -61,6 +63,7 @@ func sweep(args []string) {
 	fs := flag.NewFlagSet("nbachaos sweep", flag.ExitOnError)
 	var (
 		apps       = fs.String("apps", "", "comma-separated apps (default: all)")
+		tenants    = fs.Int("tenants", 0, "co-host N apps per case as tenants (0/1 = single-app)")
 		seeds      = fs.Int("seeds", 50, "seeds per app")
 		base       = fs.Uint64("base", 1, "first seed")
 		reproDir   = fs.String("repro-dir", "", "directory for reproducer files")
@@ -76,6 +79,7 @@ func sweep(args []string) {
 	}
 	opts := chaos.SweepOptions{
 		Seeds:         *seeds,
+		TenantCount:   *tenants,
 		BaseSeed:      *base,
 		ReproDir:      *reproDir,
 		MaxShrinkRuns: *shrinkRuns,
@@ -104,7 +108,7 @@ func sweep(args []string) {
 	}
 	for _, f := range res.Failures {
 		fmt.Printf("FAIL %s seed %d: %d violation(s), plan shrunk %d -> %d event(s) in %d run(s)\n",
-			f.Case.App, f.Case.Seed, len(f.Outcome.Violations), f.ShrunkFrom, len(f.Case.Plan.Events), f.ShrinkRuns)
+			f.Case.Label(), f.Case.Seed, len(f.Outcome.Violations), f.ShrunkFrom, len(f.Case.Plan.Events), f.ShrinkRuns)
 		for _, v := range f.Outcome.Violations {
 			fmt.Printf("  %s\n", v)
 		}
@@ -128,7 +132,7 @@ func replay(args []string) {
 		fatal(err)
 	}
 	fmt.Printf("nbachaos: replay %s (app %s, seed %d, %d plan event(s))\n",
-		args[0], c.App, c.Seed, len(c.Plan.Events))
+		args[0], c.Label(), c.Seed, len(c.Plan.Events))
 	fmt.Printf("trace digest: %s\n", out.Digest)
 	if !out.Failed() {
 		fmt.Println("clean: no invariant violations")

@@ -104,6 +104,9 @@ var simPackagePrefixes = []string{
 	"nba/internal/invariant",
 	"nba/internal/chaos",
 	"nba/internal/overload",
+	// sched's WRR rounds order every worker's RX polling, so any
+	// nondeterminism there skews every tenant's digest.
+	"nba/internal/sched",
 	// par is the audited bridge between virtual time and OS threads: its own
 	// goroutines carry an allow directive, and its jobs are sharedstate roots
 	// (see parDispatchRoots) so undisciplined writes from pool jobs are

@@ -11,6 +11,7 @@
 //	nbatrace record -app ipsec -lb fixed=0.8 -chrome run.chrome.json -o run.jsonl
 //	nbatrace record -app ipsec -lb fixed=0.8 -faults -o outage.jsonl
 //	nbatrace record -app ipsec -lb fixed=0.8 -overload -o shed.jsonl
+//	nbatrace record -tenants ipv4,ipsec -o mt.jsonl
 //	nbatrace summary run.jsonl
 //	nbatrace diff a.jsonl b.jsonl
 //
@@ -23,9 +24,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"nba/internal/bench"
+	"nba/internal/core"
 	"nba/internal/fault"
 	"nba/internal/overload"
 	"nba/internal/simtime"
@@ -60,6 +63,7 @@ func record(args []string) {
 	fs := flag.NewFlagSet("nbatrace record", flag.ExitOnError)
 	var (
 		app      = fs.String("app", "ipv4", "built-in app: l2fwd, echo, ipv4, ipv6, ipsec, ids")
+		tenants  = fs.String("tenants", "", "co-host built-in apps as equal-share tenants: app,app,... (overrides -app)")
 		lbAlg    = fs.String("lb", "cpu", "load balancer: cpu, gpu, fixed=<f>, adaptive")
 		gbps     = fs.Float64("gbps", 1, "offered load per port (Gbps)")
 		size     = fs.Int("size", 64, "frame size in bytes; 0 = synthetic CAIDA mix")
@@ -92,6 +96,24 @@ func record(args []string) {
 		Seed:       *seed,
 		Tracer:     tr,
 	}
+	if *tenants != "" {
+		// Tenant recordings carry every tenant's events on one timeline
+		// (each tagged with its tenant index), so multi-tenant runs diff
+		// and replay exactly like single-app ones.
+		for i, name := range strings.Split(*tenants, ",") {
+			name = strings.TrimSpace(name)
+			cfgText, err := bench.AppConfig(name, *lbAlg)
+			if err != nil {
+				fatal(err)
+			}
+			spec.Tenants = append(spec.Tenants, core.Tenant{
+				Name:        name,
+				GraphConfig: cfgText,
+				Share:       1,
+				Generator:   bench.GeneratorFor(name, *size, *seed+1+uint64(i)),
+			})
+		}
+	}
 	if *faults {
 		// The fault plan is part of the run identity: recording twice with
 		// -faults must still produce byte-identical traces, with the
@@ -115,8 +137,12 @@ func record(args []string) {
 		fatal(err)
 	}
 
+	appLabel := *app
+	if *tenants != "" {
+		appLabel = "tenants:" + *tenants
+	}
 	label := fmt.Sprintf("app=%s lb=%s gbps=%g size=%d workers=%d seed=%d faults=%v overload=%v",
-		*app, *lbAlg, *gbps, *size, *workers, *seed, *faults, *overl)
+		appLabel, *lbAlg, *gbps, *size, *workers, *seed, *faults, *overl)
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)

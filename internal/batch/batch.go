@@ -29,6 +29,10 @@ const (
 	AnnoDevice = iota
 	AnnoUser0
 	AnnoUser1
+	// AnnoTenant is the tenant app graph the batch belongs to. Batches are
+	// formed from one RX queue's packets and never mix tenants, so a single
+	// batch-level slot suffices (mirrors the paper's batch-level LB slot).
+	AnnoTenant
 )
 
 // CPUDevice is the AnnoDevice value selecting the CPU-side function.

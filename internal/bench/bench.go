@@ -206,10 +206,17 @@ type RunSpec struct {
 	Overload *overload.Config
 	// Checker, when non-nil, attaches the invariant oracle to the run.
 	Checker *invariant.Checker
+	// Tenants, when non-empty, co-hosts several app graphs as tenants on
+	// one system; App, LB, Size and Generator are then ignored (each
+	// tenant carries its own graph and generator).
+	Tenants []core.Tenant
 }
 
 // Execute assembles and runs one system.
 func Execute(spec RunSpec) (*core.Report, error) {
+	if len(spec.Tenants) > 0 {
+		return ExecuteConfig("", spec)
+	}
 	cfgText, err := AppConfig(spec.App, spec.LB)
 	if err != nil {
 		return nil, err
@@ -226,7 +233,7 @@ func ExecuteConfig(cfgText string, spec RunSpec) (*core.Report, error) {
 		spec.Duration = 25 * simtime.Millisecond
 	}
 	generator := spec.Generator
-	if generator == nil {
+	if generator == nil && len(spec.Tenants) == 0 {
 		generator = GeneratorFor(spec.App, spec.Size, spec.Seed+1)
 	}
 	cfg := core.Config{
@@ -254,6 +261,7 @@ func ExecuteConfig(cfgText string, spec RunSpec) (*core.Report, error) {
 		TaskTimeout:       spec.TaskTimeout,
 		Overload:          spec.Overload,
 		Checker:           spec.Checker,
+		Tenants:           spec.Tenants,
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {

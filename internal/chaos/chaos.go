@@ -15,6 +15,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"strings"
 
 	"nba/internal/bench"
 	"nba/internal/core"
@@ -55,21 +56,38 @@ const (
 // into simulated seconds.
 func CaseHorizon() simtime.Time { return caseWarmup + caseDuration }
 
-// Case is one chaos run: an application, a seed (driving the run's own
-// randomness) and a fault plan. The zero TaskTimeout selects the framework
-// default; a negative value disables the rescue timeout (used by tests to
-// seed a genuine stuck-drain bug).
+// Case is one chaos run: an application (or a co-resident tenant mix), a
+// seed (driving the run's own randomness) and a fault plan. The zero
+// TaskTimeout selects the framework default; a negative value disables the
+// rescue timeout (used by tests to seed a genuine stuck-drain bug).
 type Case struct {
-	App         string
-	Seed        uint64
+	App  string
+	Seed uint64
+	// Tenants, when non-empty, co-hosts the listed apps as equal-share
+	// tenants on one system (App is ignored); the fault plan may then
+	// target any tenant's RX queues.
+	Tenants     []string
 	Plan        *fault.Plan
 	TaskTimeout simtime.Time
+}
+
+// Label names the case in sweep output and digests: the app, or the
+// "a+b+..." tenant mix.
+func (c Case) Label() string {
+	if len(c.Tenants) == 0 {
+		return c.App
+	}
+	return strings.Join(c.Tenants, "+")
 }
 
 // Outcome is the observable result of one case.
 type Outcome struct {
 	// Digest is the run's trace digest (identity of the full event stream).
 	Digest string
+	// TenantDigests are the per-tenant sub-digests of a multi-tenant case
+	// (empty for single-app cases); cross-checked like Digest, so tenant
+	// attribution itself is under the determinism oracle.
+	TenantDigests []string
 	// Violations are the oracle's findings, empty for a correct run.
 	Violations []invariant.Violation
 	// Suppressed counts violations beyond the oracle's per-check cap.
@@ -99,6 +117,33 @@ func RandomCase(app string, seed uint64) Case {
 	return Case{App: app, Seed: seed, Plan: fault.RandomPlan(r, Profile())}
 }
 
+// TenantProfile is the RandomPlan profile for an n-tenant case: the queue
+// space grows tenant-major, so random RxQueueDown/Up events land on (and
+// thereby target) individual tenants' queues.
+func TenantProfile(n int) fault.Profile {
+	p := Profile()
+	p.Queues = caseWorkers * n
+	return p
+}
+
+// RandomTenantCase derives a co-residency case: the listed apps as
+// equal-share tenants with a fault plan drawn from the widened,
+// tenant-targeting queue space.
+func RandomTenantCase(apps []string, seed uint64) Case {
+	c := Case{Tenants: apps, Seed: seed}
+	r := rng.New(seed*0x9E3779B97F4A7C15 + appSalt(c.Label()))
+	c.Plan = fault.RandomPlan(r, TenantProfile(len(apps)))
+	return c
+}
+
+// CaseProfile returns the plan-validation profile matching the case shape.
+func CaseProfile(c Case) fault.Profile {
+	if len(c.Tenants) > 1 {
+		return TenantProfile(len(c.Tenants))
+	}
+	return Profile()
+}
+
 // appSalt folds the app name into the plan seed (FNV-1a).
 func appSalt(app string) uint64 {
 	h := uint64(14695981039346656037)
@@ -117,19 +162,13 @@ func topology() *sysinfo.Topology {
 // Run executes one case under the oracle and returns its outcome. Run
 // errors (bad app name, invalid plan) are setup failures, not violations.
 func Run(c Case) (*Outcome, error) {
-	cfgText, err := bench.AppConfig(c.App, "adaptive")
-	if err != nil {
-		return nil, err
-	}
 	ck := invariant.New()
 	// Capacity 1: the digest covers every event regardless of ring size,
 	// and chaos only needs the digest.
 	tr := trace.New(trace.Options{Capacity: 1, CheckpointInterval: -1})
 	cfg := core.Config{
 		Topology:          topology(),
-		GraphConfig:       cfgText,
 		WorkersPerSocket:  caseWorkers,
-		Generator:         bench.GeneratorFor(c.App, 64, c.Seed+1),
 		OfferedBpsPerPort: caseRateBps,
 		Warmup:            caseWarmup,
 		Duration:          caseDuration,
@@ -147,6 +186,28 @@ func Run(c Case) (*Outcome, error) {
 		// decisions across the doubled runs).
 		Overload: overload.Defaults(),
 	}
+	if len(c.Tenants) > 0 {
+		for i, app := range c.Tenants {
+			cfgText, err := bench.AppConfig(app, "adaptive")
+			if err != nil {
+				return nil, err
+			}
+			cfg.Tenants = append(cfg.Tenants, core.Tenant{
+				// Index prefix keeps names unique when a mix repeats an app.
+				Name:        fmt.Sprintf("t%d-%s", i, app),
+				GraphConfig: cfgText,
+				Share:       1,
+				Generator:   bench.GeneratorFor(app, 64, c.Seed+1+uint64(i)),
+			})
+		}
+	} else {
+		cfgText, err := bench.AppConfig(c.App, "adaptive")
+		if err != nil {
+			return nil, err
+		}
+		cfg.GraphConfig = cfgText
+		cfg.Generator = bench.GeneratorFor(c.App, 64, c.Seed+1)
+	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {
 		return nil, err
@@ -155,12 +216,43 @@ func Run(c Case) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Outcome{
+	out := &Outcome{
 		Digest:     tr.Digest(),
 		Violations: ck.Violations(),
 		Suppressed: ck.Suppressed(),
 		Report:     rep,
-	}, nil
+	}
+	if len(c.Tenants) > 0 {
+		for _, trep := range rep.Tenants {
+			out.TenantDigests = append(out.TenantDigests, trep.Digest)
+		}
+	}
+	return out, nil
+}
+
+// digestLine renders one case's identity line for the combined digest:
+// label, seed, global digest, then any per-tenant sub-digests, so a sweep
+// fingerprint also pins tenant attribution.
+func digestLine(c Case, out *Outcome) string {
+	line := fmt.Sprintf("%s %d %s", c.Label(), c.Seed, out.Digest)
+	for _, d := range out.TenantDigests {
+		line += " " + d
+	}
+	return line
+}
+
+// sameDigests reports whether two outcomes agree on the global digest and
+// every tenant sub-digest.
+func sameDigests(a, b *Outcome) bool {
+	if a.Digest != b.Digest || len(a.TenantDigests) != len(b.TenantDigests) {
+		return false
+	}
+	for i := range a.TenantDigests {
+		if a.TenantDigests[i] != b.TenantDigests[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // RunTwice executes the case twice and cross-checks the trace digests: a
@@ -175,10 +267,10 @@ func RunTwice(c Case) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
-	if a.Digest != b.Digest {
+	if !sameDigests(a, b) {
 		a.Violations = append(a.Violations, invariant.Violation{
 			Check: invariant.CheckDeterminism,
-			Msg:   fmt.Sprintf("trace digests differ across identical runs: %s vs %s", a.Digest, b.Digest),
+			Msg:   fmt.Sprintf("trace digests differ across identical runs: %s vs %s", digestLine(c, a), digestLine(c, b)),
 		})
 	}
 	return a, nil

@@ -16,6 +16,8 @@ import (
 
 type reproFile struct {
 	App string `json:"app"`
+	// Tenants, when present, replays the case as a co-resident tenant mix.
+	Tenants []string `json:"tenants,omitempty"`
 	// Seed drives the run's own randomness (LB coin flips, generator).
 	Seed uint64 `json:"seed"`
 	// TaskTimeoutPs overrides the rescue timeout; omitted = framework
@@ -37,7 +39,7 @@ type reproEvent struct {
 
 // WriteRepro writes the case as a replayable reproducer file.
 func WriteRepro(path string, c Case) error {
-	rf := reproFile{App: c.App, Seed: c.Seed, TaskTimeoutPs: int64(c.TaskTimeout)}
+	rf := reproFile{App: c.App, Tenants: c.Tenants, Seed: c.Seed, TaskTimeoutPs: int64(c.TaskTimeout)}
 	if c.Plan != nil {
 		for _, ev := range c.Plan.Events {
 			rf.Events = append(rf.Events, reproEvent{
@@ -67,6 +69,7 @@ func ReadRepro(path string) (Case, error) {
 	}
 	c := Case{
 		App:         rf.App,
+		Tenants:     rf.Tenants,
 		Seed:        rf.Seed,
 		TaskTimeout: simtime.Time(rf.TaskTimeoutPs),
 		Plan:        &fault.Plan{},

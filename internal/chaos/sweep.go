@@ -3,6 +3,7 @@ package chaos
 import (
 	"fmt"
 	"path/filepath"
+	"strings"
 
 	"nba/internal/fault"
 	"nba/internal/invariant"
@@ -15,6 +16,11 @@ type SweepOptions struct {
 	Apps []string
 	// Seeds is how many seeds to sweep per app (cases = Seeds × len(Apps)).
 	Seeds int
+	// TenantCount >= 2 switches to co-residency sweeping: each case
+	// co-hosts TenantCount apps (a seed-rotated window over the app list)
+	// as equal-share tenants, cases = Seeds, and the determinism
+	// cross-check also covers every per-tenant sub-digest.
+	TenantCount int
 	// BaseSeed offsets the seed range (seeds are BaseSeed .. BaseSeed+Seeds-1).
 	BaseSeed uint64
 	// ReproDir, when non-empty, receives a reproducer file per failing case.
@@ -72,9 +78,21 @@ func Sweep(opts SweepOptions) (*SweepResult, error) {
 		apps = Apps
 	}
 	cases := make([]Case, 0, len(apps)*opts.Seeds)
-	for _, app := range apps {
+	if opts.TenantCount >= 2 {
+		// One case per seed, co-hosting a rotating window over the app list
+		// so every app appears in every tenant slot across the seed range.
 		for s := 0; s < opts.Seeds; s++ {
-			cases = append(cases, RandomCase(app, opts.BaseSeed+uint64(s)))
+			mix := make([]string, opts.TenantCount)
+			for i := range mix {
+				mix[i] = apps[(s+i)%len(apps)]
+			}
+			cases = append(cases, RandomTenantCase(mix, opts.BaseSeed+uint64(s)))
+		}
+	} else {
+		for _, app := range apps {
+			for s := 0; s < opts.Seeds; s++ {
+				cases = append(cases, RandomCase(app, opts.BaseSeed+uint64(s)))
+			}
 		}
 	}
 	workers := opts.Parallelism
@@ -85,7 +103,7 @@ func Sweep(opts SweepOptions) (*SweepResult, error) {
 		c := cases[j/2]
 		out, err := Run(c)
 		if err != nil {
-			return nil, fmt.Errorf("chaos: case %s/%d: %w", c.App, c.Seed, err)
+			return nil, fmt.Errorf("chaos: case %s/%d: %w", c.Label(), c.Seed, err)
 		}
 		return out, nil
 	})
@@ -94,23 +112,23 @@ func Sweep(opts SweepOptions) (*SweepResult, error) {
 	}
 
 	res := &SweepResult{Cases: len(cases)}
-	prof := Profile()
 	for i, c := range cases {
 		out, dup := outs[2*i], outs[2*i+1]
-		if out.Digest != dup.Digest {
+		if !sameDigests(out, dup) {
 			out.Violations = append(out.Violations, invariant.Violation{
 				Check: invariant.CheckDeterminism,
-				Msg:   fmt.Sprintf("trace digests differ across identical runs: %s vs %s", out.Digest, dup.Digest),
+				Msg:   fmt.Sprintf("trace digests differ across identical runs: %s vs %s", digestLine(c, out), digestLine(c, dup)),
 			})
 		}
-		res.CaseDigests = append(res.CaseDigests, fmt.Sprintf("%s %d %s", c.App, c.Seed, out.Digest))
+		res.CaseDigests = append(res.CaseDigests, digestLine(c, out))
 		if !out.Failed() {
 			continue
 		}
 		f := Failure{Case: c, Outcome: out, ShrunkFrom: len(c.Plan.Events)}
 		if opts.MaxShrinkRuns > 0 {
+			prof := CaseProfile(c)
 			stillFails := func(p *fault.Plan) bool {
-				o, err := RunTwice(Case{App: c.App, Seed: c.Seed, Plan: p, TaskTimeout: c.TaskTimeout})
+				o, err := RunTwice(Case{App: c.App, Tenants: c.Tenants, Seed: c.Seed, Plan: p, TaskTimeout: c.TaskTimeout})
 				return err == nil && o.Failed()
 			}
 			valid := func(p *fault.Plan) bool {
@@ -119,7 +137,7 @@ func Sweep(opts SweepOptions) (*SweepResult, error) {
 			f.Case.Plan, f.ShrinkRuns = Shrink(c.Plan, stillFails, valid, opts.MaxShrinkRuns)
 		}
 		if opts.ReproDir != "" {
-			f.ReproPath = filepath.Join(opts.ReproDir, fmt.Sprintf("repro-%s-%d.json", c.App, c.Seed))
+			f.ReproPath = filepath.Join(opts.ReproDir, fmt.Sprintf("repro-%s-%d.json", strings.ReplaceAll(c.Label(), "+", "_"), c.Seed))
 			if err := WriteRepro(f.ReproPath, f.Case); err != nil {
 				return nil, err
 			}

@@ -13,10 +13,38 @@ import (
 	"nba/internal/invariant"
 	"nba/internal/netio"
 	"nba/internal/overload"
+	"nba/internal/sched"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
 	"nba/internal/trace"
 )
+
+// Tenant is one hosted application in a multi-tenant run: its own pipeline
+// graph, a weighted share of the machine's offered load and batch priority,
+// and an optional tail-latency objective. All tenants share the workers, NIC
+// RX queues (carved tenant-major) and accelerators of the one simulated box.
+type Tenant struct {
+	// Name identifies the tenant in reports, NodeStats keys and invariant
+	// messages. Defaults to "t<index>"; must be unique.
+	Name string
+	// GraphConfig is the tenant's pipeline in the NBA configuration
+	// language. Required.
+	GraphConfig string
+	// Share is the tenant's weight, normalised over the tenant set: it is
+	// both the tenant's fraction of OfferedBpsPerPort and its weighted
+	// round-robin batch-priority weight on every worker. 0 selects 1.
+	Share float64
+	// RateScale scales the tenant's own offered load relative to its fair
+	// share (a noisy neighbour offering 2x its share has RateScale 2,
+	// without shrinking the victims' nominal rates). 0 selects 1.
+	RateScale float64
+	// Generator produces this tenant's traffic; nil inherits
+	// Config.Generator.
+	Generator netio.Generator
+	// SLOP999, when positive, is the tenant's p99.9 end-to-end latency
+	// objective; the per-tenant report records whether it was met.
+	SLOP999 simtime.Time
+}
 
 // RateChange alters the offered load mid-run (workload-shift experiments).
 type RateChange struct {
@@ -40,7 +68,18 @@ type Config struct {
 	// CostModel is the calibration; nil selects sysinfo.Default().
 	CostModel *sysinfo.CostModel
 	// GraphConfig is the pipeline in the NBA configuration language.
+	// Required unless Tenants is set (the two are mutually exclusive).
 	GraphConfig string
+	// Tenants, when non-empty, hosts one app graph per tenant on the same
+	// workers, queues and devices (multi-tenant mode). A single-tenant
+	// entry behaves bit-identically to the equivalent GraphConfig run —
+	// the disarm contract — and an empty slice is classic single-app mode.
+	Tenants []Tenant
+	// Placement decides which same-socket accelerator runs a tenant's
+	// offloaded aggregates; nil selects sched.Static (annotation k →
+	// device k-1, today's behaviour). Interference-aware policies from the
+	// Pythia space plug in here.
+	Placement sched.PlacementPolicy
 	// GraphOpts toggles branch prediction / offload chaining (ablations);
 	// nil selects graph.DefaultOptions().
 	GraphOpts *graph.Options
@@ -48,13 +87,16 @@ type Config struct {
 	// WorkersPerSocket <= Topology.MaxWorkersPerSocket(); 0 = maximum.
 	WorkersPerSocket int
 
-	// Generator produces traffic. Required.
+	// Generator produces traffic. Required unless every tenant supplies
+	// its own.
 	Generator netio.Generator
 	// OfferedBpsPerPort is the offered wire rate per port.
 	OfferedBpsPerPort float64
 	// RateChanges optionally shift the offered load mid-run.
 	RateChanges []RateChange
 	// GeneratorChanges optionally swap the traffic mix mid-run.
+	// Single-tenant runs only: with multiple tenants each tenant owns its
+	// generator and a global swap would be ambiguous.
 	GeneratorChanges []GeneratorChange
 
 	// IOBatchSize is the RX burst size (paper default 64).
@@ -157,11 +199,57 @@ func (c Config) withDefaults() (Config, error) {
 	if err := c.CostModel.Validate(); err != nil {
 		return c, err
 	}
-	if c.GraphConfig == "" {
-		return c, fmt.Errorf("core: GraphConfig is required")
+	if len(c.Tenants) > 0 {
+		if c.GraphConfig != "" {
+			return c, fmt.Errorf("core: GraphConfig and Tenants are mutually exclusive")
+		}
+		if len(c.GeneratorChanges) > 0 && len(c.Tenants) > 1 {
+			return c, fmt.Errorf("core: GeneratorChanges are single-tenant only")
+		}
+		// Fill tenant defaults on a copy so the caller's slice is untouched.
+		c.Tenants = append([]Tenant(nil), c.Tenants...)
+		names := make(map[string]bool, len(c.Tenants))
+		for i := range c.Tenants {
+			t := &c.Tenants[i]
+			if t.GraphConfig == "" {
+				return c, fmt.Errorf("core: tenant %d: GraphConfig is required", i)
+			}
+			if t.Name == "" {
+				t.Name = fmt.Sprintf("t%d", i)
+			}
+			if names[t.Name] {
+				return c, fmt.Errorf("core: duplicate tenant name %q", t.Name)
+			}
+			names[t.Name] = true
+			if t.Share < 0 {
+				return c, fmt.Errorf("core: tenant %s: negative Share", t.Name)
+			}
+			if t.Share == 0 {
+				t.Share = 1
+			}
+			if t.RateScale < 0 {
+				return c, fmt.Errorf("core: tenant %s: negative RateScale", t.Name)
+			}
+			if t.RateScale == 0 {
+				t.RateScale = 1
+			}
+			if t.Generator == nil {
+				t.Generator = c.Generator
+			}
+			if t.Generator == nil {
+				return c, fmt.Errorf("core: tenant %s: no Generator (set one on the tenant or on the Config)", t.Name)
+			}
+		}
+	} else {
+		if c.GraphConfig == "" {
+			return c, fmt.Errorf("core: GraphConfig is required")
+		}
+		if c.Generator == nil {
+			return c, fmt.Errorf("core: Generator is required")
+		}
 	}
-	if c.Generator == nil {
-		return c, fmt.Errorf("core: Generator is required")
+	if c.Placement == nil {
+		c.Placement = sched.Static{}
 	}
 	max := c.Topology.MaxWorkersPerSocket()
 	if c.WorkersPerSocket == 0 {
@@ -224,7 +312,12 @@ func (c Config) withDefaults() (Config, error) {
 		c.DrainGrace = simtime.Second
 	}
 	if c.FaultPlan != nil {
-		if err := c.FaultPlan.Validate(len(c.Topology.Devices), len(c.Topology.Ports), c.WorkersPerSocket); err != nil {
+		nqueues := c.WorkersPerSocket
+		if len(c.Tenants) > 0 {
+			// Multi-tenant ports carve one queue per (tenant, worker).
+			nqueues *= len(c.Tenants)
+		}
+		if err := c.FaultPlan.Validate(len(c.Topology.Devices), len(c.Topology.Ports), nqueues); err != nil {
 			return c, err
 		}
 	}

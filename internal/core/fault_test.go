@@ -5,8 +5,10 @@ import (
 
 	"nba/internal/fault"
 	"nba/internal/gen"
+	"nba/internal/invariant"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
+	"nba/internal/trace"
 )
 
 func TestGPUOutageFallsBackToCPU(t *testing.T) {
@@ -242,5 +244,80 @@ func TestFaultPlanTopologyUsesConfiguredQueues(t *testing.T) {
 	}}
 	if _, err := NewSystem(cfg); err == nil {
 		t.Error("queue 3 of 3 accepted")
+	}
+}
+
+// TestSameTickFaultOrderIsPlanOrder pins the tie-break for contradictory
+// fault events scheduled at the same virtual tick: they apply in plan order
+// (Plan.Sorted is stable), the last writer wins, and the outcome is the
+// same on every replay — not whichever event a sort happened to slot first.
+func TestSameTickFaultOrderIsPlanOrder(t *testing.T) {
+	const tick = 4 * simtime.Millisecond
+	runOrder := func(firstFactor, secondFactor float64) (string, *Report) {
+		cfg := quickCfg(ipv4Config, 2e9, 64)
+		cfg.Tracer = trace.New(trace.Options{Capacity: 1, CheckpointInterval: -1})
+		cfg.FaultPlan = &fault.Plan{Events: []fault.Event{
+			{At: tick, Kind: fault.RateBurst, RateFactor: firstFactor},
+			{At: tick, Kind: fault.RateBurst, RateFactor: secondFactor},
+		}}
+		r := run(t, cfg)
+		return cfg.Tracer.Digest(), r
+	}
+
+	// 8x-then-1x nets out to nominal: the 8x factor is overwritten within
+	// the same instant, so no extra load ever reaches the queues.
+	flat := run(t, quickCfg(ipv4Config, 2e9, 64))
+	cancelled, r := runOrder(8, 1)
+	if r.RxDelivered != flat.RxDelivered {
+		t.Errorf("8x-then-1x delivered %d, want the flat run's %d (last event wins)",
+			r.RxDelivered, flat.RxDelivered)
+	}
+	for i := 0; i < 9; i++ {
+		d, _ := runOrder(8, 1)
+		if d != cancelled {
+			t.Fatalf("replay %d: same-tick fault digest diverged:\n%s\n%s", i, d, cancelled)
+		}
+	}
+
+	// The reversed plan must give the reversed outcome: 1x-then-8x leaves
+	// the burst in force for the rest of the run.
+	reversed, r2 := runOrder(1, 8)
+	if r2.RxDelivered <= flat.RxDelivered {
+		t.Errorf("1x-then-8x delivered %d <= flat %d; the surviving burst factor is not applied",
+			r2.RxDelivered, flat.RxDelivered)
+	}
+	if reversed == cancelled {
+		t.Error("reversed same-tick plan produced an identical digest; order is not being honoured")
+	}
+}
+
+// TestFlapUnderLoadConservation pins the documented down-queue semantics
+// end to end: RSS keeps offering load to a flapped-down queue, the overflow
+// beyond ring capacity lands in head-drop accounting even when the queue is
+// never polled again, and the conservation identity still balances with the
+// oracle armed.
+func TestFlapUnderLoadConservation(t *testing.T) {
+	ck := invariant.New()
+	cfg := quickCfg(ipv4Config, 2e9, 64)
+	cfg.Checker = ck
+	// Down at 3 ms, never recovered: ~7 ms of arrivals pile into 4096-deep
+	// rings that stop delivering.
+	cfg.FaultPlan = &fault.Plan{Events: []fault.Event{
+		{At: 3 * simtime.Millisecond, Kind: fault.RxQueueDown, Port: 0, Queue: -1},
+	}}
+	r := run(t, cfg)
+
+	if r.RxDropped == 0 {
+		t.Error("no head-drops despite ~7 ms of load into downed 4096-deep rings")
+	}
+	if r.PoolOutstanding != 0 {
+		t.Errorf("leak: %d packets outstanding", r.PoolOutstanding)
+	}
+	if got := r.RxDelivered; got != r.TxPackets+r.GraphDrops+r.ShedPackets {
+		t.Errorf("conservation broken: delivered %d != tx %d + graph %d + shed %d",
+			got, r.TxPackets, r.GraphDrops, r.ShedPackets)
+	}
+	for _, v := range ck.Violations() {
+		t.Errorf("invariant violation: %+v", v)
 	}
 }

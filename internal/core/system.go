@@ -12,24 +12,37 @@ import (
 	"nba/internal/netio"
 	"nba/internal/overload"
 	"nba/internal/rng"
+	"nba/internal/sched"
 	"nba/internal/simtime"
 	"nba/internal/stats"
 	"nba/internal/trace"
 )
 
-// System is one assembled NBA instance on the virtual clock.
+// System is one assembled NBA instance on the virtual clock. It hosts one or
+// more tenant app graphs on the same workers, NIC queues and devices; the
+// classic single-app configuration is the one-tenant special case and runs
+// bit-identically to the pre-tenancy code.
 type System struct {
 	cfg Config
 	eng *simtime.Engine
 
-	ports       []*netio.Port
-	devices     []*gpu.Device // parallel to cfg.Topology.Devices
-	workers     []*worker
-	nodeLocals  []*element.NodeLocal // per socket
-	controllers []*lb.Controller     // per socket (nil if no LB state)
-	governors   []*overload.Governor // per socket; empty when Overload is nil
+	// tenants is the resolved tenant set: the configured Tenants slice, or
+	// one implicit tenant (Name "") synthesized from GraphConfig/Generator.
+	tenants   []Tenant
+	shareFrac []float64 // tenant Share normalised to fractions
+	placement sched.PlacementPolicy
 
-	parsed *conflang.Config
+	ports      []*netio.Port
+	devices    []*gpu.Device          // parallel to cfg.Topology.Devices
+	workers    []*worker              // socket-major
+	nodeLocals [][]*element.NodeLocal // [socket][tenant]: isolates shared element state per tenant
+	// controllers / governors are per (socket, tenant): each tenant gets
+	// its own ALB control loop and degradation governor so one tenant's
+	// congestion escalates trim → bias → shed for that tenant alone.
+	controllers [][]*lb.Controller
+	governors   [][]*overload.Governor // empty when Overload is nil
+
+	parsed []*conflang.Config // per tenant
 
 	stopTime  simtime.Time // warmup + duration
 	measuring bool
@@ -37,7 +50,7 @@ type System struct {
 	// Current offered-load state, composed by rate changes, generator
 	// changes and fault-injected rate bursts (factor over the nominal rate).
 	curBps     float64
-	curGen     netio.Generator
+	curGens    []netio.Generator // per tenant
 	rateFactor float64
 
 	tailMarkBytes []uint64
@@ -53,7 +66,7 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &System{cfg: cfg, eng: simtime.NewEngine()}
+	s := &System{cfg: cfg, eng: simtime.NewEngine(), placement: cfg.Placement}
 	s.stopTime = cfg.Warmup + cfg.Duration
 	if tr, ck := cfg.Tracer, cfg.Checker; tr != nil || ck != nil {
 		s.eng.OnFire = func(at simtime.Time, fired uint64) {
@@ -66,14 +79,42 @@ func NewSystem(cfg Config) (*System, error) {
 	s.tailMarkBytes = make([]uint64, len(cfg.Topology.Ports))
 	s.tailEndBytes = make([]uint64, len(cfg.Topology.Ports))
 
-	s.parsed, err = conflang.Parse(cfg.GraphConfig)
-	if err != nil {
-		return nil, err
+	if len(cfg.Tenants) > 0 {
+		s.tenants = cfg.Tenants
+		// Per-tenant trace digests are armed only for explicit tenant
+		// configurations; legacy runs keep an unarmed tracer.
+		cfg.Tracer.ArmTenantDigests(len(s.tenants))
+	} else {
+		s.tenants = []Tenant{{
+			GraphConfig: cfg.GraphConfig,
+			Share:       1,
+			RateScale:   1,
+			Generator:   cfg.Generator,
+		}}
+	}
+	var shareSum float64
+	for _, t := range s.tenants {
+		shareSum += t.Share
+	}
+	for _, t := range s.tenants {
+		s.shareFrac = append(s.shareFrac, t.Share/shareSum)
+	}
+
+	for i, t := range s.tenants {
+		p, err := conflang.Parse(t.GraphConfig)
+		if err != nil {
+			return nil, fmt.Errorf("core: tenant %d (%s): %w", i, t.Name, err)
+		}
+		s.parsed = append(s.parsed, p)
 	}
 
 	top := cfg.Topology
 	for socket := 0; socket < top.Sockets; socket++ {
-		s.nodeLocals = append(s.nodeLocals, element.NewNodeLocal())
+		row := make([]*element.NodeLocal, len(s.tenants))
+		for t := range row {
+			row[t] = element.NewNodeLocal()
+		}
+		s.nodeLocals = append(s.nodeLocals, row)
 	}
 
 	// Devices (one device thread per device, on a dedicated core).
@@ -91,10 +132,22 @@ func NewSystem(cfg Config) (*System, error) {
 		s.devices = append(s.devices, dev)
 	}
 
-	// Ports with one RX queue per same-socket worker (RSS).
+	// Ports, carved tenant-major: tenant t's queue for same-socket worker w
+	// is index t*WorkersPerSocket+w, each owning 1/WorkersPerSocket of the
+	// tenant's share of the port rate (RSS within a tenant's queue set).
 	for _, hw := range top.Ports {
-		pps := netio.OfferedPPS(cfg.OfferedBpsPerPort, cfg.Generator)
-		port := netio.NewPort(hw, cfg.WorkersPerSocket, cfg.Generator, pps, top.RxQueueCapacity)
+		specs := make([]netio.QueueSpec, 0, len(s.tenants)*cfg.WorkersPerSocket)
+		for t := range s.tenants {
+			pps := netio.OfferedPPS(cfg.OfferedBpsPerPort*s.shareFrac[t]*s.tenants[t].RateScale, s.tenants[t].Generator)
+			for wi := 0; wi < cfg.WorkersPerSocket; wi++ {
+				specs = append(specs, netio.QueueSpec{
+					Tenant: int32(t),
+					Gen:    s.tenants[t].Generator,
+					PPS:    pps / float64(cfg.WorkersPerSocket),
+				})
+			}
+		}
+		port := netio.NewPortWithQueues(hw, specs, top.RxQueueCapacity)
 		for _, q := range port.Rx {
 			q.SetStop(s.stopTime)
 			q.Tracer = cfg.Tracer
@@ -103,7 +156,8 @@ func NewSystem(cfg Config) (*System, error) {
 		s.ports = append(s.ports, port)
 	}
 
-	// Workers: WorkersPerSocket per socket, each with a replicated graph.
+	// Workers: WorkersPerSocket per socket, each hosting one lane (graph
+	// replica + aggregator + queue set) per tenant.
 	id := 0
 	for socket := 0; socket < top.Sockets; socket++ {
 		localPorts := top.PortsOnSocket(socket)
@@ -118,67 +172,83 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 	}
 
-	// Adaptive load balancer controllers, one per socket that has shared
-	// LB state (created by LoadBalance elements during Configure).
+	// Adaptive load balancer controllers, one per (socket, tenant) that has
+	// shared LB state (created by LoadBalance elements during Configure).
 	for socket := 0; socket < top.Sockets; socket++ {
-		if st, ok := s.nodeLocals[socket].Get(lb.StateKey).(*lb.State); ok && st.AdaptiveUsers > 0 {
-			ctl := lb.NewController(st)
-			ctl.Bound = cfg.ALBLatencyBound
-			ctl.Tracer = cfg.Tracer
-			ctl.TraceNow = s.eng.Now
-			ctl.TraceActor = int32(socket)
-			ctl.Checker = cfg.Checker
-			s.controllers = append(s.controllers, ctl)
-		} else {
-			s.controllers = append(s.controllers, nil)
+		row := make([]*lb.Controller, len(s.tenants))
+		for t := range s.tenants {
+			if st, ok := s.nodeLocals[socket][t].Get(lb.StateKey).(*lb.State); ok && st.AdaptiveUsers > 0 {
+				ctl := lb.NewController(st)
+				ctl.Bound = cfg.ALBLatencyBound
+				ctl.Tracer = cfg.Tracer
+				ctl.TraceNow = s.eng.Now
+				ctl.TraceActor = int32(socket)
+				ctl.TraceTenant = int32(t)
+				ctl.Checker = cfg.Checker
+				row[t] = ctl
+			}
 		}
+		s.controllers = append(s.controllers, row)
 	}
 
-	// Overload governors, one per socket when overload control is armed.
+	// Overload governors, one per (socket, tenant) when overload control is
+	// armed: each tenant degrades (trim → bias → shed) on its own signals.
 	if cfg.Overload != nil {
 		for socket := 0; socket < top.Sockets; socket++ {
-			s.governors = append(s.governors, overload.NewGovernor(*cfg.Overload))
+			row := make([]*overload.Governor, len(s.tenants))
+			for t := range row {
+				row[t] = overload.NewGovernor(*cfg.Overload)
+			}
+			s.governors = append(s.governors, row)
 		}
 	}
 
 	return s, nil
 }
 
-// overloadLevel returns the socket's current governor level, LevelNormal
-// when overload control is disabled.
-func (s *System) overloadLevel(socket int) overload.Level {
+// overloadLevel returns a tenant's current governor level on a socket,
+// LevelNormal when overload control is disabled.
+func (s *System) overloadLevel(socket int, tenant int32) overload.Level {
 	if socket >= len(s.governors) {
 		return overload.LevelNormal
 	}
-	return s.governors[socket].Level()
+	return s.governors[socket][tenant].Level()
 }
 
 // Engine exposes the virtual clock (for tests and the bench harness).
 func (s *System) Engine() *simtime.Engine { return s.eng }
 
-// Controllers returns the per-socket adaptive controllers (nil entries for
-// sockets without LB state).
-func (s *System) Controllers() []*lb.Controller { return s.controllers }
+// Controllers returns socket-major per-tenant adaptive controllers (nil
+// entries for (socket, tenant) pairs without LB state).
+func (s *System) Controllers() [][]*lb.Controller { return s.controllers }
 
-// deviceFor resolves a batch's device annotation (1 = first local device)
-// for a worker's socket.
-func (s *System) deviceFor(socket, anno int) (*gpu.Device, error) {
+// deviceFor resolves a batch's device annotation through the placement
+// policy (the scheduler stage's placement decision) for a tenant on a
+// worker's socket.
+func (s *System) deviceFor(socket int, tenant int32, anno int) (*gpu.Device, error) {
 	local := s.cfg.Topology.DevicesOnSocket(socket)
-	idx := anno - 1
+	idx := s.placement.DeviceFor(int(tenant), anno, len(local))
 	if idx < 0 || idx >= len(local) {
-		return nil, fmt.Errorf("core: socket %d has no device for annotation %d", socket, anno)
+		return nil, fmt.Errorf("core: socket %d has no device for tenant %d annotation %d", socket, tenant, anno)
 	}
 	return s.devices[local[idx]], nil
 }
 
-// applyRate pushes the current composed offered load (nominal rate ×
-// burst factor, under the current generator's frame mix) to every queue.
+// applyRate pushes the current composed offered load (nominal rate × burst
+// factor, split by tenant share × rate-scale under each tenant's generator
+// frame mix) to every queue. Queues flapped down by fault injection keep
+// receiving their share — the NIC's RSS hash does not know a ring died —
+// and shed it by head-drop accounting once the ring fills (see
+// netio.RxQueue.SetDown); re-steering load away from a dead queue would
+// silently hide the loss.
 func (s *System) applyRate() {
-	pps := netio.OfferedPPS(s.curBps*s.rateFactor, s.curGen)
 	now := s.eng.Now()
+	nq := float64(s.cfg.WorkersPerSocket)
 	for _, p := range s.ports {
 		for _, q := range p.Rx {
-			q.SetRate(now, pps/float64(len(p.Rx)))
+			t := int(q.Tenant)
+			pps := netio.OfferedPPS(s.curBps*s.rateFactor*s.shareFrac[t]*s.tenants[t].RateScale, s.curGens[t])
+			q.SetRate(now, pps/nq)
 		}
 	}
 }
@@ -223,7 +293,10 @@ func (s *System) applyFault(ev fault.Event) {
 // Run executes the configured workload and returns the measurement report.
 func (s *System) Run() (*Report, error) {
 	s.curBps = s.cfg.OfferedBpsPerPort
-	s.curGen = s.cfg.Generator
+	s.curGens = make([]netio.Generator, len(s.tenants))
+	for t := range s.tenants {
+		s.curGens[t] = s.tenants[t].Generator
+	}
 	s.rateFactor = 1
 
 	// Stagger worker start times by one cycle each so their first events
@@ -261,14 +334,15 @@ func (s *System) Run() (*Report, error) {
 	}
 
 	// Workload (generator) changes: swap the traffic mix, preserving the
-	// offered wire rate under the new mean frame size.
+	// offered wire rate under the new mean frame size. Config validation
+	// restricts these to single-tenant runs, so tenant 0 owns all queues.
 	for _, gc := range s.cfg.GeneratorChanges {
 		gc := gc
 		if gc.At > s.stopTime || gc.Generator == nil {
 			continue
 		}
 		s.eng.At(gc.At, func() {
-			s.curGen = gc.Generator
+			s.curGens[0] = gc.Generator
 			for _, p := range s.ports {
 				for _, q := range p.Rx {
 					q.SetGenerator(gc.Generator)
@@ -291,8 +365,8 @@ func (s *System) Run() (*Report, error) {
 	}
 
 	// Scripted fault timeline. Sorted() fixes the application order for
-	// same-time events, and the engine's scheduling sequence breaks ties
-	// against other events deterministically.
+	// same-time events (stable in plan order), and the engine's scheduling
+	// sequence breaks ties against other events deterministically.
 	if plan := s.cfg.FaultPlan; plan != nil {
 		for _, ev := range plan.Sorted() {
 			ev := ev
@@ -300,66 +374,74 @@ func (s *System) Run() (*Report, error) {
 		}
 	}
 
-	// ALB control loop: observe socket throughput, update the shared W.
-	for socket, ctl := range s.controllers {
-		if ctl == nil {
-			continue
-		}
-		ctl := ctl
-		socket := socket
-		var lastPkts uint64
-		var lastT simtime.Time
-		var observe func()
-		observe = func() {
-			now := s.eng.Now()
-			pkts := s.socketTxPackets(socket)
-			if now > lastT {
-				ctl.Observe(float64(pkts-lastPkts) / (now - lastT).Seconds())
+	// ALB control loops: observe each tenant's socket throughput, update
+	// that tenant's shared W. Socket-major, tenant-minor registration keeps
+	// the single-tenant event timeline identical to the pre-tenancy code.
+	for socket := range s.controllers {
+		for tenant, ctl := range s.controllers[socket] {
+			if ctl == nil {
+				continue
 			}
-			lastPkts, lastT = pkts, now
-			if now < s.stopTime {
-				s.eng.After(s.cfg.ALBObserve, observe)
-			}
-		}
-		s.eng.After(s.cfg.ALBObserve, observe)
-
-		var lastFails uint64
-		var update func()
-		update = func() {
-			// Completion failures since the last step steer the controller:
-			// a failing device forces W toward the CPU regardless of the
-			// throughput signal.
-			fails := s.socketTaskFailures(socket)
-			ctl.NoteTaskFailures(int(fails - lastFails))
-			lastFails = fails
-			if ctl.Bound > 0 {
-				ctl.UpdateWithLatency(s.socketRecentP99(socket))
-			} else {
-				ctl.Update()
-			}
-			if s.eng.Now() < s.stopTime {
-				s.eng.After(s.cfg.ALBUpdate, update)
-			}
-		}
-		s.eng.After(s.cfg.ALBUpdate, update)
-	}
-
-	// Overload governor loop: once per window per socket, fold a saturation
-	// observation and apply the resulting degradation level. Armed only when
-	// overload control is configured, so ordinary runs keep their exact
-	// event timeline (and their golden trace digests).
-	if oc := s.cfg.Overload; oc != nil {
-		for socket := range s.governors {
+			ctl := ctl
 			socket := socket
-			var prevDrops, prevShed uint64
-			var tick func()
-			tick = func() {
-				s.governorTick(socket, &prevDrops, &prevShed)
-				if s.eng.Now() < s.stopTime {
-					s.eng.After(oc.GovernorWindow, tick)
+			tenant := tenant
+			var lastPkts uint64
+			var lastT simtime.Time
+			var observe func()
+			observe = func() {
+				now := s.eng.Now()
+				pkts := s.tenantTxPackets(socket, tenant)
+				if now > lastT {
+					ctl.Observe(float64(pkts-lastPkts) / (now - lastT).Seconds())
+				}
+				lastPkts, lastT = pkts, now
+				if now < s.stopTime {
+					s.eng.After(s.cfg.ALBObserve, observe)
 				}
 			}
-			s.eng.After(oc.GovernorWindow, tick)
+			s.eng.After(s.cfg.ALBObserve, observe)
+
+			var lastFails uint64
+			var update func()
+			update = func() {
+				// Completion failures since the last step steer the controller:
+				// a failing device forces W toward the CPU regardless of the
+				// throughput signal.
+				fails := s.tenantTaskFailures(socket, tenant)
+				ctl.NoteTaskFailures(int(fails - lastFails))
+				lastFails = fails
+				if ctl.Bound > 0 {
+					ctl.UpdateWithLatency(s.tenantRecentP99(socket, tenant))
+				} else {
+					ctl.Update()
+				}
+				if s.eng.Now() < s.stopTime {
+					s.eng.After(s.cfg.ALBUpdate, update)
+				}
+			}
+			s.eng.After(s.cfg.ALBUpdate, update)
+		}
+	}
+
+	// Overload governor loops: once per window per (socket, tenant), fold a
+	// saturation observation and apply the resulting degradation level.
+	// Armed only when overload control is configured, so ordinary runs keep
+	// their exact event timeline (and their golden trace digests).
+	if oc := s.cfg.Overload; oc != nil {
+		for socket := range s.governors {
+			for tenant := range s.governors[socket] {
+				socket := socket
+				tenant := tenant
+				var prevDrops, prevShed uint64
+				var tick func()
+				tick = func() {
+					s.governorTick(socket, tenant, &prevDrops, &prevShed)
+					if s.eng.Now() < s.stopTime {
+						s.eng.After(oc.GovernorWindow, tick)
+					}
+				}
+				s.eng.After(oc.GovernorWindow, tick)
+			}
 		}
 	}
 
@@ -390,13 +472,13 @@ func (s *System) Run() (*Report, error) {
 	return s.report(), nil
 }
 
-// governorTick runs one overload-governor window for a socket: observe
-// saturation (bounded device queue full or backlogged = device-side; RX
-// drops or sheds still accruing = CPU-side), fold it into the governor and
-// apply the resulting degradation level.
-func (s *System) governorTick(socket int, prevDrops, prevShed *uint64) {
+// governorTick runs one overload-governor window for a (socket, tenant):
+// observe saturation (bounded device queue full or backlogged = device-side,
+// shared across tenants; that tenant's RX drops or sheds still accruing =
+// CPU-side) and apply the resulting degradation level to the tenant alone.
+func (s *System) governorTick(socket, tenant int, prevDrops, prevShed *uint64) {
 	oc := s.cfg.Overload
-	g := s.governors[socket]
+	g := s.governors[socket][tenant]
 	now := s.eng.Now()
 
 	devSat := false
@@ -408,34 +490,35 @@ func (s *System) governorTick(socket int, prevDrops, prevShed *uint64) {
 			break
 		}
 	}
-	drops := s.socketRxDropped(socket)
-	shed := s.socketShed(socket)
+	drops := s.tenantRxDropped(socket, tenant)
+	shed := s.tenantShed(socket, tenant)
 	cpuSat := drops > *prevDrops || shed > *prevShed
 	*prevDrops, *prevShed = drops, shed
 
 	old := g.Level()
 	lvl, changed := g.Observe(devSat || cpuSat)
 	if changed {
-		// Trim: shrink the offload aggregation age so packets stop maturing
-		// behind a congested device; restore it on recovery below Trim.
+		// Trim: shrink the offload aggregation age so the tenant's packets
+		// stop maturing behind a congested device; restore it on recovery
+		// below Trim.
 		scale := 1.0
 		if lvl >= overload.LevelTrim {
 			scale = oc.TrimAgeScale
 		}
 		for _, w := range s.workers {
 			if w.socket == socket {
-				w.agg.AgeScale = scale
+				w.lanes[tenant].agg.AgeScale = scale
 			}
 		}
 		// Leaving Bias on the way up releases the ALB weight bounds.
 		if lvl < overload.LevelBias && old >= overload.LevelBias {
-			if ctl := s.controllers[socket]; ctl != nil {
+			if ctl := s.controllers[socket][tenant]; ctl != nil {
 				ctl.SetWBounds(0, 1)
-				s.emitBias(socket, 0, 1, devSat, cpuSat)
+				s.emitBias(socket, tenant, 0, 1, devSat, cpuSat)
 			}
 		}
 		if tr := s.cfg.Tracer; tr != nil {
-			tr.Emit(now, trace.KindOverloadLevel, int32(socket), lvl.String(),
+			tr.EmitT(now, trace.KindOverloadLevel, int32(socket), int32(tenant), lvl.String(),
 				int64(lvl), int64(old), b2i(devSat), b2i(cpuSat))
 		}
 	}
@@ -444,7 +527,7 @@ func (s *System) governorTick(socket int, prevDrops, prevShed *uint64) {
 	// uncongested processor (device congested → ceiling down toward the CPU,
 	// CPU congested → floor up toward the device).
 	if lvl >= overload.LevelBias && devSat != cpuSat {
-		if ctl := s.controllers[socket]; ctl != nil {
+		if ctl := s.controllers[socket][tenant]; ctl != nil {
 			lo, hi := ctl.WBounds()
 			if devSat {
 				hi = math.Max(lo, hi-oc.BiasStep)
@@ -452,14 +535,14 @@ func (s *System) governorTick(socket int, prevDrops, prevShed *uint64) {
 				lo = math.Min(hi, lo+oc.BiasStep)
 			}
 			ctl.SetWBounds(lo, hi)
-			s.emitBias(socket, lo, hi, devSat, cpuSat)
+			s.emitBias(socket, tenant, lo, hi, devSat, cpuSat)
 		}
 	}
 }
 
-func (s *System) emitBias(socket int, lo, hi float64, devSat, cpuSat bool) {
+func (s *System) emitBias(socket, tenant int, lo, hi float64, devSat, cpuSat bool) {
 	if tr := s.cfg.Tracer; tr != nil {
-		tr.Emit(s.eng.Now(), trace.KindOverloadBias, int32(socket), "bias",
+		tr.EmitT(s.eng.Now(), trace.KindOverloadBias, int32(socket), int32(tenant), "bias",
 			int64(math.Float64bits(lo)), int64(math.Float64bits(hi)),
 			b2i(devSat), b2i(cpuSat))
 	}
@@ -472,62 +555,111 @@ func b2i(b bool) int64 {
 	return 0
 }
 
-// socketRxDropped sums cumulative RX overflow + alloc-failure drops over the
-// socket's ports.
-func (s *System) socketRxDropped(socket int) uint64 {
+// tenantRxDropped sums cumulative RX overflow + alloc-failure drops over one
+// tenant's queues on the socket's ports.
+func (s *System) tenantRxDropped(socket, tenant int) uint64 {
 	var total uint64
 	for _, pid := range s.cfg.Topology.PortsOnSocket(socket) {
-		_, dr, af := s.ports[pid].RxStats()
-		total += dr + af
-	}
-	return total
-}
-
-// socketShed sums cumulative overload-control activity (shed packets plus
-// admission rejections) over the socket's workers.
-func (s *System) socketShed(socket int) uint64 {
-	var total uint64
-	for _, w := range s.workers {
-		if w.socket == socket {
-			total += w.shedPkts + w.rejectedTasks
+		for _, q := range s.ports[pid].Rx {
+			if int(q.Tenant) != tenant {
+				continue
+			}
+			_, dr, af := q.Stats()
+			total += dr + af
 		}
 	}
 	return total
 }
 
-// socketRecentP99 merges and resets the per-worker latency windows of one
-// socket, returning the p99 observed since the last ALB update.
-func (s *System) socketRecentP99(socket int) simtime.Time {
+// tenantShed sums cumulative overload-control activity (shed packets plus
+// admission rejections) over one tenant's lanes on a socket.
+func (s *System) tenantShed(socket, tenant int) uint64 {
+	var total uint64
+	for _, w := range s.workers {
+		if w.socket == socket {
+			ln := w.lanes[tenant]
+			total += ln.shedPkts + ln.rejectedTasks
+		}
+	}
+	return total
+}
+
+// tenantRecentP99 merges and resets one tenant's per-lane latency windows on
+// a socket, returning the p99 observed since the last ALB update.
+func (s *System) tenantRecentP99(socket, tenant int) simtime.Time {
 	var merged stats.Hist
 	for _, w := range s.workers {
 		if w.socket == socket {
-			merged.Merge(&w.recentLat)
-			w.recentLat.Reset()
+			ln := w.lanes[tenant]
+			merged.Merge(&ln.recentLat)
+			ln.recentLat.Reset()
 		}
 	}
 	return merged.Percentile(99)
 }
 
-func (s *System) socketTxPackets(socket int) uint64 {
+func (s *System) tenantTxPackets(socket, tenant int) uint64 {
 	var total uint64
 	for _, w := range s.workers {
 		if w.socket == socket {
-			total += w.txPackets
+			total += w.lanes[tenant].txPackets
 		}
 	}
 	return total
 }
 
-// socketTaskFailures counts failed plus timed-out offload tasks across one
-// socket's workers (cumulative).
-func (s *System) socketTaskFailures(socket int) uint64 {
+// tenantTaskFailures counts failed plus timed-out offload tasks across one
+// tenant's lanes on a socket (cumulative).
+func (s *System) tenantTaskFailures(socket, tenant int) uint64 {
 	var total uint64
 	for _, w := range s.workers {
 		if w.socket == socket {
-			total += w.failedTasks + w.timedOutTasks
+			ln := w.lanes[tenant]
+			total += ln.failedTasks + ln.timedOutTasks
 		}
 	}
 	return total
+}
+
+// TenantReport is one tenant's slice of a run: the per-tenant sides of the
+// conservation identity, its latency distribution, its replay-stable trace
+// sub-digest and its SLO verdict.
+type TenantReport struct {
+	// Name is the tenant's configured name ("" for the implicit tenant of
+	// a single-app run).
+	Name string
+	// RxDelivered / RxDropped / AllocFailed aggregate the tenant's queues
+	// over the whole run.
+	RxDelivered uint64
+	RxDropped   uint64
+	AllocFailed uint64
+	// TxPackets + GraphDrops + ShedPackets must equal RxDelivered for a
+	// drained run (the per-tenant conservation identity).
+	TxPackets   uint64
+	GraphDrops  uint64
+	ShedPackets uint64
+	// TxGbps is the tenant's transmitted wire throughput over the
+	// measurement window.
+	TxGbps float64
+	// OffloadedPackets / FallbackPackets / FailedTasks / TimedOutTasks /
+	// RejectedTasks are the tenant's offload-path counters.
+	OffloadedPackets uint64
+	FallbackPackets  uint64
+	FailedTasks      uint64
+	TimedOutTasks    uint64
+	RejectedTasks    uint64
+	// Latency is the tenant's end-to-end latency distribution over the
+	// measurement window.
+	Latency stats.Hist
+	// FinalW is the tenant's socket-0 offloading fraction at the end.
+	FinalW float64
+	// SLOP999 echoes the configured objective; SLOMet reports whether the
+	// measured p99.9 met it (true when no objective was set).
+	SLOP999 simtime.Time
+	SLOMet  bool
+	// Digest is the tenant's trace sub-digest ("" when the run's tracer
+	// was nil or tenancy was implicit).
+	Digest string
 }
 
 // Report is the outcome of a run.
@@ -548,9 +680,10 @@ type Report struct {
 	// Latency is the end-to-end latency distribution of packets
 	// transmitted during the measurement window.
 	Latency stats.Hist
-	// FinalW is the offloading fraction at the end (adaptive runs).
+	// FinalW is the offloading fraction at the end (adaptive runs, first
+	// tenant).
 	FinalW float64
-	// LBTrace is socket 0's controller trace.
+	// LBTrace is socket 0's first-tenant controller trace.
 	LBTrace []lb.TracePoint
 	// DeviceStats snapshots each accelerator.
 	DeviceStats []gpu.Stats
@@ -585,7 +718,8 @@ type Report struct {
 	// DeviceQueueDepth (the queue.bound invariant).
 	DeviceQueueHWM int
 	// OverloadPeak / OverloadFinal are the most severe and final governor
-	// levels across sockets (always normal when overload control is off).
+	// levels across sockets and tenants (always normal when overload
+	// control is off).
 	OverloadPeak  overload.Level
 	OverloadFinal overload.Level
 	// TailGbps is the throughput over the last quarter of the measurement
@@ -594,16 +728,32 @@ type Report struct {
 	// Capture holds the first Config.CaptureTx transmitted frames.
 	Capture []netio.CapturedPacket
 	// NodeStats aggregates per-element-instance counters across all worker
-	// replicas, keyed by the instance name from the configuration.
+	// replicas, keyed by the instance name from the configuration; in
+	// multi-tenant runs the key is "tenantName/instanceName".
 	NodeStats map[string]NodeStat
 	// PoolOutstanding is the number of packets still outstanding at the
 	// end — must be zero after a drained run (conservation check).
 	PoolOutstanding int
+	// Tenants is the per-tenant breakdown (one entry per configured tenant;
+	// a single implicit entry with Name "" for classic single-app runs).
+	Tenants []TenantReport
 }
 
 func (s *System) report() *Report {
-	r := &Report{Measured: s.eng.Now() - s.cfg.Warmup}
-	if s.eng.Now() > s.stopTime {
+	now := s.eng.Now()
+	// Finalize RX accounting before reading queue stats: load offered to a
+	// queue that ended the run flapped down (or was last polled before the
+	// end) becomes head-drop overflow in the drop counters instead of
+	// vanishing between the last poll and the end of the run. No trace
+	// events are emitted — the engine has stopped, digests are sealed.
+	for _, p := range s.ports {
+		for _, q := range p.Rx {
+			q.FinalizeAccounting(now)
+		}
+	}
+
+	r := &Report{Measured: now - s.cfg.Warmup}
+	if now > s.stopTime {
 		r.Measured = s.stopTime - s.cfg.Warmup
 	}
 	for _, p := range s.ports {
@@ -622,15 +772,17 @@ func (s *System) report() *Report {
 		}
 	}
 	for _, w := range s.workers {
-		r.Latency.Merge(&w.latency)
-		r.GraphDrops += w.graphDrops()
-		r.TxPackets += w.txPackets
-		r.OffloadedPackets += w.offloadedPkts
-		r.FallbackPackets += w.fallbackPkts
-		r.FailedTasks += w.failedTasks
-		r.TimedOutTasks += w.timedOutTasks
-		r.ShedPackets += w.shedPkts
-		r.RejectedTasks += w.rejectedTasks
+		for _, ln := range w.lanes {
+			r.Latency.Merge(&ln.latency)
+			r.GraphDrops += ln.graphDrops()
+			r.TxPackets += ln.txPackets
+			r.OffloadedPackets += ln.offloadedPkts
+			r.FallbackPackets += ln.fallbackPkts
+			r.FailedTasks += ln.failedTasks
+			r.TimedOutTasks += ln.timedOutTasks
+			r.ShedPackets += ln.shedPkts
+			r.RejectedTasks += ln.rejectedTasks
+		}
 		if w.inflightHWM > r.WorkerInflightHWM {
 			r.WorkerInflightHWM = w.inflightHWM
 		}
@@ -643,12 +795,14 @@ func (s *System) report() *Report {
 			r.DeviceQueueHWM = st.MaxQueued
 		}
 	}
-	for _, g := range s.governors {
-		if g.Peak() > r.OverloadPeak {
-			r.OverloadPeak = g.Peak()
-		}
-		if g.Level() > r.OverloadFinal {
-			r.OverloadFinal = g.Level()
+	for _, row := range s.governors {
+		for _, g := range row {
+			if g.Peak() > r.OverloadPeak {
+				r.OverloadPeak = g.Peak()
+			}
+			if g.Level() > r.OverloadFinal {
+				r.OverloadFinal = g.Level()
+			}
 		}
 	}
 	if dt := (s.stopTime - s.tailMarkTime).Seconds(); s.tailMarkTime > 0 && dt > 0 {
@@ -658,24 +812,76 @@ func (s *System) report() *Report {
 		}
 		r.TailGbps = stats.Gbps(float64(bytes) * 8 / dt)
 	}
-	if ctl := s.controllers[0]; ctl != nil {
+	if ctl := s.controllers[0][0]; ctl != nil {
 		r.FinalW = ctl.W()
 		r.LBTrace = ctl.Trace
 	}
 	r.Capture = s.captured
 	r.NodeStats = map[string]NodeStat{}
 	for _, w := range s.workers {
-		for _, n := range w.g.Nodes {
-			st := r.NodeStats[n.Name]
-			st.Processed += n.Processed
-			st.Dropped += n.Dropped
-			st.Splits += n.Splits
-			st.Reuses += n.Reuses
-			r.NodeStats[n.Name] = st
+		for _, ln := range w.lanes {
+			prefix := ""
+			if name := s.tenants[ln.tenant].Name; name != "" {
+				prefix = name + "/"
+			}
+			for _, n := range ln.g.Nodes {
+				key := prefix + n.Name
+				st := r.NodeStats[key]
+				st.Processed += n.Processed
+				st.Dropped += n.Dropped
+				st.Splits += n.Splits
+				st.Reuses += n.Reuses
+				r.NodeStats[key] = st
+			}
 		}
 	}
+	s.tenantReports(r)
 	s.endOfRunChecks(r)
 	return r
+}
+
+// tenantReports fills the per-tenant breakdown.
+func (s *System) tenantReports(r *Report) {
+	r.Tenants = make([]TenantReport, len(s.tenants))
+	measured := r.Measured.Seconds()
+	for t := range s.tenants {
+		tr := &r.Tenants[t]
+		tr.Name = s.tenants[t].Name
+		tr.SLOP999 = s.tenants[t].SLOP999
+		for _, p := range s.ports {
+			for _, q := range p.Rx {
+				if int(q.Tenant) != t {
+					continue
+				}
+				d, dr, af := q.Stats()
+				tr.RxDelivered += d
+				tr.RxDropped += dr
+				tr.AllocFailed += af
+			}
+		}
+		var wireBytes uint64
+		for _, w := range s.workers {
+			ln := w.lanes[t]
+			tr.TxPackets += ln.txPackets
+			tr.GraphDrops += ln.graphDrops()
+			tr.ShedPackets += ln.shedPkts
+			tr.OffloadedPackets += ln.offloadedPkts
+			tr.FallbackPackets += ln.fallbackPkts
+			tr.FailedTasks += ln.failedTasks
+			tr.TimedOutTasks += ln.timedOutTasks
+			tr.RejectedTasks += ln.rejectedTasks
+			tr.Latency.Merge(&ln.latency)
+			wireBytes += ln.txWireBytesMeasured
+		}
+		if measured > 0 {
+			tr.TxGbps = stats.Gbps(float64(wireBytes) * 8 / measured)
+		}
+		if ctl := s.controllers[0][t]; ctl != nil {
+			tr.FinalW = ctl.W()
+		}
+		tr.SLOMet = tr.SLOP999 <= 0 || tr.Latency.Percentile(99.9) <= tr.SLOP999
+		tr.Digest = s.cfg.Tracer.TenantDigest(t)
+	}
 }
 
 // endOfRunChecks runs the drain-time invariants. With a checker attached,
@@ -711,9 +917,17 @@ func (s *System) endOfRunChecks(r *Report) {
 	}
 	// Packet conservation over the whole run: every NIC-delivered packet is
 	// accounted exactly once as transmitted, dropped inside a pipeline, or
-	// shed by overload control.
+	// shed by overload control — globally and within each tenant, so no
+	// tenant's loss can hide behind a co-tenant's surplus.
 	if drained {
 		ck.Conservation(now, r.RxDelivered, r.TxPackets, r.GraphDrops, r.ShedPackets)
+		for _, tr := range r.Tenants {
+			name := tr.Name
+			if name == "" {
+				name = "t0"
+			}
+			ck.TenantConservation(now, name, tr.RxDelivered, tr.TxPackets, tr.GraphDrops, tr.ShedPackets)
+		}
 	}
 	for i, d := range s.devices {
 		st := d.Stats()
@@ -741,7 +955,9 @@ type NodeStat struct {
 	Reuses    uint64
 }
 
-// newWorkerRand derives a deterministic per-worker PRNG.
-func (s *System) newWorkerRand(id int) *rng.Rand {
-	return rng.New(s.cfg.Seed*0x9E3779B97F4A7C15 + uint64(id) + 1)
+// newLaneRand derives a deterministic PRNG per (worker, tenant) lane. The
+// tenant-0 stream is identical to the pre-tenancy per-worker stream, which
+// single-tenant digest stability depends on.
+func (s *System) newLaneRand(id int, tenant int32) *rng.Rand {
+	return rng.New(s.cfg.Seed*0x9E3779B97F4A7C15 + uint64(id) + 1 + uint64(tenant)*0x9D2C5680F4A7C159)
 }

@@ -12,8 +12,10 @@ import (
 	"nba/internal/offload"
 	"nba/internal/overload"
 	"nba/internal/packet"
+	"nba/internal/sched"
 	"nba/internal/simtime"
 	"nba/internal/stats"
+	"nba/internal/sysinfo"
 	"nba/internal/trace"
 )
 
@@ -22,6 +24,7 @@ import (
 // can race without double-processing: whichever fires first sets done, the
 // rest become no-ops.
 type inflightTask struct {
+	ln      *lane // the tenant lane the aggregate belongs to
 	pending *offload.Pending
 	task    *gpu.Task
 	timer   simtime.Timer // completion timeout, zero when disabled
@@ -43,33 +46,75 @@ type completion struct {
 	timedOut bool
 }
 
-// worker is one worker thread: a replicated pipeline on its own core,
-// polling its RSS RX queues in a run-to-completion IO loop (paper §3.2,
-// Figure 6).
+// lane is one tenant's slice of a worker: its pipeline replica, its RX
+// queues on the local ports, its offload aggregator and CoDel state, and
+// every per-tenant counter, so each packet's whole journey is attributed to
+// the tenant whose queue delivered it. A single-tenant run has exactly one
+// lane and behaves bit-identically to the pre-tenancy worker.
+type lane struct {
+	tenant int32
+	g      *graph.Graph
+	pctx   element.ProcContext
+
+	rxqs []*netio.RxQueue
+	agg  *offload.Aggregator
+
+	// Overload control (armed only when cfg.Overload is set).
+	codel   overload.CoDel
+	codelOn bool
+
+	// Stats.
+	txPackets           uint64
+	txWireBytesMeasured uint64 // wire bytes transmitted inside the measurement window
+	latency             stats.Hist
+	recentLat           stats.Hist // since the last ALB update (bounded-latency LB)
+	latencySkip         int
+	offloadedPkts       uint64
+	splitDropped        uint64 // packets dropped by the framework outside any element (batch alloc failure, offload misconfig)
+	fallbackPkts        uint64 // packets rescued onto the CPU after a task failure/timeout
+	failedTasks         uint64 // tasks completed by the device as failed
+	timedOutTasks       uint64 // tasks rescued by the completion timeout
+	shedPkts            uint64 // packets dropped by overload control (CoDel or admission shed)
+	rejectedTasks       uint64 // device submissions refused by admission control
+}
+
+// graphDrops sums packets dropped inside this lane's pipeline.
+func (ln *lane) graphDrops() uint64 {
+	total := ln.splitDropped + ln.g.DropUnrouted
+	for _, n := range ln.g.Nodes {
+		total += n.Dropped
+	}
+	return total
+}
+
+// worker is one worker thread: a replicated pipeline per tenant on its own
+// core, polling its RSS RX queues in a run-to-completion IO loop (paper
+// §3.2, Figure 6). Multi-tenant workers interleave their lanes under a
+// share-weighted round-robin so one tenant's burst cannot monopolise the
+// iteration budget.
 type worker struct {
 	sys    *System
 	id     int // global worker ID
 	socket int
 	local  int // index among the socket's workers (selects RX queues)
 
-	g    *graph.Graph
-	pctx element.ProcContext
+	lanes []*lane
+	// cur is the lane whose graph is executing; the Env callbacks attribute
+	// transmissions, drops and offloads to it. Set before any pipeline entry
+	// (injection, flush, resume).
+	cur *lane
+	// wrr orders lanes within each iteration by tenant share, so RX-budget
+	// exhaustion rotates fairly instead of starving high-index tenants.
+	wrr *sched.WRR
 
-	rxqs      []*netio.RxQueue
-	portOf    []int // rxqs[i] belongs to s.ports[portOf[i]]
 	pktPool   *netio.PacketPool
 	batchPool *batch.Pool
-	agg       *offload.Aggregator
 
 	completions  *mempool.Ring[completion]
 	sockDev      *gpu.Device // first local device (admission signal), may be nil
 	inflight     int         // outstanding device tasks
 	inflightPkts int
 	inflightHWM  int // high watermark of outstanding device tasks
-
-	// Overload control (armed only when cfg.Overload is set).
-	codel   overload.CoDel
-	codelOn bool
 
 	// cycles accumulates cost within the current IO-loop iteration.
 	cycles    simtime.Cycles
@@ -79,19 +124,6 @@ type worker struct {
 	// iterateFn is the method value w.iterate, bound once at construction so
 	// rescheduling the IO loop every iteration does not allocate a closure.
 	iterateFn func()
-
-	// Stats.
-	txPackets     uint64
-	latency       stats.Hist
-	recentLat     stats.Hist // since the last ALB update (bounded-latency LB)
-	latencySkip   int
-	offloadedPkts uint64
-	splitDropped  uint64 // packets dropped by the framework outside any element (batch alloc failure, offload misconfig)
-	fallbackPkts  uint64 // packets rescued onto the CPU after a task failure/timeout
-	failedTasks   uint64 // tasks completed by the device as failed
-	timedOutTasks uint64 // tasks rescued by the completion timeout
-	shedPkts      uint64 // packets dropped by overload control (CoDel or admission shed)
-	rejectedTasks uint64 // device submissions refused by admission control
 }
 
 func newWorker(s *System, id, socket, local int, localPorts, localDevs []int) (*worker, error) {
@@ -101,53 +133,60 @@ func newWorker(s *System, id, socket, local int, localPorts, localDevs []int) (*
 		socket: socket,
 		local:  local,
 	}
-	cctx := &element.ConfigContext{
-		Socket:     socket,
-		Worker:     id,
-		NodeLocal:  s.nodeLocals[socket],
-		NumPorts:   len(s.cfg.Topology.Ports),
-		NumDevices: len(localDevs),
-		Rand:       s.newWorkerRand(id),
+	for t := range s.tenants {
+		ln := &lane{tenant: int32(t)}
+		cctx := &element.ConfigContext{
+			Socket:     socket,
+			Worker:     id,
+			NodeLocal:  s.nodeLocals[socket][t],
+			NumPorts:   len(s.cfg.Topology.Ports),
+			NumDevices: len(localDevs),
+			Rand:       s.newLaneRand(id, int32(t)),
+		}
+		g, err := graph.Build(s.parsed[t], cctx, s.cfg.CostModel, *s.cfg.GraphOpts)
+		if err != nil {
+			return nil, fmt.Errorf("core: worker %d tenant %d: %w", id, t, err)
+		}
+		ln.g = g
+		if s.cfg.Tracer != nil {
+			ln.g.Tracer = s.cfg.Tracer
+			ln.g.TraceNow = w.now
+			ln.g.TraceActor = int32(id)
+			ln.g.TraceTenant = int32(t)
+		}
+		ln.pctx = element.ProcContext{
+			Worker:    id,
+			Socket:    socket,
+			NodeLocal: s.nodeLocals[socket][t],
+			Rand:      cctx.Rand,
+			CostScale: 1,
+		}
+		// Memory-bandwidth contention: mild per-extra-worker inflation
+		// (paper Figure 11a's per-core droop).
+		ln.pctx.CostScale = 1 + s.cfg.CostModel.MemContentionPerWorker*float64(s.cfg.WorkersPerSocket-1)
+		if s.cfg.ForceRemoteMemory {
+			ln.pctx.CostScale *= s.cfg.CostModel.NUMAPenalty
+		}
+		// Tenant-major queue carve: tenant t's queue for this worker is
+		// index t*WorkersPerSocket+local on every local port.
+		for _, pid := range localPorts {
+			ln.rxqs = append(ln.rxqs, s.ports[pid].Rx[t*s.cfg.WorkersPerSocket+local])
+		}
+		ln.agg = offload.NewAggregator(s.cfg.CostModel)
+		if oc := s.cfg.Overload; oc != nil && oc.CoDelTarget > 0 {
+			ln.codel = overload.CoDel{Target: oc.CoDelTarget, Interval: oc.CoDelInterval}
+			ln.codelOn = true
+		}
+		w.lanes = append(w.lanes, ln)
 	}
-	g, err := graph.Build(s.parsed, cctx, s.cfg.CostModel, *s.cfg.GraphOpts)
-	if err != nil {
-		return nil, fmt.Errorf("core: worker %d: %w", id, err)
-	}
-	w.g = g
-	if s.cfg.Tracer != nil {
-		w.g.Tracer = s.cfg.Tracer
-		w.g.TraceNow = w.now
-		w.g.TraceActor = int32(id)
-	}
-	w.pctx = element.ProcContext{
-		Worker:    id,
-		Socket:    socket,
-		NodeLocal: s.nodeLocals[socket],
-		Rand:      cctx.Rand,
-		CostScale: 1,
-	}
-	// Memory-bandwidth contention: mild per-extra-worker inflation
-	// (paper Figure 11a's per-core droop).
-	w.pctx.CostScale = 1 + s.cfg.CostModel.MemContentionPerWorker*float64(s.cfg.WorkersPerSocket-1)
-	if s.cfg.ForceRemoteMemory {
-		w.pctx.CostScale *= s.cfg.CostModel.NUMAPenalty
-	}
-
-	for _, pid := range localPorts {
-		w.rxqs = append(w.rxqs, s.ports[pid].Rx[local])
-		w.portOf = append(w.portOf, pid)
-	}
+	w.cur = w.lanes[0]
+	w.wrr = sched.NewWRR(s.shareFrac)
 	if len(localDevs) > 0 {
 		w.sockDev = s.devices[localDevs[0]]
 	}
 	w.pktPool = netio.NewPacketPool(fmt.Sprintf("pkt.w%d", id), s.cfg.PacketPoolPerWorker)
 	w.batchPool = batch.NewPool(fmt.Sprintf("batch.w%d", id), s.cfg.BatchPoolPerWorker)
-	w.agg = offload.NewAggregator(s.cfg.CostModel)
 	w.completions = mempool.NewRing[completion](256)
-	if oc := s.cfg.Overload; oc != nil && oc.CoDelTarget > 0 {
-		w.codel = overload.CoDel{Target: oc.CoDelTarget, Interval: oc.CoDelInterval}
-		w.codelOn = true
-	}
 	w.iterateFn = w.iterate
 	return w, nil
 }
@@ -161,8 +200,9 @@ func (w *worker) now() simtime.Time {
 }
 
 // iterate is one run-to-completion IO loop pass: drain offload completions,
-// poll each RX queue, run batches through the pipeline, flush aged offload
-// aggregates, then reschedule after the consumed virtual time.
+// poll each lane's RX queues in share-weighted order, run batches through
+// that lane's pipeline, flush aged offload aggregates, then reschedule after
+// the consumed virtual time.
 //
 //nba:hotpath
 func (w *worker) iterate() {
@@ -172,7 +212,9 @@ func (w *worker) iterate() {
 	cm := w.sys.cfg.CostModel
 	w.iterStart = w.sys.eng.Now()
 	w.cycles = 0
-	w.pctx.Now = w.iterStart
+	for _, ln := range w.lanes {
+		ln.pctx.Now = w.iterStart
+	}
 	didWork := false
 
 	// 1. Offload completions.
@@ -189,7 +231,9 @@ func (w *worker) iterate() {
 	// 2. RX polling, unless backpressured by outstanding device tasks.
 	// Iterations are bounded in virtual time so that very expensive
 	// per-packet work (e.g. IDS over MTU frames) still yields a responsive
-	// IO loop rather than multi-millisecond quanta.
+	// IO loop rather than multi-millisecond quanta. Lanes are visited in
+	// the WRR round's order, so when the budget cuts a round short, the
+	// front position — and with it the loss — rotates by tenant share.
 	iterBudget := simtime.TimeToCycles(cm.MaxIterTime, w.sys.cfg.Topology.CoreFreqHz)
 	backpressured := w.inflight >= w.sys.cfg.MaxInflightTasks
 	if !backpressured && w.sockDev != nil && cm.MaxDeviceBacklog > 0 &&
@@ -204,24 +248,29 @@ func (w *worker) iterate() {
 	}
 	if !backpressured {
 		var burst [batch.MaxBatchSize]*packet.Packet
-		for _, q := range w.rxqs {
-			if iterBudget > 0 && w.cycles >= iterBudget {
-				break
-			}
-			w.cycles += cm.RxBurstFixed
-			pkts := q.Poll(w.iterStart, w.sys.cfg.IOBatchSize, w.pktPool, burst[:0])
-			if len(pkts) == 0 {
-				continue
-			}
-			didWork = true
-			w.cycles += cm.RxPerPacket * simtime.Cycles(len(pkts))
-			if w.codelOn {
-				pkts = w.shedSojourn(pkts)
+	polling:
+		for _, t := range w.wrr.Round() {
+			ln := w.lanes[t]
+			w.cur = ln
+			for _, q := range ln.rxqs {
+				if iterBudget > 0 && w.cycles >= iterBudget {
+					break polling
+				}
+				w.cycles += cm.RxBurstFixed
+				pkts := q.Poll(w.iterStart, w.sys.cfg.IOBatchSize, w.pktPool, burst[:0])
 				if len(pkts) == 0 {
 					continue
 				}
+				didWork = true
+				w.cycles += cm.RxPerPacket * simtime.Cycles(len(pkts))
+				if ln.codelOn {
+					pkts = w.shedSojourn(pkts)
+					if len(pkts) == 0 {
+						continue
+					}
+				}
+				w.injectPackets(pkts)
 			}
-			w.injectPackets(pkts)
 		}
 	}
 
@@ -229,13 +278,22 @@ func (w *worker) iterate() {
 	// tasks in flight) flush everything pending so low loads are not stuck
 	// waiting for full aggregates. While tasks are in flight the aggregate
 	// keeps growing — flushing it early would shrink device batches and
-	// waste kernel-launch overhead.
-	for _, p := range w.agg.Expired(w.iterStart) {
-		w.flush(p)
-	}
-	if !didWork && w.inflight == 0 && w.agg.PendingCount() > 0 {
-		for _, p := range w.agg.TakeAll() {
+	// waste kernel-launch overhead. Lane-index order keeps the flush
+	// sequence deterministic regardless of the WRR phase.
+	pending := 0
+	for _, ln := range w.lanes {
+		w.cur = ln
+		for _, p := range ln.agg.Expired(w.iterStart) {
 			w.flush(p)
+		}
+		pending += ln.agg.PendingCount()
+	}
+	if !didWork && w.inflight == 0 && pending > 0 {
+		for _, ln := range w.lanes {
+			w.cur = ln
+			for _, p := range ln.agg.TakeAll() {
+				w.flush(p)
+			}
 		}
 		didWork = true
 	}
@@ -254,34 +312,40 @@ func (w *worker) iterate() {
 }
 
 // done reports whether the worker can retire: arrivals stopped, queues
-// drained, no pending aggregates or outstanding tasks.
+// drained, no pending aggregates or outstanding tasks on any lane.
 func (w *worker) done() bool {
 	if w.sys.eng.Now() < w.sys.stopTime {
 		return false
 	}
-	if w.inflight > 0 || w.agg.PendingCount() > 0 || w.completions.Len() > 0 {
+	if w.inflight > 0 || w.completions.Len() > 0 {
 		return false
 	}
-	for _, q := range w.rxqs {
-		// A queue still flapped down at the end of the run can never drain;
-		// its backlog is stranded (the packets were never materialised), so
-		// it must not keep the worker alive forever.
-		if q.Down() {
-			continue
-		}
-		if q.Backlog(w.sys.eng.Now()) > 0 {
+	for _, ln := range w.lanes {
+		if ln.agg.PendingCount() > 0 {
 			return false
+		}
+		for _, q := range ln.rxqs {
+			// A queue still flapped down at the end of the run can never drain;
+			// its backlog is stranded (the packets were never materialised), so
+			// it must not keep the worker alive forever.
+			if q.Down() {
+				continue
+			}
+			if q.Backlog(w.sys.eng.Now()) > 0 {
+				return false
+			}
 		}
 	}
 	return true
 }
 
 // injectPackets wraps received packets into computation batches and runs
-// them through the pipeline.
+// them through the current lane's pipeline.
 //
 //nba:hotpath
 func (w *worker) injectPackets(pkts []*packet.Packet) {
 	cm := w.sys.cfg.CostModel
+	ln := w.cur
 	for off := 0; off < len(pkts); off += w.sys.cfg.CompBatchSize {
 		end := off + w.sys.cfg.CompBatchSize
 		if end > len(pkts) {
@@ -292,7 +356,7 @@ func (w *worker) injectPackets(pkts []*packet.Packet) {
 			// Batch pool exhausted: the frames are already materialised,
 			// so they are dropped here (counted separately from NIC drops).
 			for _, p := range pkts[off:end] {
-				w.splitDropped++
+				ln.splitDropped++
 				w.pktPool.Put(p)
 			}
 			continue
@@ -301,21 +365,22 @@ func (w *worker) injectPackets(pkts []*packet.Packet) {
 		for _, p := range pkts[off:end] {
 			b.Add(p)
 		}
-		w.g.Inject(w, &w.pctx, b)
+		ln.g.Inject(w, &ln.pctx, b)
 	}
 }
 
-// flush submits a pending aggregate as one device task.
+// flush submits a pending aggregate of the current lane as one device task.
 func (w *worker) flush(p *offload.Pending) {
 	cm := w.sys.cfg.CostModel
+	ln := w.cur
 	w.cycles += cm.OffloadEnqueue + cm.OffloadPrePerPacket*simtime.Cycles(p.NPkts)
-	dev, err := w.sys.deviceFor(w.socket, p.Device)
+	dev, err := w.sys.deviceFor(w.socket, ln.tenant, p.Device)
 	if err != nil {
 		// No such device: treat as a misconfiguration drop of the whole
 		// aggregate (exercised by failure-injection tests).
 		for _, b := range p.Batches {
 			b.ForEachLive(func(i int, pkt *packet.Packet) {
-				w.splitDropped++
+				ln.splitDropped++
 				w.pktPool.Put(pkt)
 			})
 			b.Reset()
@@ -325,7 +390,7 @@ func (w *worker) flush(p *offload.Pending) {
 	}
 	w.inflight++
 	w.inflightPkts += p.NPkts
-	w.offloadedPkts += uint64(p.NPkts)
+	ln.offloadedPkts += uint64(p.NPkts)
 	task := &gpu.Task{
 		Worker:     w.id,
 		NPkts:      p.NPkts,
@@ -334,7 +399,7 @@ func (w *worker) flush(p *offload.Pending) {
 		KernelTime: p.KernelTime(cm),
 		Kernels:    len(p.Chain),
 	}
-	it := &inflightTask{pending: p, task: task}
+	it := &inflightTask{ln: ln, pending: p, task: task}
 	task.Execute = func() {
 		// Device-side functional computation (timed by the kernel model).
 		// Guarded so a hung task rescheduled after recovery cannot run it a
@@ -346,7 +411,7 @@ func (w *worker) flush(p *offload.Pending) {
 		it.executed = true
 		for _, node := range p.Chain {
 			for _, b := range p.Batches {
-				node.Offloadable().ProcessOffloaded(&w.pctx, b)
+				node.Offloadable().ProcessOffloaded(&it.ln.pctx, b)
 			}
 		}
 	}
@@ -378,12 +443,12 @@ func (w *worker) flush(p *offload.Pending) {
 		it.done = true
 		w.inflight--
 		w.inflightPkts -= p.NPkts
-		w.offloadedPkts -= uint64(p.NPkts)
-		w.rejectedTasks++
-		lvl := w.sys.overloadLevel(w.socket)
+		ln.offloadedPkts -= uint64(p.NPkts)
+		ln.rejectedTasks++
+		lvl := w.sys.overloadLevel(w.socket, ln.tenant)
 		if lvl >= overload.LevelShed {
 			if tr := w.sys.cfg.Tracer; tr != nil {
-				tr.Emit(w.now(), trace.KindOverloadShed, int32(w.id), "admission",
+				tr.EmitT(w.now(), trace.KindOverloadShed, int32(w.id), ln.tenant, "admission",
 					int64(p.NPkts), 1, int64(dev.Queued()), int64(lvl))
 			}
 			w.shedAggregate(p)
@@ -401,9 +466,10 @@ func (w *worker) flush(p *offload.Pending) {
 // (the refused device never saw it) and resumes its batches in the pipeline.
 func (w *worker) rescueRejected(it *inflightTask, lvl overload.Level) {
 	p := it.pending
-	w.fallbackPkts += uint64(p.NPkts)
+	w.cur = it.ln
+	it.ln.fallbackPkts += uint64(p.NPkts)
 	if tr := w.sys.cfg.Tracer; tr != nil {
-		tr.Emit(w.now(), trace.KindFallback, int32(w.id), "fallback",
+		tr.EmitT(w.now(), trace.KindFallback, int32(w.id), it.ln.tenant, "fallback",
 			0, int64(p.NPkts), 2, int64(lvl))
 	}
 	w.execChainOnCPU(p)
@@ -412,11 +478,13 @@ func (w *worker) rescueRejected(it *inflightTask, lvl overload.Level) {
 }
 
 // shedAggregate drops every live packet of a refused aggregate (overload
-// shedding at LevelShed) and recycles its batches.
+// shedding at LevelShed) and recycles its batches, charging the current
+// lane.
 func (w *worker) shedAggregate(p *offload.Pending) {
+	ln := w.cur
 	for _, b := range p.Batches {
 		b.ForEachLive(func(i int, pkt *packet.Packet) {
-			w.shedPkts++
+			ln.shedPkts++
 			w.pktPool.Put(pkt)
 		})
 		b.Reset()
@@ -424,13 +492,14 @@ func (w *worker) shedAggregate(p *offload.Pending) {
 	}
 }
 
-// shedSojourn applies the CoDel shedder to one polled RX burst: packets the
-// control law selects are dropped before pipeline injection, in place,
-// preserving arrival order of the survivors.
+// shedSojourn applies the current lane's CoDel shedder to one polled RX
+// burst: packets the control law selects are dropped before pipeline
+// injection, in place, preserving arrival order of the survivors.
 //
 //nba:hotpath
 func (w *worker) shedSojourn(pkts []*packet.Packet) []*packet.Packet {
 	now := w.now()
+	ln := w.cur
 	kept := pkts[:0]
 	var shed int64
 	var maxSojourn simtime.Time
@@ -442,9 +511,9 @@ func (w *worker) shedSojourn(pkts []*packet.Packet) []*packet.Packet {
 		if sojourn > maxSojourn {
 			maxSojourn = sojourn
 		}
-		if w.codel.ShouldDrop(now, sojourn) {
+		if ln.codel.ShouldDrop(now, sojourn) {
 			shed++
-			w.shedPkts++
+			ln.shedPkts++
 			w.pktPool.Put(p)
 			continue
 		}
@@ -452,16 +521,16 @@ func (w *worker) shedSojourn(pkts []*packet.Packet) []*packet.Packet {
 	}
 	if shed > 0 {
 		if tr := w.sys.cfg.Tracer; tr != nil {
-			tr.Emit(now, trace.KindOverloadShed, int32(w.id), "codel",
-				shed, 0, int64(maxSojourn), int64(w.sys.overloadLevel(w.socket)))
+			tr.EmitT(now, trace.KindOverloadShed, int32(w.id), ln.tenant, "codel",
+				shed, 0, int64(maxSojourn), int64(w.sys.overloadLevel(w.socket, ln.tenant)))
 		}
 	}
 	return kept
 }
 
 // handleCompletion postprocesses a finished, failed or timed-out device
-// task and resumes the batches in the pipeline (after a CPU fallback when
-// the device never ran them).
+// task and resumes the batches in its lane's pipeline (after a CPU fallback
+// when the device never ran them).
 //
 //nba:hotpath
 func (w *worker) handleCompletion(c completion) {
@@ -472,6 +541,7 @@ func (w *worker) handleCompletion(c completion) {
 	it.done = true
 	it.timer.Cancel()
 	p := it.pending
+	w.cur = it.ln
 	w.inflight--
 	w.inflightPkts -= p.NPkts
 	if c.timedOut || it.task.Failed {
@@ -481,12 +551,13 @@ func (w *worker) handleCompletion(c completion) {
 }
 
 // resumeAggregate postprocesses a completed aggregate and resumes its
-// batches in the pipeline (shared by the normal completion, fallback and
-// admission-rescue paths).
+// batches in the current lane's pipeline (shared by the normal completion,
+// fallback and admission-rescue paths).
 //
 //nba:hotpath
 func (w *worker) resumeAggregate(p *offload.Pending) {
 	cm := w.sys.cfg.CostModel
+	ln := w.cur
 	w.cycles += cm.OffloadPostPerPacket * simtime.Cycles(p.NPkts)
 	head := p.Head
 	for _, b := range p.Batches {
@@ -504,7 +575,7 @@ func (w *worker) resumeAggregate(p *offload.Pending) {
 			}
 			b.SetResult(i, 0)
 		}
-		w.g.RunFrom(w, &w.pctx, p.Resume, b)
+		ln.g.RunFrom(w, &ln.pctx, p.Resume, b)
 	}
 }
 
@@ -516,18 +587,19 @@ func (w *worker) resumeAggregate(p *offload.Pending) {
 // and only the rescue is counted.
 func (w *worker) fallback(it *inflightTask, timedOut bool) {
 	p := it.pending
+	ln := it.ln
 	if timedOut {
-		w.timedOutTasks++
+		ln.timedOutTasks++
 	} else {
-		w.failedTasks++
+		ln.failedTasks++
 	}
-	w.fallbackPkts += uint64(p.NPkts)
+	ln.fallbackPkts += uint64(p.NPkts)
 	if tr := w.sys.cfg.Tracer; tr != nil {
 		reason := int64(0)
 		if timedOut {
 			reason = 1
 		}
-		tr.Emit(w.now(), trace.KindFallback, int32(w.id), "fallback",
+		tr.EmitT(w.now(), trace.KindFallback, int32(w.id), ln.tenant, "fallback",
 			int64(it.task.ID), int64(p.NPkts), reason, 0)
 	}
 	if it.executed {
@@ -544,6 +616,7 @@ func (w *worker) fallback(it *inflightTask, timedOut bool) {
 //nba:hotpath
 func (w *worker) execChainOnCPU(p *offload.Pending) {
 	cm := w.sys.cfg.CostModel
+	pctx := &w.cur.pctx
 	for _, node := range p.Chain {
 		cost := cm.ElementCostOf(node.Elem.Class())
 		var cycles simtime.Cycles
@@ -551,10 +624,10 @@ func (w *worker) execChainOnCPU(p *offload.Pending) {
 			b.ForEachLive(func(i int, pkt *packet.Packet) {
 				cycles += cost.Cycles(pkt.Length())
 			})
-			node.Offloadable().ProcessOffloaded(&w.pctx, b)
+			node.Offloadable().ProcessOffloaded(pctx, b)
 		}
-		if w.pctx.CostScale != 0 && w.pctx.CostScale != 1 {
-			cycles = simtime.Cycles(float64(cycles) * w.pctx.CostScale)
+		if pctx.CostScale != 0 && pctx.CostScale != 1 {
+			cycles = simtime.Cycles(float64(cycles) * pctx.CostScale)
 		}
 		w.cycles += cycles
 	}
@@ -562,10 +635,12 @@ func (w *worker) execChainOnCPU(p *offload.Pending) {
 
 // --- graph.Env implementation ---
 
-// Transmit implements graph.Env.
+// Transmit implements graph.Env, attributing the transmission to the
+// current lane's tenant.
 //
 //nba:hotpath
 func (w *worker) Transmit(pkt *packet.Packet) {
+	ln := w.cur
 	port := int(pkt.Anno[packet.AnnoOutPort]) % len(w.sys.ports)
 	if w.sys.cfg.CaptureTx > 0 && len(w.sys.captured) < w.sys.cfg.CaptureTx {
 		//nbalint:allow hotalloc TX capture is a bounded debug facility, off in production runs
@@ -574,20 +649,27 @@ func (w *worker) Transmit(pkt *packet.Packet) {
 			Data: append([]byte(nil), pkt.Data()...),
 		})
 	}
-	ln := pkt.OrigLen
-	if ln == 0 {
-		ln = pkt.Length()
+	flen := pkt.OrigLen
+	if flen == 0 {
+		flen = pkt.Length()
 	}
-	w.sys.ports[port].Transmit(ln)
-	w.txPackets++
+	w.sys.ports[port].Transmit(flen)
+	ln.txPackets++
 	if w.sys.measuring {
-		w.latencySkip++
-		if w.latencySkip >= w.sys.cfg.LatencySample {
-			w.latencySkip = 0
+		// Wire bytes stop accruing when arrivals stop (mirroring the port
+		// meter's Mark..End window) so drain traffic never inflates the
+		// tenant's rate; latency keeps recording through the drain because
+		// those packets arrived inside the window.
+		if w.now() < w.sys.stopTime {
+			ln.txWireBytesMeasured += uint64(flen + sysinfo.WireOverheadBytes)
+		}
+		ln.latencySkip++
+		if ln.latencySkip >= w.sys.cfg.LatencySample {
+			ln.latencySkip = 0
 			lat := w.now() - pkt.Arrival + w.sys.cfg.CostModel.ExternalRTT
-			w.latency.Record(lat)
+			ln.latency.Record(lat)
 			if w.sys.cfg.ALBLatencyBound > 0 {
-				w.recentLat.Record(lat)
+				ln.recentLat.Record(lat)
 			}
 		}
 	}
@@ -613,16 +695,18 @@ func (w *worker) PutBatch(b *batch.Batch) {
 }
 
 // Offload implements graph.Env (paper Figure 7: the framework takes over
-// batches whose device annotation selects an accelerator).
+// batches whose device annotation selects an accelerator), aggregating into
+// the current lane so tenants never share a device task.
 //
 //nba:hotpath
 func (w *worker) Offload(head *graph.Node, chain []*graph.Node, resume int, b *batch.Batch) {
-	full, err := w.agg.Add(w.iterStart, head, chain, resume, b)
+	ln := w.cur
+	full, err := ln.agg.Add(w.iterStart, head, chain, resume, b)
 	if err != nil {
 		// Inconsistent aggregate (mixed devices): drop the batch. Counted
 		// into splitDropped so conservation still balances.
 		b.ForEachLive(func(i int, pkt *packet.Packet) {
-			w.splitDropped++
+			ln.splitDropped++
 			w.pktPool.Put(pkt)
 		})
 		w.PutBatch(b)
@@ -637,12 +721,3 @@ func (w *worker) Offload(head *graph.Node, chain []*graph.Node, resume int, b *b
 //
 //nba:hotpath
 func (w *worker) Charge(c simtime.Cycles) { w.cycles += c }
-
-// graphDrops sums packets dropped inside this worker's pipeline.
-func (w *worker) graphDrops() uint64 {
-	total := w.splitDropped + w.g.DropUnrouted
-	for _, n := range w.g.Nodes {
-		total += n.Dropped
-	}
-	return total
-}

@@ -118,13 +118,15 @@ type Graph struct {
 
 	// Tracer, when non-nil, receives one trace.KindBatch event per element
 	// batch (element name, live packets, cycles charged, node ID). TraceNow
-	// supplies the worker's current virtual time and TraceActor identifies
-	// the worker. These are optional observability hooks set by the owning
-	// worker; they are deliberately not part of the Env interface so test
-	// environments need not implement them.
-	Tracer     *trace.Tracer
-	TraceNow   func() simtime.Time
-	TraceActor int32
+	// supplies the worker's current virtual time, TraceActor identifies
+	// the worker and TraceTenant the tenant whose graph this is (trace.
+	// NoTenant when unowned). These are optional observability hooks set by
+	// the owning worker; they are deliberately not part of the Env
+	// interface so test environments need not implement them.
+	Tracer      *trace.Tracer
+	TraceNow    func() simtime.Time
+	TraceActor  int32
+	TraceTenant int32
 
 	// Traversal scratch, reused across batches so the steady-state pipeline
 	// allocates nothing (the alloc_test gate). stack is shared by nested
@@ -382,7 +384,7 @@ func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem) {
 		charged := scaled(n.cost.Fixed+simtime.Cycles(n.cost.PerByte*float64(b.TotalBytes())), pctx)
 		env.Charge(charged)
 		if g.Tracer != nil {
-			g.Tracer.Emit(g.TraceNow(), trace.KindBatch, g.TraceActor, n.Name,
+			g.Tracer.EmitT(g.TraceNow(), trace.KindBatch, g.TraceActor, g.TraceTenant, n.Name,
 				int64(live), int64(charged), int64(n.ID), 0)
 		}
 		r := n.batchElem.ProcessBatch(pctx, b)
@@ -418,7 +420,7 @@ func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem) {
 	charged := scaled(cycles, pctx)
 	env.Charge(charged)
 	if g.Tracer != nil {
-		g.Tracer.Emit(g.TraceNow(), trace.KindBatch, g.TraceActor, n.Name,
+		g.Tracer.EmitT(g.TraceNow(), trace.KindBatch, g.TraceActor, g.TraceTenant, n.Name,
 			int64(live), int64(charged), int64(n.ID), 0)
 	}
 

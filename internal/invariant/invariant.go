@@ -53,8 +53,13 @@ const (
 	CheckRxAccounting  = "rxq.accounting"
 	CheckPoolDrained   = "pool.drained"
 	CheckConservation  = "conservation"
-	CheckDrainStuck    = "drain.stuck"
-	CheckQueueBound    = "queue.bound"
+	// CheckTenantConservation is the per-tenant slice of the conservation
+	// identity: each tenant's delivered packets must individually equal its
+	// transmitted + dropped + shed, so no tenant's loss can hide behind a
+	// co-tenant's surplus in the global sum.
+	CheckTenantConservation = "conservation.tenant"
+	CheckDrainStuck         = "drain.stuck"
+	CheckQueueBound         = "queue.bound"
 	// CheckDeterminism is recorded by the chaos driver, not the runtime
 	// hooks: two runs of the same case produced different trace digests.
 	CheckDeterminism = "determinism"
@@ -84,7 +89,7 @@ const maxPerCheck = 16
 // is a cheap no-op, mirroring the trace.Tracer contract.
 type Checker struct {
 	violations []Violation
-	perCheck   [11]int // indexed by checkIndex; counts all breaches
+	perCheck   [12]int // indexed by checkIndex; counts all breaches
 	suppressed int
 
 	lastDispatch simtime.Time
@@ -122,8 +127,10 @@ func checkIndex(check string) int {
 		return 8
 	case CheckQueueBound:
 		return 9
-	default:
+	case CheckTenantConservation:
 		return 10
+	default:
+		return 11
 	}
 }
 
@@ -317,6 +324,21 @@ func (c *Checker) Conservation(at simtime.Time, delivered, transmitted, dropped,
 		c.Violatef(at, CheckConservation,
 			"delivered %d != transmitted %d + dropped %d + shed %d (diff %+d)",
 			delivered, transmitted, dropped, shed,
+			int64(transmitted+dropped+shed)-int64(delivered))
+	}
+}
+
+// TenantConservation checks one tenant's slice of the conservation identity
+// at end of run (same caveats as Conservation). name identifies the tenant
+// in the violation message.
+func (c *Checker) TenantConservation(at simtime.Time, name string, delivered, transmitted, dropped, shed uint64) {
+	if c == nil {
+		return
+	}
+	if delivered != transmitted+dropped+shed {
+		c.Violatef(at, CheckTenantConservation,
+			"tenant %s: delivered %d != transmitted %d + dropped %d + shed %d (diff %+d)",
+			name, delivered, transmitted, dropped, shed,
 			int64(transmitted+dropped+shed)-int64(delivered))
 	}
 }

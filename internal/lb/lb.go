@@ -183,10 +183,13 @@ type Controller struct {
 
 	// Tracer, when non-nil, receives one trace.KindLBUpdate event per
 	// control step that changed W (mirroring Trace). TraceNow supplies the
-	// current virtual time; TraceActor identifies the socket.
-	Tracer     *trace.Tracer
-	TraceNow   func() simtime.Time
-	TraceActor int32
+	// current virtual time; TraceActor identifies the socket and
+	// TraceTenant the tenant this controller balances for (trace.NoTenant
+	// when unowned — the zero value is tenant 0, matching legacy runs).
+	Tracer      *trace.Tracer
+	TraceNow    func() simtime.Time
+	TraceActor  int32
+	TraceTenant int32
 
 	// Checker, when non-nil, verifies W stays in [0,1] and that observed
 	// task failures actually trigger the collapse path (lb.bounds,
@@ -389,7 +392,7 @@ func (c *Controller) emitTrace(w, throughput float64) {
 		return
 	}
 	now := c.now()
-	c.Tracer.Emit(now, trace.KindLBUpdate, c.TraceActor, "alb",
+	c.Tracer.EmitT(now, trace.KindLBUpdate, c.TraceActor, c.TraceTenant, "alb",
 		int64(math.Float64bits(w)), int64(math.Float64bits(throughput)),
 		int64(c.dir), int64(c.wait))
 }

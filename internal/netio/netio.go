@@ -50,6 +50,10 @@ func NewPacketPool(name string, n int) *PacketPool {
 type RxQueue struct {
 	Port  int
 	Queue int
+	// Tenant is the tenant app graph this queue feeds (0 in single-tenant
+	// runs). Multi-tenant ports carve their queue set tenant-major, so a
+	// queue belongs to exactly one tenant and batches never mix tenants.
+	Tenant int32
 
 	gen      Generator
 	capacity int
@@ -109,7 +113,22 @@ func (q *RxQueue) SetGenerator(gen Generator) { q.gen = gen }
 // nothing; arrivals keep accruing and overflow into the drop counters once
 // the queue fills, exactly as a dead link's ring behaves. Coming back up
 // resumes delivery from the surviving backlog.
+//
+// Offered load is NOT re-steered away from a down queue: the NIC's RSS hash
+// does not know a ring died, so the queue keeps receiving its share of the
+// port rate and sheds it by head-drop once the ring is full. Runs that end
+// with a queue still down must call FinalizeAccounting so arrivals since the
+// last poll land in the drop counters instead of vanishing.
 func (q *RxQueue) SetDown(down bool) { q.down = down }
+
+// FinalizeAccounting advances arrival and head-drop overflow accounting to
+// now without delivering or emitting trace events. Core calls it once per
+// queue at end of run so that load offered to a flapped-down (or simply
+// unpolled) queue is accounted as overflow drops rather than lost silently
+// between the last poll and the end of the run. Backlog still within
+// capacity is stranded — arrived but never delivered — and stays out of both
+// the drop counters and the conservation identity.
+func (q *RxQueue) FinalizeAccounting(now simtime.Time) { q.advance(now) }
 
 // totalArrivals returns how many packets have arrived by time now.
 //
@@ -211,18 +230,19 @@ func (q *RxQueue) Poll(now simtime.Time, burst int, pool *PacketPool, out []*pac
 		p.Seq = seq
 		p.Anno[packet.AnnoTimestamp] = uint64(p.Arrival)
 		p.Anno[packet.AnnoInPort] = uint64(q.Port)
+		p.Tenant = q.Tenant
 		out = append(out, p)
 		q.delivered++
 	}
 	if q.Tracer != nil {
 		if q.dropped > q.tracedDrops {
-			q.Tracer.Emit(now, trace.KindRxDrop, int32(q.Port), "",
+			q.Tracer.EmitT(now, trace.KindRxDrop, int32(q.Port), q.Tenant, "",
 				int64(q.Queue), int64(q.dropped-q.tracedDrops), int64(q.allocFailed-q.tracedAllocFails), 0)
 			q.tracedDrops = q.dropped
 			q.tracedAllocFails = q.allocFailed
 		}
 		if delivered := len(out) - start; delivered > 0 {
-			q.Tracer.Emit(now, trace.KindRx, int32(q.Port), "",
+			q.Tracer.EmitT(now, trace.KindRx, int32(q.Port), q.Tenant, "",
 				int64(q.Queue), int64(delivered), int64(q.backlog()), 0)
 		}
 	}
@@ -251,6 +271,29 @@ func NewPort(hw sysinfo.Port, nqueues int, gen Generator, offeredPPS float64, qu
 	p := &Port{HW: hw}
 	for qi := 0; qi < nqueues; qi++ {
 		p.Rx = append(p.Rx, NewRxQueue(hw.ID, qi, gen, offeredPPS/float64(nqueues), queueCap))
+	}
+	return p
+}
+
+// QueueSpec describes one RX queue of a multi-tenant port: the tenant it
+// serves, that tenant's traffic generator and the queue's share of the
+// port's offered rate.
+type QueueSpec struct {
+	Tenant int32
+	Gen    Generator
+	PPS    float64
+}
+
+// NewPortWithQueues creates a port with one RX queue per spec, in spec
+// order. Multi-tenant core lays queues out tenant-major (tenant t's queue
+// for same-socket worker w is index t*nworkers+w), so NewPort remains the
+// single-tenant RSS special case of this constructor.
+func NewPortWithQueues(hw sysinfo.Port, specs []QueueSpec, queueCap int) *Port {
+	p := &Port{HW: hw}
+	for qi, sp := range specs {
+		q := NewRxQueue(hw.ID, qi, sp.Gen, sp.PPS, queueCap)
+		q.Tenant = sp.Tenant
+		p.Rx = append(p.Rx, q)
 	}
 	return p
 }

@@ -52,6 +52,10 @@ type Packet struct {
 	// terms of input traffic processed, so elements that grow frames (ESP
 	// encapsulation) do not inflate the numbers.
 	OrigLen int
+	// Tenant is the index of the tenant app graph this packet belongs to
+	// (set at RX from the queue's tenant; 0 in single-tenant runs). It
+	// makes every downstream event and drop attributable to a tenant.
+	Tenant int32
 	// Anno is the per-packet annotation set.
 	Anno [NumAnnos]uint64
 }
@@ -63,6 +67,7 @@ func (p *Packet) Reset() {
 	p.InPort = 0
 	p.Seq = 0
 	p.OrigLen = 0
+	p.Tenant = 0
 	p.Anno = [NumAnnos]uint64{}
 }
 

@@ -1,0 +1,99 @@
+package perf
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// gateRepo builds a throwaway git repo containing only scripts/perf_gate.sh
+// and whatever BENCH snapshots a test plants, so baseline selection can be
+// exercised without measuring anything.
+func gateRepo(t *testing.T) string {
+	t.Helper()
+	for _, bin := range []string{"git", "bash"} {
+		if _, err := exec.LookPath(bin); err != nil {
+			t.Skipf("%s not available", bin)
+		}
+	}
+	dir := t.TempDir()
+	script, err := os.ReadFile(filepath.Join("..", "..", "scripts", "perf_gate.sh"))
+	if err != nil {
+		t.Fatalf("read perf_gate.sh: %v", err)
+	}
+	if err := os.Mkdir(filepath.Join(dir, "scripts"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "scripts", "perf_gate.sh"), script, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	gitIn(t, dir, "init", "-q")
+	return dir
+}
+
+func gitIn(t *testing.T, dir string, args ...string) {
+	t.Helper()
+	full := append([]string{"-c", "user.email=gate@test", "-c", "user.name=gate"}, args...)
+	cmd := exec.Command("git", full...)
+	cmd.Dir = dir
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("git %v: %v\n%s", args, err, out)
+	}
+}
+
+func runGate(t *testing.T, dir string, args ...string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("bash", append([]string{filepath.Join("scripts", "perf_gate.sh")}, args...)...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	return string(out), err
+}
+
+// TestGateBaselineIgnoresUntracked pins the fix for the baseline-selection
+// bug: a stray uncommitted BENCH_*.json that sorted newest (here a
+// far-future date) used to win over the committed baseline, so the gate
+// compared against numbers nobody had reviewed.
+func TestGateBaselineIgnoresUntracked(t *testing.T) {
+	dir := gateRepo(t)
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_2020-01-01.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	gitIn(t, dir, "add", "BENCH_2020-01-01.json", "scripts/perf_gate.sh")
+	gitIn(t, dir, "commit", "-q", "-m", "baseline")
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_9999-12-31.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := runGate(t, dir, "-print-baseline")
+	if err != nil {
+		t.Fatalf("-print-baseline failed: %v\n%s", err, out)
+	}
+	if got := strings.TrimSpace(out); got != "BENCH_2020-01-01.json" {
+		t.Fatalf("baseline = %q, want committed BENCH_2020-01-01.json (untracked future-dated file must not win)", got)
+	}
+}
+
+// TestGateUpdateBaselineRefusesSameDayOverwrite pins the -update-baseline
+// guard: rerunning on a day that already has a snapshot must fail without
+// -f instead of silently clobbering the measured (possibly committed) file.
+func TestGateUpdateBaselineRefusesSameDayOverwrite(t *testing.T) {
+	dir := gateRepo(t)
+	today := "BENCH_" + time.Now().Format("2006-01-02") + ".json"
+	if err := os.WriteFile(filepath.Join(dir, today), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := runGate(t, dir, "-update-baseline")
+	if err == nil {
+		t.Fatalf("-update-baseline overwrote %s without -f:\n%s", today, out)
+	}
+	if !strings.Contains(out, "pass -f") {
+		t.Fatalf("refusal message should mention -f, got:\n%s", out)
+	}
+	if data, rerr := os.ReadFile(filepath.Join(dir, today)); rerr != nil || string(data) != "{}" {
+		t.Fatalf("existing snapshot was modified: %v %q", rerr, data)
+	}
+}

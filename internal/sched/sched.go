@@ -1,0 +1,127 @@
+// Package sched is the multi-tenant scheduler stage: it decides, under
+// contention, which tenant a worker serves next (batch priority via
+// deterministic weighted round-robin) and which local accelerator runs a
+// tenant's offloaded work (placement policy).
+//
+// The package deliberately separates mechanism from policy. Workers and the
+// offload path consume the two small interfaces below; policies are pure
+// functions of explicit state, so they inherit the framework's determinism
+// contract for free. Interference-aware placement in the Pythia sense —
+// predicting slowdown from co-runner profiles and steering tenants away from
+// contended devices — plugs in as just another PlacementPolicy; the
+// per-tenant utilisation inputs it needs are already in the per-tenant
+// Report sections.
+package sched
+
+// PlacementPolicy decides which same-socket device executes an offloaded
+// aggregate. anno is the batch's device annotation (>= 1 selects an
+// accelerator; the CPU case never reaches placement), n is the number of
+// local devices. Implementations return a local device index in [0, n), or
+// a value outside that range to signal "no such device" (the caller treats
+// it as a placement error, mirroring the classic anno-out-of-range case).
+//
+// Policies must be deterministic pure functions of their arguments: they run
+// on the worker hot path inside the simulation, so wall-clock, randomness
+// and hidden mutable state are all banned (nbalint enforces the usual sim
+// rules on this package).
+type PlacementPolicy interface {
+	DeviceFor(tenant, anno, n int) int
+}
+
+// Static is the classic single-tenant placement: annotation k selects local
+// device k-1 for every tenant. It is the default policy and the disarm
+// contract's identity case.
+type Static struct{}
+
+// DeviceFor maps annotation k to local device k-1 regardless of tenant.
+func (Static) DeviceFor(tenant, anno, n int) int { return anno - 1 }
+
+// TenantSpread offsets each tenant's device choice by its tenant index,
+// spreading co-resident tenants across a socket's accelerators. It is the
+// simplest interference-avoiding policy: with one device per socket it
+// degenerates to Static, with several it keeps heavy co-tenants off each
+// other's command queues.
+type TenantSpread struct{}
+
+// DeviceFor spreads tenants round-robin over the local device set.
+func (TenantSpread) DeviceFor(tenant, anno, n int) int {
+	if n <= 0 {
+		return -1
+	}
+	return (anno - 1 + tenant) % n
+}
+
+// WRR is a deterministic smooth weighted round-robin over tenants. Each
+// worker owns one instance and asks it, once per scheduling round, for the
+// order in which to serve its tenant lanes: every tenant appears exactly
+// once per round (arrivals must not be starved outright), but the rotation
+// of who goes first — and therefore who gets the iteration's batch budget
+// while it is fresh — tracks the tenants' configured shares.
+//
+// The zero-state behaviour is the identity: with one tenant the order is
+// always [0], so single-tenant runs are bit-for-bit unchanged.
+type WRR struct {
+	weights []int64
+	credit  []int64
+	total   int64
+	order   []int
+}
+
+// NewWRR builds a scheduler from tenant shares. Shares are scaled to
+// integer weights (resolution 1/1000 of the share sum) so credit arithmetic
+// is exact and replay-stable across architectures.
+func NewWRR(shares []float64) *WRR {
+	w := &WRR{
+		weights: make([]int64, len(shares)),
+		credit:  make([]int64, len(shares)),
+		order:   make([]int, len(shares)),
+	}
+	var sum float64
+	for _, s := range shares {
+		sum += s
+	}
+	for i, s := range shares {
+		wi := int64(1)
+		if sum > 0 {
+			if v := int64(s / sum * 1000); v > wi {
+				wi = v
+			}
+		}
+		w.weights[i] = wi
+		w.total += wi
+		w.order[i] = i
+	}
+	return w
+}
+
+// Round returns the tenant service order for one scheduling round. The
+// returned slice is reused across calls; callers must not retain it.
+//
+//nba:hotpath
+func (w *WRR) Round() []int {
+	n := len(w.order)
+	if n <= 1 {
+		return w.order
+	}
+	for i := range w.credit {
+		w.credit[i] += w.weights[i]
+	}
+	// Insertion sort by (credit desc, index asc): n is the tenant count
+	// (single digits), and the stable tie-break keeps replay determinism.
+	for i := range w.order {
+		w.order[i] = i
+	}
+	for i := 1; i < n; i++ {
+		for j := i; j > 0; j-- {
+			a, b := w.order[j-1], w.order[j]
+			if w.credit[b] > w.credit[a] {
+				w.order[j-1], w.order[j] = b, a
+			} else {
+				break
+			}
+		}
+	}
+	// Only the front-of-round winner is charged: it consumed the priority.
+	w.credit[w.order[0]] -= w.total
+	return w.order
+}

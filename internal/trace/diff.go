@@ -78,6 +78,9 @@ func eventDelta(a, b *Event) string {
 	if a.Actor != b.Actor {
 		add("actor", a.Actor, b.Actor)
 	}
+	if a.Tenant != b.Tenant {
+		add("tenant", a.Tenant, b.Tenant)
+	}
 	if a.Name != b.Name {
 		add("name", a.Name, b.Name)
 	}

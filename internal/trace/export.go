@@ -39,11 +39,14 @@ type jsonlLine struct {
 	// ev
 	Kind  string `json:"kind,omitempty"`
 	Actor int32  `json:"actor,omitempty"`
-	Name  string `json:"name,omitempty"`
-	A     int64  `json:"a,omitempty"`
-	B     int64  `json:"b,omitempty"`
-	C     int64  `json:"c,omitempty"`
-	D     int64  `json:"d,omitempty"`
+	// Tenant is exported as tenant index + 1 so that omitempty elides it
+	// for unattributed events (and legacy traces read back as NoTenant).
+	Tenant int32  `json:"tenant,omitempty"`
+	Name   string `json:"name,omitempty"`
+	A      int64  `json:"a,omitempty"`
+	B      int64  `json:"b,omitempty"`
+	C      int64  `json:"c,omitempty"`
+	D      int64  `json:"d,omitempty"`
 }
 
 // File is a parsed JSONL trace.
@@ -76,7 +79,7 @@ func (t *Tracer) WriteJSONL(w io.Writer, label string) error {
 		if err := enc.Encode(jsonlLine{
 			Type: "ev",
 			Seq:  ev.Seq, At: int64(ev.At),
-			Kind: ev.Kind.String(), Actor: ev.Actor, Name: ev.Name,
+			Kind: ev.Kind.String(), Actor: ev.Actor, Tenant: ev.Tenant + 1, Name: ev.Name,
 			A: ev.A, B: ev.B, C: ev.C, D: ev.D,
 		}); err != nil {
 			return err
@@ -112,7 +115,7 @@ func ReadJSONL(r io.Reader) (*File, error) {
 				return nil, fmt.Errorf("trace: line %d: unknown event kind %q", lineNo, ln.Kind)
 			}
 			f.Events = append(f.Events, Event{
-				Seq: ln.Seq, At: simtime.Time(ln.At), Kind: k, Actor: ln.Actor, Name: ln.Name,
+				Seq: ln.Seq, At: simtime.Time(ln.At), Kind: k, Actor: ln.Actor, Tenant: ln.Tenant - 1, Name: ln.Name,
 				A: ln.A, B: ln.B, C: ln.C, D: ln.D,
 			})
 		default:

@@ -166,12 +166,22 @@ type Event struct {
 	At    simtime.Time
 	Kind  Kind
 	Actor int32
-	Name  string
-	A     int64
-	B     int64
-	C     int64
-	D     int64
+	// Tenant attributes the event to a tenant app graph (index into the
+	// run's tenant set), or is NoTenant for substrate events (dispatch,
+	// device phases, fault injections) that no single tenant owns. The
+	// tenant is ring/export metadata only: it is deliberately NOT part of
+	// the canonical digest encoding, so arming tenancy cannot move the
+	// golden digests.
+	Tenant int32
+	Name   string
+	A      int64
+	B      int64
+	C      int64
+	D      int64
 }
+
+// NoTenant marks an event as unattributed to any tenant.
+const NoTenant int32 = -1
 
 // Checkpoint is a running-digest snapshot taken every CheckpointInterval
 // events. Comparing checkpoint chains of two runs brackets the first
@@ -209,6 +219,10 @@ type Tracer struct {
 	scratch    []byte
 	cpInterval uint64
 	cps        []Checkpoint
+	// tenantHash, when armed, accumulates the same canonical encoding as
+	// the global digest but restricted to one tenant's events, giving each
+	// tenant a replay-stable sub-digest even with co-tenants present.
+	tenantHash []hash.Hash
 }
 
 // New creates a tracer.
@@ -235,11 +249,22 @@ func New(opts Options) *Tracer {
 	}
 }
 
-// Emit records one event. It is safe (and a cheap no-op) on a nil tracer or
-// a masked-out kind, and never allocates on the steady-state path.
+// Emit records one event unattributed to any tenant. It is safe (and a cheap
+// no-op) on a nil tracer or a masked-out kind, and never allocates on the
+// steady-state path.
 //
 //nba:hotpath
 func (t *Tracer) Emit(at simtime.Time, k Kind, actor int32, name string, a, b, c, d int64) {
+	t.EmitT(at, k, actor, NoTenant, name, a, b, c, d)
+}
+
+// EmitT records one event attributed to a tenant. The tenant index feeds the
+// ring and, when per-tenant digests are armed, that tenant's sub-digest; the
+// global digest encoding is unchanged, so a tenant-attributed event hashes
+// identically to an unattributed one.
+//
+//nba:hotpath
+func (t *Tracer) EmitT(at simtime.Time, k Kind, actor, tenant int32, name string, a, b, c, d int64) {
 	if t == nil || t.mask&(1<<k) == 0 {
 		return
 	}
@@ -247,7 +272,7 @@ func (t *Tracer) Emit(at simtime.Time, k Kind, actor int32, name string, a, b, c
 	if t.total >= uint64(len(t.ring)) {
 		t.dropped++
 	}
-	t.ring[idx] = Event{Seq: t.total, At: at, Kind: k, Actor: actor, Name: name, A: a, B: b, C: c, D: d}
+	t.ring[idx] = Event{Seq: t.total, At: at, Kind: k, Actor: actor, Tenant: tenant, Name: name, A: a, B: b, C: c, D: d}
 	t.total++
 
 	// Streaming digest over the canonical little-endian encoding.
@@ -263,10 +288,35 @@ func (t *Tracer) Emit(at simtime.Time, k Kind, actor int32, name string, a, b, c
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(d))
 	t.scratch = buf[:0]
 	t.hash.Write(buf)
+	if tenant >= 0 && int(tenant) < len(t.tenantHash) {
+		t.tenantHash[tenant].Write(buf)
+	}
 
 	if t.cpInterval > 0 && t.total%t.cpInterval == 0 {
 		t.cps = append(t.cps, Checkpoint{Seq: t.total, At: at, Digest: t.digestHex()}) //nbalint:allow hotalloc checkpoint append is amortised over cpInterval (>=1024) events
 	}
+}
+
+// ArmTenantDigests allocates n per-tenant sub-digests. Events emitted via
+// EmitT with tenant in [0, n) additionally feed that tenant's digest. Arming
+// has no effect on the global digest. Safe on a nil tracer.
+func (t *Tracer) ArmTenantDigests(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.tenantHash = make([]hash.Hash, n)
+	for i := range t.tenantHash {
+		t.tenantHash[i] = sha256.New()
+	}
+}
+
+// TenantDigest returns tenant i's sub-digest in the form "sha256:<hex>", or
+// "" when per-tenant digests are not armed or i is out of range.
+func (t *Tracer) TenantDigest(i int) string {
+	if t == nil || i < 0 || i >= len(t.tenantHash) {
+		return ""
+	}
+	return "sha256:" + hex.EncodeToString(t.tenantHash[i].Sum(nil))
 }
 
 // Total returns the number of events emitted (including ones no longer in

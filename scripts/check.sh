@@ -20,17 +20,19 @@
 #   7. nbatrace self-check the same config+seed recorded twice must diff to
 #                         zero divergence (dynamic determinism gate):
 #                         fault-free, with the canonical injected GPU outage
-#                         (-faults) and with overload control armed under a
-#                         sustained load burst (-overload: shed decisions,
-#                         governor transitions and bias updates are part of
-#                         the run identity)
-#   8. chaos smoke        a fixed-seed nbachaos sweep (every app, a couple of
-#                         seeds): random-but-seeded fault plans must pass the
-#                         invariant oracle with matching digests across the
-#                         doubled runs
-#   9. parallel equiv     the same sweep at -parallel 1 and -parallel 8 must
+#                         (-faults), with overload control armed under a
+#                         sustained load burst (-overload), and with two
+#                         co-resident tenant app graphs (-tenants: the merged
+#                         tenant-tagged timeline is part of the run identity)
+#   8. chaos smoke        fixed-seed nbachaos sweeps (every app, a couple of
+#                         seeds; then 2-tenant co-residency with
+#                         tenant-targeted fault plans): random-but-seeded
+#                         fault plans must pass the invariant oracle with
+#                         matching digests across the doubled runs
+#   9. parallel equiv     the same sweeps at -parallel 1 and -parallel 8 must
 #                         print byte-identical combined digests (internal/par
-#                         determinism contract)
+#                         determinism contract; the tenant sweep also folds
+#                         every per-tenant sub-digest into the combined one)
 #  10. perf gate          opt-in via PERF_GATE=1: scripts/perf_gate.sh
 #                         compares a fresh quick-mode perf snapshot against
 #                         the newest committed BENCH_<date>.json (±15% on the
@@ -87,9 +89,18 @@ go run ./cmd/nbatrace diff "$tracedir/fa.jsonl" "$tracedir/fb.jsonl"
 go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -gbps 3 -overload -o "$tracedir/oa.jsonl" >/dev/null
 go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -gbps 3 -overload -o "$tracedir/ob.jsonl" >/dev/null
 go run ./cmd/nbatrace diff "$tracedir/oa.jsonl" "$tracedir/ob.jsonl"
+# Multi-tenant: two co-resident app graphs share the workers and queues;
+# the merged timeline (every event tagged with its tenant) must still be
+# byte-identical across recordings.
+go run ./cmd/nbatrace record -tenants ipv4,ipsec -o "$tracedir/ta.jsonl" >/dev/null
+go run ./cmd/nbatrace record -tenants ipv4,ipsec -o "$tracedir/tb.jsonl" >/dev/null
+go run ./cmd/nbatrace diff "$tracedir/ta.jsonl" "$tracedir/tb.jsonl"
 
 echo "==> chaos smoke (fixed-seed fault sweep under the invariant oracle)"
 go run ./cmd/nbachaos sweep -seeds 2 -base 1
+
+echo "==> chaos tenant smoke (2 co-resident tenants per case, tenant-targeted faults)"
+go run ./cmd/nbachaos sweep -seeds 2 -base 1 -tenants 2
 
 echo "==> chaos parallel equivalence (same sweep, 8 workers, byte-identical digest)"
 d1=$(go run ./cmd/nbachaos sweep -seeds 2 -base 1 -parallel 1 -digest-only)
@@ -99,6 +110,15 @@ if [[ "$d1" != "$d8" ]]; then
     exit 1
 fi
 echo "chaos digest stable at parallelism 1 and 8: $d1"
+
+echo "==> chaos tenant parallel equivalence (per-tenant digests fold into the combined digest)"
+t1=$(go run ./cmd/nbachaos sweep -seeds 2 -base 1 -tenants 2 -parallel 1 -digest-only)
+t8=$(go run ./cmd/nbachaos sweep -seeds 2 -base 1 -tenants 2 -parallel 8 -digest-only)
+if [[ "$t1" != "$t8" ]]; then
+    echo "tenant chaos sweep digest diverged across parallelism: serial $t1 vs parallel-8 $t8" >&2
+    exit 1
+fi
+echo "tenant chaos digest stable at parallelism 1 and 8: $t1"
 
 if [[ "${PERF_GATE:-0}" == "1" ]]; then
     echo "==> perf gate (PERF_GATE=1: sim-sec/s vs committed BENCH_*.json baseline)"

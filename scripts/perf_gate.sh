@@ -10,6 +10,8 @@
 # Usage:
 #   scripts/perf_gate.sh                    gate against the committed baseline
 #   scripts/perf_gate.sh -update-baseline   measure and write BENCH_$(date +%F).json
+#   scripts/perf_gate.sh -update-baseline -f   ... even over today's existing file
+#   scripts/perf_gate.sh -print-baseline    print the baseline path and exit
 #
 # Environment:
 #   PERF_TOL    relative tolerance on sim_s_per_s (default 0.15 = ±15%).
@@ -23,17 +25,36 @@ cd "$(dirname "$0")/.."
 tol="${PERF_TOL:-0.15}"
 seed="${PERF_SEED:-42}"
 
+# pick_baseline prints the newest *committed* snapshot. Only git-tracked
+# files qualify: a bare `ls` would also pick up stray local snapshots (a
+# leftover -update-baseline run, a scratch file) and silently gate against a
+# baseline nobody reviewed.
+pick_baseline() {
+    git ls-files 'BENCH_*.json' | sort | tail -n 1
+}
+
+if [[ "${1:-}" == "-print-baseline" ]]; then
+    pick_baseline
+    exit 0
+fi
+
 if [[ "${1:-}" == "-update-baseline" ]]; then
     out="BENCH_$(date +%F).json"
+    if [[ -e "$out" && "${2:-}" != "-f" ]]; then
+        # Same-day reruns silently clobbering an already-measured (possibly
+        # committed) snapshot made the trajectory unreproducible; demand -f.
+        echo "perf_gate: $out already exists; pass -f to overwrite it" >&2
+        exit 1
+    fi
     echo "==> perf_gate: writing new baseline $out"
     go run ./cmd/nbaperf measure -quick -seed "$seed" -o "$out"
     echo "perf_gate: baseline updated; commit $out"
     exit 0
 fi
 
-baseline=$(ls BENCH_*.json 2>/dev/null | sort | tail -n 1 || true)
+baseline=$(pick_baseline)
 if [[ -z "$baseline" ]]; then
-    echo "perf_gate: no BENCH_*.json baseline found; run scripts/perf_gate.sh -update-baseline" >&2
+    echo "perf_gate: no committed BENCH_*.json baseline found; run scripts/perf_gate.sh -update-baseline and commit the result" >&2
     exit 1
 fi
 
