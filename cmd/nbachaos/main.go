@@ -49,6 +49,10 @@ sweep flags:
   -apps ipv4,ipv6,ipsec,ids   apps to sweep (default all)
   -tenants N                  co-host N apps per case as equal-share tenants
                               (0/1 = classic single-app sweep)
+  -reconfig                   arm control-plane churn: each case also carries a
+                              random reconfig plan (tenant admit/evict, share
+                              retunes, device hot-plug, queue resizes) over its
+                              tenant mix plus one latent app; implies -tenants 2
   -seeds N                    seeds per app (default 50)
   -base N                     first seed (default 1)
   -repro-dir DIR              write reproducer files for failures
@@ -64,6 +68,7 @@ func sweep(args []string) {
 	var (
 		apps       = fs.String("apps", "", "comma-separated apps (default: all)")
 		tenants    = fs.Int("tenants", 0, "co-host N apps per case as tenants (0/1 = single-app)")
+		reconfigOn = fs.Bool("reconfig", false, "arm control-plane churn plans (implies -tenants 2)")
 		seeds      = fs.Int("seeds", 50, "seeds per app")
 		base       = fs.Uint64("base", 1, "first seed")
 		reproDir   = fs.String("repro-dir", "", "directory for reproducer files")
@@ -80,6 +85,7 @@ func sweep(args []string) {
 	opts := chaos.SweepOptions{
 		Seeds:         *seeds,
 		TenantCount:   *tenants,
+		Reconfig:      *reconfigOn,
 		BaseSeed:      *base,
 		ReproDir:      *reproDir,
 		MaxShrinkRuns: *shrinkRuns,
@@ -107,8 +113,12 @@ func sweep(args []string) {
 		return
 	}
 	for _, f := range res.Failures {
+		after := len(f.Case.Plan.Events)
+		if f.Case.Reconfig != nil {
+			after += len(f.Case.Reconfig.Events)
+		}
 		fmt.Printf("FAIL %s seed %d: %d violation(s), plan shrunk %d -> %d event(s) in %d run(s)\n",
-			f.Case.Label(), f.Case.Seed, len(f.Outcome.Violations), f.ShrunkFrom, len(f.Case.Plan.Events), f.ShrinkRuns)
+			f.Case.Label(), f.Case.Seed, len(f.Outcome.Violations), f.ShrunkFrom, after, f.ShrinkRuns)
 		for _, v := range f.Outcome.Violations {
 			fmt.Printf("  %s\n", v)
 		}
@@ -131,8 +141,12 @@ func replay(args []string) {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("nbachaos: replay %s (app %s, seed %d, %d plan event(s))\n",
-		args[0], c.Label(), c.Seed, len(c.Plan.Events))
+	reconfigN := 0
+	if c.Reconfig != nil {
+		reconfigN = len(c.Reconfig.Events)
+	}
+	fmt.Printf("nbachaos: replay %s (app %s, seed %d, %d fault + %d reconfig event(s))\n",
+		args[0], c.Label(), c.Seed, len(c.Plan.Events), reconfigN)
 	fmt.Printf("trace digest: %s\n", out.Digest)
 	if !out.Failed() {
 		fmt.Println("clean: no invariant violations")

@@ -104,6 +104,9 @@ var simPackagePrefixes = []string{
 	"nba/internal/invariant",
 	"nba/internal/chaos",
 	"nba/internal/overload",
+	// reconfig plans script the control plane inside virtual time; a
+	// nondeterministic plan would fork the epoch timeline between replays.
+	"nba/internal/reconfig",
 	// sched's WRR rounds order every worker's RX polling, so any
 	// nondeterminism there skews every tenant's digest.
 	"nba/internal/sched",

@@ -12,12 +12,16 @@
 //	nbatrace record -app ipsec -lb fixed=0.8 -faults -o outage.jsonl
 //	nbatrace record -app ipsec -lb fixed=0.8 -overload -o shed.jsonl
 //	nbatrace record -tenants ipv4,ipsec -o mt.jsonl
+//	nbatrace record -tenants ipv4,ids -reconfig -o churn.jsonl
 //	nbatrace summary run.jsonl
 //	nbatrace diff a.jsonl b.jsonl
 //
 // -faults injects the canonical scripted GPU outage (internal/fault); the
 // plan is part of the run identity, so faulted recordings replay and diff
-// exactly like fault-free ones.
+// exactly like fault-free ones. -reconfig arms the canonical tenant-churn
+// reconfiguration (internal/reconfig): a latent ipsec "churn" tenant is
+// admitted at 1/4 of the run, retuned at 1/2 and evicted at 3/4 through
+// epoch drain-and-handoff; the plan is likewise part of the run identity.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 	"nba/internal/core"
 	"nba/internal/fault"
 	"nba/internal/overload"
+	"nba/internal/reconfig"
 	"nba/internal/simtime"
 	"nba/internal/trace"
 )
@@ -74,6 +79,7 @@ func record(args []string) {
 		events   = fs.Int("events", 1<<16, "ring capacity: trace events retained for export")
 		faults   = fs.Bool("faults", false, "inject the canonical GPU outage (device 0 fails at 1/4 of the run, recovers at 1/2)")
 		overl    = fs.Bool("overload", false, "arm overload control and inject a sustained 2.5x load burst over the middle half of the run")
+		rc       = fs.Bool("reconfig", false, "arm the canonical tenant-churn reconfiguration (requires -tenants): admit a latent ipsec tenant at 1/4 of the run, retune at 1/2, evict at 3/4")
 		out      = fs.String("o", "", "output JSONL path (required)")
 		chrome   = fs.String("chrome", "", "also export Chrome trace_event JSON to this path")
 	)
@@ -114,6 +120,26 @@ func record(args []string) {
 			})
 		}
 	}
+	if *rc {
+		// The reconfig plan is part of the run identity too: recording twice
+		// with -reconfig must still produce byte-identical traces, with the
+		// epoch begin/drain/commit protocol and the churned tenant's whole
+		// lifecycle (admit, retune, evict, digest seal) on the timeline.
+		if *tenants == "" {
+			fatal(fmt.Errorf("-reconfig requires -tenants (the churn plan admits a tenant into a running mix)"))
+		}
+		churnCfg, err := bench.AppConfig("ipsec", *lbAlg)
+		if err != nil {
+			fatal(err)
+		}
+		spec.LatentTenants = []core.Tenant{{
+			Name:        "churn",
+			GraphConfig: churnCfg,
+			Share:       1,
+			Generator:   bench.GeneratorFor("ipsec", *size, *seed+101),
+		}}
+		spec.Reconfig = reconfig.Churn(spec.Warmup+spec.Duration, "churn")
+	}
 	if *faults {
 		// The fault plan is part of the run identity: recording twice with
 		// -faults must still produce byte-identical traces, with the
@@ -141,8 +167,8 @@ func record(args []string) {
 	if *tenants != "" {
 		appLabel = "tenants:" + *tenants
 	}
-	label := fmt.Sprintf("app=%s lb=%s gbps=%g size=%d workers=%d seed=%d faults=%v overload=%v",
-		appLabel, *lbAlg, *gbps, *size, *workers, *seed, *faults, *overl)
+	label := fmt.Sprintf("app=%s lb=%s gbps=%g size=%d workers=%d seed=%d faults=%v overload=%v reconfig=%v",
+		appLabel, *lbAlg, *gbps, *size, *workers, *seed, *faults, *overl, *rc)
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)

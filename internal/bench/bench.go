@@ -19,6 +19,7 @@ import (
 	"nba/internal/netio"
 	"nba/internal/overload"
 	"nba/internal/packet"
+	"nba/internal/reconfig"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
 	"nba/internal/trace"
@@ -210,6 +211,11 @@ type RunSpec struct {
 	// one system; App, LB, Size and Generator are then ignored (each
 	// tenant carries its own graph and generator).
 	Tenants []core.Tenant
+	// LatentTenants are admittable mid-run by the Reconfig plan; Reconfig,
+	// when non-nil, applies the scripted runtime-reconfiguration timeline
+	// (requires Tenants).
+	LatentTenants []core.Tenant
+	Reconfig      *reconfig.Plan
 }
 
 // Execute assembles and runs one system.
@@ -262,6 +268,8 @@ func ExecuteConfig(cfgText string, spec RunSpec) (*core.Report, error) {
 		Overload:          spec.Overload,
 		Checker:           spec.Checker,
 		Tenants:           spec.Tenants,
+		LatentTenants:     spec.LatentTenants,
+		Reconfig:          spec.Reconfig,
 	}
 	sys, err := core.NewSystem(cfg)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"nba/internal/fault"
 	"nba/internal/invariant"
 	"nba/internal/overload"
+	"nba/internal/reconfig"
 	"nba/internal/rng"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
@@ -69,7 +70,18 @@ type Case struct {
 	Tenants     []string
 	Plan        *fault.Plan
 	TaskTimeout simtime.Time
+	// Latent lists apps available for mid-run admission (they become
+	// core.Config.LatentTenants named by latentName); Reconfig is the
+	// control-plane churn timeline applied alongside the fault plan.
+	// Reconfig cases require tenant mode (Tenants non-empty).
+	Latent   []string
+	Reconfig *reconfig.Plan
 }
+
+// tenantName / latentName are the deterministic tenant names a case's apps
+// get inside the run; reconfig plans reference tenants by these names.
+func tenantName(i int, app string) string { return fmt.Sprintf("t%d-%s", i, app) }
+func latentName(i int, app string) string { return fmt.Sprintf("l%d-%s", i, app) }
 
 // Label names the case in sweep output and digests: the app, or the
 // "a+b+..." tenant mix.
@@ -136,6 +148,40 @@ func RandomTenantCase(apps []string, seed uint64) Case {
 	return c
 }
 
+// ReconfigProfile is the reconfig.RandomPlan profile for a case's tenant
+// shape: epochs land inside the case horizon and reference tenants by their
+// in-run names.
+func ReconfigProfile(tenants, latent []string) reconfig.Profile {
+	initial := make([]string, len(tenants))
+	for i, app := range tenants {
+		initial[i] = tenantName(i, app)
+	}
+	lat := make([]string, len(latent))
+	for i, app := range latent {
+		lat[i] = latentName(i, app)
+	}
+	return reconfig.Profile{
+		Horizon:       CaseHorizon(),
+		Initial:       initial,
+		Latent:        lat,
+		Devices:       1,
+		Ports:         casePorts,
+		QueueCapacity: topology().RxQueueCapacity,
+	}
+}
+
+// RandomReconfigCase derives a churn case: the listed apps as co-resident
+// tenants, the latent apps admittable mid-run, a fault plan from the tenant
+// queue space and a reconfig plan drawn from an independent rng stream (so
+// arming churn does not re-roll the fault timeline of the same seed).
+func RandomReconfigCase(apps, latent []string, seed uint64) Case {
+	c := RandomTenantCase(apps, seed)
+	c.Latent = latent
+	r := rng.New(seed*0xD1B54A32D192ED03 + appSalt(c.Label()+"+reconfig"))
+	c.Reconfig = reconfig.RandomPlan(r, ReconfigProfile(apps, latent))
+	return c
+}
+
 // CaseProfile returns the plan-validation profile matching the case shape.
 func CaseProfile(c Case) fault.Profile {
 	if len(c.Tenants) > 1 {
@@ -194,12 +240,27 @@ func Run(c Case) (*Outcome, error) {
 			}
 			cfg.Tenants = append(cfg.Tenants, core.Tenant{
 				// Index prefix keeps names unique when a mix repeats an app.
-				Name:        fmt.Sprintf("t%d-%s", i, app),
+				Name:        tenantName(i, app),
 				GraphConfig: cfgText,
 				Share:       1,
 				Generator:   bench.GeneratorFor(app, 64, c.Seed+1+uint64(i)),
 			})
 		}
+		for i, app := range c.Latent {
+			cfgText, err := bench.AppConfig(app, "adaptive")
+			if err != nil {
+				return nil, err
+			}
+			cfg.LatentTenants = append(cfg.LatentTenants, core.Tenant{
+				Name:        latentName(i, app),
+				GraphConfig: cfgText,
+				Share:       1,
+				// The generator seed stream continues past the active tenants
+				// so an admitted tenant's traffic is independent of the mix.
+				Generator: bench.GeneratorFor(app, 64, c.Seed+1+uint64(len(c.Tenants)+i)),
+			})
+		}
+		cfg.Reconfig = c.Reconfig
 	} else {
 		cfgText, err := bench.AppConfig(c.App, "adaptive")
 		if err != nil {

@@ -6,6 +6,7 @@ import (
 
 	"nba/internal/fault"
 	"nba/internal/invariant"
+	"nba/internal/reconfig"
 	"nba/internal/simtime"
 )
 
@@ -185,6 +186,132 @@ func TestReproRoundTrip(t *testing.T) {
 		if got.Plan.Events[i] != c.Plan.Events[i] {
 			t.Fatalf("event %d mismatch: %+v vs %+v", i, got.Plan.Events[i], c.Plan.Events[i])
 		}
+	}
+}
+
+// --- reconfig churn cases ---
+
+// TestOracleCleanUnderRandomReconfig: random control-plane churn (admits,
+// evicts, retunes, hot-plug, resizes) over co-resident tenant mixes must
+// pass every invariant — including the epoch conservation and orphaned-lane
+// checks — and reproduce digests across the doubled runs.
+func TestOracleCleanUnderRandomReconfig(t *testing.T) {
+	for seed := uint64(20); seed < 24; seed++ {
+		c := RandomReconfigCase([]string{"ipv4", "ids"}, []string{"ipv6"}, seed)
+		out, err := RunTwice(c)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if out.Failed() {
+			t.Errorf("seed %d violated invariants under fault %v + reconfig %v: %v",
+				seed, c.Plan.Events, c.Reconfig.Events, out.Violations)
+		}
+	}
+}
+
+// evictPredicate is the synthetic failure oracle for reconfig shrinking: a
+// plan "fails" iff it ever evicts tenant t0-ipv4.
+func evictPredicate(p *reconfig.Plan) bool {
+	for _, ev := range p.Events {
+		if ev.Kind == reconfig.TenantEvict && ev.Tenant == "t0-ipv4" {
+			return true
+		}
+	}
+	return false
+}
+
+func TestShrinkReconfigToMinimal(t *testing.T) {
+	prof := ReconfigProfile([]string{"ipv4", "ids"}, []string{"ipv6"})
+	valid := func(p *reconfig.Plan) bool {
+		return p.Validate(prof.Initial, prof.Latent, prof.Devices, prof.Ports) == nil
+	}
+	// The triggering evict buried under an admit+evict lifecycle, a retune,
+	// a device bounce and a resize. The latent lifecycle's single removals
+	// are invalid (evict without admit), so only the pair removal strips it.
+	noisy := &reconfig.Plan{Events: []reconfig.Event{
+		{At: 200 * simtime.Microsecond, Kind: reconfig.TenantAdmit, Tenant: "l0-ipv6"},
+		{At: 400 * simtime.Microsecond, Kind: reconfig.ShareRetune, Tenant: "t1-ids", Share: 2},
+		{At: 600 * simtime.Microsecond, Kind: reconfig.DeviceUnplug, Device: 0},
+		{At: 800 * simtime.Microsecond, Kind: reconfig.DevicePlug, Device: 0},
+		{At: 1 * ms, Kind: reconfig.TenantEvict, Tenant: "t0-ipv4"},
+		{At: 1200 * simtime.Microsecond, Kind: reconfig.TenantEvict, Tenant: "l0-ipv6"},
+		{At: 1400 * simtime.Microsecond, Kind: reconfig.QueueResize, Port: 0, Capacity: 64},
+	}}
+	if !evictPredicate(noisy) || !valid(noisy) {
+		t.Fatal("noisy plan must start failing and valid")
+	}
+	shrunk, runs := ShrinkReconfig(noisy, evictPredicate, valid, 200)
+	if len(shrunk.Events) != 1 {
+		t.Fatalf("shrunk to %d events, want 1: %v (%d runs)", len(shrunk.Events), shrunk.Events, runs)
+	}
+	if !evictPredicate(shrunk) || !valid(shrunk) {
+		t.Fatalf("shrunk plan broken: %v", shrunk.Events)
+	}
+}
+
+func TestReconfigReproRoundTrip(t *testing.T) {
+	c := RandomReconfigCase([]string{"ipsec", "ipv6"}, []string{"ids"}, 31)
+	if len(c.Reconfig.Events) == 0 {
+		t.Fatal("seed 31 generated no reconfig events; pick another seed")
+	}
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := WriteRepro(path, c); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label() != c.Label() || got.Seed != c.Seed {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Latent) != len(c.Latent) || got.Latent[0] != c.Latent[0] {
+		t.Fatalf("latent pool mismatch: %v vs %v", got.Latent, c.Latent)
+	}
+	if len(got.Reconfig.Events) != len(c.Reconfig.Events) {
+		t.Fatalf("reconfig event count mismatch: %d vs %d", len(got.Reconfig.Events), len(c.Reconfig.Events))
+	}
+	for i := range c.Reconfig.Events {
+		if got.Reconfig.Events[i] != c.Reconfig.Events[i] {
+			t.Fatalf("reconfig event %d mismatch: %+v vs %+v", i, got.Reconfig.Events[i], c.Reconfig.Events[i])
+		}
+	}
+	// The round-tripped case replays to the identical digest.
+	a, err := Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameDigests(a, b) {
+		t.Fatal("round-tripped reconfig case replays to a different digest")
+	}
+}
+
+// TestReconfigSweepCleanAndDeterministic: a small armed sweep must be clean
+// and reproduce its combined digest, serially and in parallel.
+func TestReconfigSweepCleanAndDeterministic(t *testing.T) {
+	opts := SweepOptions{Seeds: 3, BaseSeed: 40, Reconfig: true}
+	a, err := Sweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cases != 3 {
+		t.Fatalf("ran %d cases, want 3", a.Cases)
+	}
+	for _, f := range a.Failures {
+		t.Errorf("case %s/%d failed: %v (fault %v, reconfig %v)", f.Case.Label(), f.Case.Seed,
+			f.Outcome.Violations, f.Case.Plan.Events, f.Case.Reconfig.Events)
+	}
+	opts.Parallelism = 4
+	b, err := Sweep(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("reconfig sweep digest not reproducible across parallelism: %s vs %s", a.Digest, b.Digest)
 	}
 }
 

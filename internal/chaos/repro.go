@@ -6,6 +6,7 @@ import (
 	"os"
 
 	"nba/internal/fault"
+	"nba/internal/reconfig"
 	"nba/internal/simtime"
 )
 
@@ -24,6 +25,11 @@ type reproFile struct {
 	// default, negative = disabled.
 	TaskTimeoutPs int64        `json:"task_timeout_ps,omitempty"`
 	Events        []reproEvent `json:"events"`
+	// Latent / ReconfigEvents replay control-plane churn cases: the latent
+	// app pool and the reconfiguration timeline (kinds in their String
+	// form, tenants by their in-run names).
+	Latent         []string             `json:"latent,omitempty"`
+	ReconfigEvents []reproReconfigEvent `json:"reconfig_events,omitempty"`
 }
 
 type reproEvent struct {
@@ -37,9 +43,19 @@ type reproEvent struct {
 	RateFactor   float64 `json:"rate_factor,omitempty"`
 }
 
+type reproReconfigEvent struct {
+	AtPs     int64   `json:"at_ps"`
+	Kind     string  `json:"kind"`
+	Tenant   string  `json:"tenant,omitempty"`
+	Share    float64 `json:"share,omitempty"`
+	Device   int     `json:"device,omitempty"`
+	Port     int     `json:"port,omitempty"`
+	Capacity int     `json:"capacity,omitempty"`
+}
+
 // WriteRepro writes the case as a replayable reproducer file.
 func WriteRepro(path string, c Case) error {
-	rf := reproFile{App: c.App, Tenants: c.Tenants, Seed: c.Seed, TaskTimeoutPs: int64(c.TaskTimeout)}
+	rf := reproFile{App: c.App, Tenants: c.Tenants, Seed: c.Seed, TaskTimeoutPs: int64(c.TaskTimeout), Latent: c.Latent}
 	if c.Plan != nil {
 		for _, ev := range c.Plan.Events {
 			rf.Events = append(rf.Events, reproEvent{
@@ -47,6 +63,15 @@ func WriteRepro(path string, c Case) error {
 				Device: ev.Device, Port: ev.Port, Queue: ev.Queue,
 				KernelFactor: ev.KernelFactor, CopyFactor: ev.CopyFactor,
 				RateFactor: ev.RateFactor,
+			})
+		}
+	}
+	if c.Reconfig != nil {
+		for _, ev := range c.Reconfig.Events {
+			rf.ReconfigEvents = append(rf.ReconfigEvents, reproReconfigEvent{
+				AtPs: int64(ev.At), Kind: ev.Kind.String(),
+				Tenant: ev.Tenant, Share: ev.Share,
+				Device: ev.Device, Port: ev.Port, Capacity: ev.Capacity,
 			})
 		}
 	}
@@ -73,6 +98,7 @@ func ReadRepro(path string) (Case, error) {
 		Seed:        rf.Seed,
 		TaskTimeout: simtime.Time(rf.TaskTimeoutPs),
 		Plan:        &fault.Plan{},
+		Latent:      rf.Latent,
 	}
 	for i, ev := range rf.Events {
 		kind, err := fault.KindFromString(ev.Kind)
@@ -85,6 +111,20 @@ func ReadRepro(path string) (Case, error) {
 			KernelFactor: ev.KernelFactor, CopyFactor: ev.CopyFactor,
 			RateFactor: ev.RateFactor,
 		})
+	}
+	if len(rf.ReconfigEvents) > 0 {
+		c.Reconfig = &reconfig.Plan{}
+		for i, ev := range rf.ReconfigEvents {
+			kind, err := reconfig.KindFromString(ev.Kind)
+			if err != nil {
+				return Case{}, fmt.Errorf("chaos: %s: reconfig event %d: %w", path, i, err)
+			}
+			c.Reconfig.Events = append(c.Reconfig.Events, reconfig.Event{
+				At: simtime.Time(ev.AtPs), Kind: kind,
+				Tenant: ev.Tenant, Share: ev.Share,
+				Device: ev.Device, Port: ev.Port, Capacity: ev.Capacity,
+			})
+		}
 	}
 	return c, nil
 }

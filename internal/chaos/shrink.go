@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"nba/internal/fault"
+	"nba/internal/reconfig"
 	"nba/internal/simtime"
 )
 
@@ -115,6 +116,96 @@ func shrinkOnce(cur *fault.Plan, try func(*fault.Plan) bool) (*fault.Plan, bool)
 		}
 	}
 	return nil, false
+}
+
+// ShrinkReconfig reduces a failing reconfiguration plan the same way Shrink
+// reduces a fault plan: greedy delta debugging over candidate
+// transformations (single event removal, then same-target pair removal —
+// an admit+evict of one tenant or an unplug+plug of one device, whose
+// single removals the timeline validator rejects), restarting the scan on
+// every success until a fixed point or the probe budget runs out.
+func ShrinkReconfig(plan *reconfig.Plan, stillFails func(*reconfig.Plan) bool, valid func(*reconfig.Plan) bool, maxRuns int) (*reconfig.Plan, int) {
+	cur := cloneReconfigPlan(plan)
+	runs := 0
+	try := func(cand *reconfig.Plan) bool {
+		if runs >= maxRuns || !valid(cand) {
+			return false
+		}
+		runs++
+		return stillFails(cand)
+	}
+
+	for {
+		if cand, ok := shrinkReconfigOnce(cur, try); ok {
+			cur = cand
+			continue
+		}
+		return cur, runs
+	}
+}
+
+func shrinkReconfigOnce(cur *reconfig.Plan, try func(*reconfig.Plan) bool) (*reconfig.Plan, bool) {
+	// 1. Remove a single event, scanning from the end (evicts and replugs
+	// tend to sit late; stripping them first leaves the opening event whose
+	// epoch is usually what matters).
+	for i := len(cur.Events) - 1; i >= 0; i-- {
+		if cand := removeReconfigEvents(cur, i, -1); try(cand) {
+			return cand, true
+		}
+	}
+	// 2. Remove a same-target pair: the lifecycle validator rejects many
+	// single removals (an evict without its admit, a plug without its
+	// unplug), but dropping the whole pair keeps the timeline legal.
+	for i := 0; i < len(cur.Events); i++ {
+		for j := i + 1; j < len(cur.Events); j++ {
+			if !sameReconfigTarget(cur.Events[i], cur.Events[j]) {
+				continue
+			}
+			if cand := removeReconfigEvents(cur, i, j); try(cand) {
+				return cand, true
+			}
+		}
+	}
+	return nil, false
+}
+
+func cloneReconfigPlan(p *reconfig.Plan) *reconfig.Plan {
+	return &reconfig.Plan{Events: append([]reconfig.Event(nil), p.Events...)}
+}
+
+func removeReconfigEvents(p *reconfig.Plan, i, j int) *reconfig.Plan {
+	out := &reconfig.Plan{Events: make([]reconfig.Event, 0, len(p.Events))}
+	for k, ev := range p.Events {
+		if k == i || k == j {
+			continue
+		}
+		out.Events = append(out.Events, ev)
+	}
+	return out
+}
+
+// sameReconfigTarget reports whether two reconfig events act on the same
+// tenant or device, so removing both plausibly removes one whole lifecycle.
+func sameReconfigTarget(a, b reconfig.Event) bool {
+	if tenantReconfigKind(a.Kind) && tenantReconfigKind(b.Kind) {
+		return a.Tenant == b.Tenant
+	}
+	if deviceReconfigKind(a.Kind) && deviceReconfigKind(b.Kind) {
+		return a.Device == b.Device
+	}
+	return a.Kind == reconfig.QueueResize && b.Kind == reconfig.QueueResize && a.Port == b.Port
+}
+
+func tenantReconfigKind(k reconfig.Kind) bool {
+	switch k {
+	case reconfig.TenantAdmit, reconfig.TenantEvict, reconfig.ShareRetune:
+		return true
+	}
+	return false
+}
+
+func deviceReconfigKind(k reconfig.Kind) bool {
+	return k == reconfig.DeviceUnplug || k == reconfig.DevicePlug
 }
 
 func clonePlan(p *fault.Plan) *fault.Plan {

@@ -8,7 +8,16 @@ import (
 	"nba/internal/fault"
 	"nba/internal/invariant"
 	"nba/internal/par"
+	"nba/internal/reconfig"
 )
+
+// reconfigEvents counts a possibly-nil reconfig plan's events.
+func reconfigEvents(p *reconfig.Plan) int {
+	if p == nil {
+		return 0
+	}
+	return len(p.Events)
+}
 
 // SweepOptions configures a chaos sweep.
 type SweepOptions struct {
@@ -21,6 +30,12 @@ type SweepOptions struct {
 	// as equal-share tenants, cases = Seeds, and the determinism
 	// cross-check also covers every per-tenant sub-digest.
 	TenantCount int
+	// Reconfig arms control-plane churn: every case additionally carries a
+	// random reconfiguration plan (tenant admit/evict, share retunes,
+	// device hot-plug, queue resizes) over its tenant mix plus one latent
+	// app drawn from the rotation. Implies co-residency (TenantCount < 2
+	// is promoted to 2: admits and evicts need a tenant split to act on).
+	Reconfig bool
 	// BaseSeed offsets the seed range (seeds are BaseSeed .. BaseSeed+Seeds-1).
 	BaseSeed uint64
 	// ReproDir, when non-empty, receives a reproducer file per failing case.
@@ -39,8 +54,9 @@ type SweepOptions struct {
 type Failure struct {
 	Case    Case
 	Outcome *Outcome
-	// ShrunkFrom is the event count of the original failing plan (equal to
-	// len(Case.Plan.Events) when shrinking was disabled or made no progress).
+	// ShrunkFrom is the total event count of the original failing plans —
+	// fault events plus any reconfig events (unchanged when shrinking was
+	// disabled or made no progress).
 	ShrunkFrom int
 	// ShrinkRuns is how many probe runs the shrinker spent.
 	ShrinkRuns int
@@ -78,7 +94,22 @@ func Sweep(opts SweepOptions) (*SweepResult, error) {
 		apps = Apps
 	}
 	cases := make([]Case, 0, len(apps)*opts.Seeds)
-	if opts.TenantCount >= 2 {
+	if opts.Reconfig {
+		// One churn case per seed: a rotating tenant window plus the next
+		// app in the rotation as the admittable latent tenant.
+		tc := opts.TenantCount
+		if tc < 2 {
+			tc = 2
+		}
+		for s := 0; s < opts.Seeds; s++ {
+			mix := make([]string, tc)
+			for i := range mix {
+				mix[i] = apps[(s+i)%len(apps)]
+			}
+			latent := []string{apps[(s+tc)%len(apps)]}
+			cases = append(cases, RandomReconfigCase(mix, latent, opts.BaseSeed+uint64(s)))
+		}
+	} else if opts.TenantCount >= 2 {
 		// One case per seed, co-hosting a rotating window over the app list
 		// so every app appears in every tenant slot across the seed range.
 		for s := 0; s < opts.Seeds; s++ {
@@ -124,17 +155,36 @@ func Sweep(opts SweepOptions) (*SweepResult, error) {
 		if !out.Failed() {
 			continue
 		}
-		f := Failure{Case: c, Outcome: out, ShrunkFrom: len(c.Plan.Events)}
+		f := Failure{Case: c, Outcome: out, ShrunkFrom: len(c.Plan.Events) + reconfigEvents(c.Reconfig)}
 		if opts.MaxShrinkRuns > 0 {
 			prof := CaseProfile(c)
+			replay := f.Case // mutated plan-by-plan as each shrink pass lands
 			stillFails := func(p *fault.Plan) bool {
-				o, err := RunTwice(Case{App: c.App, Tenants: c.Tenants, Seed: c.Seed, Plan: p, TaskTimeout: c.TaskTimeout})
+				cand := replay
+				cand.Plan = p
+				o, err := RunTwice(cand)
 				return err == nil && o.Failed()
 			}
 			valid := func(p *fault.Plan) bool {
 				return p.Validate(prof.Devices, prof.Ports, prof.Queues) == nil
 			}
 			f.Case.Plan, f.ShrinkRuns = Shrink(c.Plan, stillFails, valid, opts.MaxShrinkRuns)
+			replay.Plan = f.Case.Plan
+			if budget := opts.MaxShrinkRuns - f.ShrinkRuns; budget > 0 && reconfigEvents(c.Reconfig) > 0 {
+				rprof := ReconfigProfile(c.Tenants, c.Latent)
+				rcStillFails := func(p *reconfig.Plan) bool {
+					cand := replay
+					cand.Reconfig = p
+					o, err := RunTwice(cand)
+					return err == nil && o.Failed()
+				}
+				rcValid := func(p *reconfig.Plan) bool {
+					return p.Validate(rprof.Initial, rprof.Latent, rprof.Devices, rprof.Ports) == nil
+				}
+				var rcRuns int
+				f.Case.Reconfig, rcRuns = ShrinkReconfig(c.Reconfig, rcStillFails, rcValid, budget)
+				f.ShrinkRuns += rcRuns
+			}
 		}
 		if opts.ReproDir != "" {
 			f.ReproPath = filepath.Join(opts.ReproDir, fmt.Sprintf("repro-%s-%d.json", strings.ReplaceAll(c.Label(), "+", "_"), c.Seed))

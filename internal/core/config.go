@@ -13,6 +13,7 @@ import (
 	"nba/internal/invariant"
 	"nba/internal/netio"
 	"nba/internal/overload"
+	"nba/internal/reconfig"
 	"nba/internal/sched"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
@@ -147,6 +148,24 @@ type Config struct {
 	// plan reproduce the same trace digest.
 	FaultPlan *fault.Plan
 
+	// Reconfig, when non-nil and non-empty, is the scripted runtime
+	// reconfiguration timeline: tenant admits/evicts, share retunes, device
+	// hot-(un)plug and RX-queue resizes, each applied through the epoch
+	// drain-and-handoff protocol. Like FaultPlan, the plan is part of the
+	// run's identity (same configuration + seed + plan reproduce the same
+	// trace digest), and a nil or empty plan leaves the event timeline —
+	// and therefore every golden digest — byte-identical.
+	// Requires explicit-tenant mode (Tenants non-empty).
+	Reconfig *reconfig.Plan
+
+	// LatentTenants are tenants that do not exist at run start but may be
+	// admitted by a Reconfig tenant.admit event, which references them by
+	// Name. They receive the same default-filling and validation as
+	// Tenants; names must be unique across both sets. Latent tenants never
+	// touched by the plan cost nothing at runtime (their graphs are
+	// pre-built once for validation, outside the engine).
+	LatentTenants []Tenant
+
 	// Checker, when non-nil, is the invariant oracle threaded through the
 	// run: dispatch monotonicity, GPU phase ordering and utilization, ALB
 	// bounds and collapse-on-outage, RX-queue accounting, mempool drain and
@@ -206,29 +225,29 @@ func (c Config) withDefaults() (Config, error) {
 		if len(c.GeneratorChanges) > 0 && len(c.Tenants) > 1 {
 			return c, fmt.Errorf("core: GeneratorChanges are single-tenant only")
 		}
-		// Fill tenant defaults on a copy so the caller's slice is untouched.
+		// Fill tenant defaults on copies so the caller's slices are untouched.
 		c.Tenants = append([]Tenant(nil), c.Tenants...)
-		names := make(map[string]bool, len(c.Tenants))
-		for i := range c.Tenants {
-			t := &c.Tenants[i]
+		c.LatentTenants = append([]Tenant(nil), c.LatentTenants...)
+		names := make(map[string]bool, len(c.Tenants)+len(c.LatentTenants))
+		fill := func(t *Tenant, defName string) error {
 			if t.GraphConfig == "" {
-				return c, fmt.Errorf("core: tenant %d: GraphConfig is required", i)
+				return fmt.Errorf("core: tenant %s: GraphConfig is required", defName)
 			}
 			if t.Name == "" {
-				t.Name = fmt.Sprintf("t%d", i)
+				t.Name = defName
 			}
 			if names[t.Name] {
-				return c, fmt.Errorf("core: duplicate tenant name %q", t.Name)
+				return fmt.Errorf("core: duplicate tenant name %q", t.Name)
 			}
 			names[t.Name] = true
 			if t.Share < 0 {
-				return c, fmt.Errorf("core: tenant %s: negative Share", t.Name)
+				return fmt.Errorf("core: tenant %s: negative Share", t.Name)
 			}
 			if t.Share == 0 {
 				t.Share = 1
 			}
 			if t.RateScale < 0 {
-				return c, fmt.Errorf("core: tenant %s: negative RateScale", t.Name)
+				return fmt.Errorf("core: tenant %s: negative RateScale", t.Name)
 			}
 			if t.RateScale == 0 {
 				t.RateScale = 1
@@ -237,7 +256,18 @@ func (c Config) withDefaults() (Config, error) {
 				t.Generator = c.Generator
 			}
 			if t.Generator == nil {
-				return c, fmt.Errorf("core: tenant %s: no Generator (set one on the tenant or on the Config)", t.Name)
+				return fmt.Errorf("core: tenant %s: no Generator (set one on the tenant or on the Config)", t.Name)
+			}
+			return nil
+		}
+		for i := range c.Tenants {
+			if err := fill(&c.Tenants[i], fmt.Sprintf("t%d", i)); err != nil {
+				return c, err
+			}
+		}
+		for i := range c.LatentTenants {
+			if err := fill(&c.LatentTenants[i], fmt.Sprintf("l%d", i)); err != nil {
+				return c, err
 			}
 		}
 	} else {
@@ -320,6 +350,29 @@ func (c Config) withDefaults() (Config, error) {
 		if err := c.FaultPlan.Validate(len(c.Topology.Devices), len(c.Topology.Ports), nqueues); err != nil {
 			return c, err
 		}
+	}
+	if c.Reconfig != nil && len(c.Reconfig.Events) > 0 {
+		if len(c.Tenants) == 0 {
+			return c, fmt.Errorf("core: Reconfig requires explicit-tenant mode (set Tenants)")
+		}
+		initial := make([]string, len(c.Tenants))
+		for i, t := range c.Tenants {
+			initial[i] = t.Name
+		}
+		latent := make([]string, len(c.LatentTenants))
+		for i, t := range c.LatentTenants {
+			latent[i] = t.Name
+		}
+		if err := c.Reconfig.Validate(initial, latent, len(c.Topology.Devices), len(c.Topology.Ports)); err != nil {
+			return c, err
+		}
+		if c.DrainGrace == 0 {
+			// An armed reconfig plan needs bounded epoch drains even in
+			// checkerless record runs; default to the watchdog's grace.
+			c.DrainGrace = simtime.Second
+		}
+	} else if len(c.LatentTenants) > 0 {
+		return c, fmt.Errorf("core: LatentTenants without a Reconfig plan to admit them")
 	}
 	return c, nil
 }

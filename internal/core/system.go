@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -8,9 +9,11 @@ import (
 	"nba/internal/element"
 	"nba/internal/fault"
 	"nba/internal/gpu"
+	"nba/internal/graph"
 	"nba/internal/lb"
 	"nba/internal/netio"
 	"nba/internal/overload"
+	"nba/internal/reconfig"
 	"nba/internal/rng"
 	"nba/internal/sched"
 	"nba/internal/simtime"
@@ -44,6 +47,24 @@ type System struct {
 
 	parsed []*conflang.Config // per tenant
 
+	// Runtime-reconfiguration state. Tenant slots are grow-only: an evicted
+	// tenant's lanes and queues stay in place (inactive) so tenant-major
+	// indexing never shifts; an admitted tenant appends at len(tenants).
+	tstate       []tenantLifecycle
+	devPlugged   []bool // parallel to devices; all true without a plan
+	latentIdx    map[string]int
+	latentParsed []*conflang.Config
+	rcEvents     []reconfig.Event // sorted, At <= stopTime
+	rcNext       int
+	rcActive     bool
+	rcEpoch      int
+	rcBegin      simtime.Time
+	rcEv         reconfig.Event
+	rcRescued    int
+	rcForced     bool
+	rcOrphaned   bool
+	rcPollFn     func()
+
 	stopTime  simtime.Time // warmup + duration
 	measuring bool
 
@@ -59,6 +80,20 @@ type System struct {
 
 	captured []netio.CapturedPacket
 }
+
+// tenantLifecycle is one tenant slot's runtime state under the epoch
+// protocol. Tenants present at construction are active from time 0; latent
+// tenants only get a slot when admitted.
+type tenantLifecycle struct {
+	active    bool
+	admitted  simtime.Time
+	evicted   bool
+	evictedAt simtime.Time
+}
+
+// errNoPluggedDevice reports that placement resolved to a socket whose every
+// device is hot-unplugged; the caller rescues the aggregate on the CPU.
+var errNoPluggedDevice = errors.New("core: no plugged device on socket")
 
 // NewSystem builds a system from the configuration.
 func NewSystem(cfg Config) (*System, error) {
@@ -107,6 +142,32 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		s.parsed = append(s.parsed, p)
 	}
+	s.tstate = make([]tenantLifecycle, len(s.tenants))
+	for t := range s.tstate {
+		s.tstate[t].active = true
+	}
+
+	// Latent tenants (admittable by the reconfig plan): parse and trial-build
+	// their graphs now, against throwaway state, so a broken latent config
+	// fails at construction instead of mid-run inside an admit epoch.
+	s.latentIdx = make(map[string]int, len(cfg.LatentTenants))
+	for i, t := range cfg.LatentTenants {
+		p, err := conflang.Parse(t.GraphConfig)
+		if err != nil {
+			return nil, fmt.Errorf("core: latent tenant %d (%s): %w", i, t.Name, err)
+		}
+		cctx := &element.ConfigContext{
+			NodeLocal:  element.NewNodeLocal(),
+			NumPorts:   len(cfg.Topology.Ports),
+			NumDevices: 1,
+			Rand:       rng.New(1),
+		}
+		if _, err := graph.Build(p, cctx, cfg.CostModel, *cfg.GraphOpts); err != nil {
+			return nil, fmt.Errorf("core: latent tenant %d (%s): %w", i, t.Name, err)
+		}
+		s.latentParsed = append(s.latentParsed, p)
+		s.latentIdx[t.Name] = i
+	}
 
 	top := cfg.Topology
 	for socket := 0; socket < top.Sockets; socket++ {
@@ -130,6 +191,10 @@ func NewSystem(cfg Config) (*System, error) {
 			dev.QueueDepth = cfg.Overload.DeviceQueueDepth
 		}
 		s.devices = append(s.devices, dev)
+	}
+	s.devPlugged = make([]bool, len(s.devices))
+	for i := range s.devPlugged {
+		s.devPlugged[i] = true
 	}
 
 	// Ports, carved tenant-major: tenant t's queue for same-socket worker w
@@ -230,6 +295,19 @@ func (s *System) deviceFor(socket int, tenant int32, anno int) (*gpu.Device, err
 	idx := s.placement.DeviceFor(int(tenant), anno, len(local))
 	if idx < 0 || idx >= len(local) {
 		return nil, fmt.Errorf("core: socket %d has no device for tenant %d annotation %d", socket, tenant, anno)
+	}
+	// Hot-unplug re-route: a device removed from service stops taking new
+	// submissions the moment its epoch begins. Placement's choice falls to
+	// the next plugged local device in index order; with none left the
+	// caller rescues the aggregate on the CPU.
+	if !s.devPlugged[local[idx]] {
+		for off := 1; off < len(local); off++ {
+			j := (idx + off) % len(local)
+			if s.devPlugged[local[j]] {
+				return s.devices[local[j]], nil
+			}
+		}
+		return nil, errNoPluggedDevice
 	}
 	return s.devices[local[idx]], nil
 }
@@ -374,6 +452,25 @@ func (s *System) Run() (*Report, error) {
 		}
 	}
 
+	// Scripted reconfiguration timeline. Registered after the fault plan so
+	// a fault and a reconfig epoch landing on the same tick apply
+	// fault-first (engine same-tick order is registration order); reconfig
+	// events themselves serialize in plan order through the epoch pump. A
+	// nil or empty plan schedules nothing: the event timeline — and every
+	// golden digest — is byte-identical to an unconfigured run.
+	if plan := s.cfg.Reconfig; plan != nil && len(plan.Events) > 0 {
+		for _, ev := range plan.Sorted() {
+			if ev.At > s.stopTime {
+				continue
+			}
+			s.rcEvents = append(s.rcEvents, ev)
+		}
+		if len(s.rcEvents) > 0 {
+			s.rcPollFn = s.pollEpochDrain
+			s.eng.At(s.rcEvents[0].At, s.pumpReconfig)
+		}
+	}
+
 	// ALB control loops: observe each tenant's socket throughput, update
 	// that tenant's shared W. Socket-major, tenant-minor registration keeps
 	// the single-tenant event timeline identical to the pre-tenancy code.
@@ -382,44 +479,7 @@ func (s *System) Run() (*Report, error) {
 			if ctl == nil {
 				continue
 			}
-			ctl := ctl
-			socket := socket
-			tenant := tenant
-			var lastPkts uint64
-			var lastT simtime.Time
-			var observe func()
-			observe = func() {
-				now := s.eng.Now()
-				pkts := s.tenantTxPackets(socket, tenant)
-				if now > lastT {
-					ctl.Observe(float64(pkts-lastPkts) / (now - lastT).Seconds())
-				}
-				lastPkts, lastT = pkts, now
-				if now < s.stopTime {
-					s.eng.After(s.cfg.ALBObserve, observe)
-				}
-			}
-			s.eng.After(s.cfg.ALBObserve, observe)
-
-			var lastFails uint64
-			var update func()
-			update = func() {
-				// Completion failures since the last step steer the controller:
-				// a failing device forces W toward the CPU regardless of the
-				// throughput signal.
-				fails := s.tenantTaskFailures(socket, tenant)
-				ctl.NoteTaskFailures(int(fails - lastFails))
-				lastFails = fails
-				if ctl.Bound > 0 {
-					ctl.UpdateWithLatency(s.tenantRecentP99(socket, tenant))
-				} else {
-					ctl.Update()
-				}
-				if s.eng.Now() < s.stopTime {
-					s.eng.After(s.cfg.ALBUpdate, update)
-				}
-			}
-			s.eng.After(s.cfg.ALBUpdate, update)
+			s.startALBLoops(socket, tenant, ctl)
 		}
 	}
 
@@ -427,20 +487,10 @@ func (s *System) Run() (*Report, error) {
 	// saturation observation and apply the resulting degradation level.
 	// Armed only when overload control is configured, so ordinary runs keep
 	// their exact event timeline (and their golden trace digests).
-	if oc := s.cfg.Overload; oc != nil {
+	if s.cfg.Overload != nil {
 		for socket := range s.governors {
 			for tenant := range s.governors[socket] {
-				socket := socket
-				tenant := tenant
-				var prevDrops, prevShed uint64
-				var tick func()
-				tick = func() {
-					s.governorTick(socket, tenant, &prevDrops, &prevShed)
-					if s.eng.Now() < s.stopTime {
-						s.eng.After(oc.GovernorWindow, tick)
-					}
-				}
-				s.eng.After(oc.GovernorWindow, tick)
+				s.startGovernorLoop(socket, tenant)
 			}
 		}
 	}
@@ -472,6 +522,462 @@ func (s *System) Run() (*Report, error) {
 	return s.report(), nil
 }
 
+// startALBLoops registers one (socket, tenant) controller's observe and
+// update loops. Used at Run start for the initial tenant set and at admit
+// commit for the new tenant; both loops stop rescheduling once the tenant is
+// evicted (tenants present at construction are active for the whole run, so
+// plan-free timelines are untouched).
+func (s *System) startALBLoops(socket, tenant int, ctl *lb.Controller) {
+	var lastPkts uint64
+	var lastT simtime.Time
+	var observe func()
+	observe = func() {
+		if !s.tstate[tenant].active {
+			return
+		}
+		now := s.eng.Now()
+		pkts := s.tenantTxPackets(socket, tenant)
+		if now > lastT {
+			ctl.Observe(float64(pkts-lastPkts) / (now - lastT).Seconds())
+		}
+		lastPkts, lastT = pkts, now
+		if now < s.stopTime {
+			s.eng.After(s.cfg.ALBObserve, observe)
+		}
+	}
+	s.eng.After(s.cfg.ALBObserve, observe)
+
+	var lastFails uint64
+	var update func()
+	update = func() {
+		if !s.tstate[tenant].active {
+			return
+		}
+		// Completion failures since the last step steer the controller:
+		// a failing device forces W toward the CPU regardless of the
+		// throughput signal.
+		fails := s.tenantTaskFailures(socket, tenant)
+		ctl.NoteTaskFailures(int(fails - lastFails))
+		lastFails = fails
+		if ctl.Bound > 0 {
+			ctl.UpdateWithLatency(s.tenantRecentP99(socket, tenant))
+		} else {
+			ctl.Update()
+		}
+		if s.eng.Now() < s.stopTime {
+			s.eng.After(s.cfg.ALBUpdate, update)
+		}
+	}
+	s.eng.After(s.cfg.ALBUpdate, update)
+}
+
+// startGovernorLoop registers one (socket, tenant) overload-governor tick
+// loop (see startALBLoops for the lifecycle gating).
+func (s *System) startGovernorLoop(socket, tenant int) {
+	oc := s.cfg.Overload
+	var prevDrops, prevShed uint64
+	var tick func()
+	tick = func() {
+		if !s.tstate[tenant].active {
+			return
+		}
+		s.governorTick(socket, tenant, &prevDrops, &prevShed)
+		if s.eng.Now() < s.stopTime {
+			s.eng.After(oc.GovernorWindow, tick)
+		}
+	}
+	s.eng.After(oc.GovernorWindow, tick)
+}
+
+// reconfigDrainPoll is the cadence at which an in-flight epoch re-evaluates
+// its drain predicate. Polling exists only while a plan event is mid-epoch,
+// so plan-free runs schedule no polls at all.
+const reconfigDrainPoll = 10 * simtime.Microsecond
+
+// pumpReconfig begins the next plan event's epoch if none is in flight.
+// Epochs serialize: an event whose time arrives mid-epoch waits for the
+// commit, which re-invokes the pump (plan order is preserved because
+// rcEvents is sorted with stable ties).
+func (s *System) pumpReconfig() {
+	if s.rcActive || s.rcNext >= len(s.rcEvents) {
+		return
+	}
+	ev := s.rcEvents[s.rcNext]
+	s.rcNext++
+	s.beginEpoch(ev)
+}
+
+// beginEpoch opens one reconfiguration epoch: quiesce the affected lanes or
+// device (stop new arrivals / submissions, leave in-flight work running),
+// emit the begin event, and start evaluating the drain predicate.
+func (s *System) beginEpoch(ev reconfig.Event) {
+	now := s.eng.Now()
+	s.rcActive = true
+	s.rcEpoch++
+	s.rcBegin = now
+	s.rcEv = ev
+	s.rcRescued, s.rcForced, s.rcOrphaned = 0, false, false
+
+	tenant := trace.NoTenant
+	var target, payload int64
+	switch ev.Kind {
+	case reconfig.TenantAdmit:
+		// The tenant's slot index is assigned at commit; it is always the
+		// next slot, so the begin event can already name it.
+		target = int64(len(s.tenants))
+		payload = int64(math.Float64bits(ev.Share))
+	case reconfig.TenantEvict:
+		t := s.tenantIndex(ev.Tenant)
+		tenant, target = int32(t), int64(t)
+		// Quiesce: the tenant's arrivals stop now. Co-tenant splits are
+		// untouched until commit re-normalizes them.
+		s.shareFrac[t] = 0
+		s.applyRate()
+	case reconfig.ShareRetune:
+		t := s.tenantIndex(ev.Tenant)
+		tenant, target = int32(t), int64(t)
+		payload = int64(math.Float64bits(ev.Share))
+	case reconfig.DeviceUnplug:
+		target = int64(ev.Device)
+		// Quiesce: new submissions re-route from the begin instant; queued
+		// tasks keep draining on the device.
+		s.devPlugged[ev.Device] = false
+	case reconfig.DevicePlug:
+		target = int64(ev.Device)
+	case reconfig.QueueResize:
+		target = int64(ev.Port)
+		payload = int64(ev.Capacity)
+	}
+	if tr := s.cfg.Tracer; tr != nil {
+		tr.EmitT(now, trace.KindReconfigBegin, -1, tenant, ev.Kind.String(),
+			int64(s.rcEpoch), int64(ev.Kind), target, payload)
+	}
+	s.pollEpochDrain()
+}
+
+// pollEpochDrain drives the drain phase: commit as soon as the predicate
+// holds; at the DrainGrace deadline force-rescue the remaining work through
+// the CPU-fallback path; at twice the grace declare the lane orphaned
+// (invariant violation) and commit anyway so the run can finish and report.
+func (s *System) pollEpochDrain() {
+	if !s.rcActive {
+		return
+	}
+	now := s.eng.Now()
+	if s.epochDrained(now) {
+		s.commitEpoch()
+		return
+	}
+	if grace := s.cfg.DrainGrace; grace > 0 {
+		if !s.rcForced && now >= s.rcBegin+grace {
+			s.rcForced = true
+			s.rcRescued += s.forceRescue()
+		}
+		if now >= s.rcBegin+2*grace {
+			s.rcOrphaned = true
+			s.cfg.Checker.OrphanLane(now, s.rcEpoch, fmt.Sprintf(
+				"epoch %d (%s) still undrained %v past begin (grace %v); committing with work stranded",
+				s.rcEpoch, s.rcEv.Kind, now-s.rcBegin, grace))
+			s.commitEpoch()
+			return
+		}
+	}
+	s.eng.After(reconfigDrainPoll, s.rcPollFn)
+}
+
+// epochDrained evaluates the current epoch's drain predicate. Admit, retune,
+// plug and resize epochs have nothing in flight to wait for and drain
+// instantly.
+func (s *System) epochDrained(now simtime.Time) bool {
+	switch s.rcEv.Kind {
+	case reconfig.TenantEvict:
+		t := s.tenantIndex(s.rcEv.Tenant)
+		for _, w := range s.workers {
+			if !w.laneDrained(t, now) {
+				return false
+			}
+		}
+		return true
+	case reconfig.DeviceUnplug:
+		return s.devices[s.rcEv.Device].Queued() == 0
+	default:
+		return true
+	}
+}
+
+// forceRescue evacuates the epoch's remaining in-flight work at the grace
+// deadline: evict epochs route every outstanding task and pending aggregate
+// of the tenant's lanes through the completion-timeout path; unplug epochs
+// abort the device's queue so its tasks fail back to their workers. Either
+// way the work drains through the existing CPU-fallback path with its normal
+// accounting — nothing is silently dropped.
+func (s *System) forceRescue() int {
+	rescued := 0
+	switch s.rcEv.Kind {
+	case reconfig.TenantEvict:
+		t := s.tenantIndex(s.rcEv.Tenant)
+		for _, w := range s.workers {
+			rescued += w.rescueLane(w.lanes[t])
+		}
+	case reconfig.DeviceUnplug:
+		rescued += s.devices[s.rcEv.Device].AbortAll()
+	}
+	return rescued
+}
+
+// commitEpoch applies the epoch's change — re-split shares and queue maps,
+// re-seat controllers and governors, seal or open per-tenant digests — emits
+// the drain and commit trace events, verifies the epoch-boundary
+// conservation identity, and resumes the datapath (including the next
+// deferred plan event, if any).
+func (s *System) commitEpoch() {
+	now := s.eng.Now()
+	ev := s.rcEv
+	tenant := trace.NoTenant
+	var target int64
+	reseated := 0
+	sealTenant := -1
+	switch ev.Kind {
+	case reconfig.TenantAdmit:
+		t := s.admitTenant(ev, now)
+		tenant, target = int32(t), int64(t)
+		reseated = len(s.workers)
+	case reconfig.TenantEvict:
+		t := s.tenantIndex(ev.Tenant)
+		tenant, target = int32(t), int64(t)
+		s.tstate[t].active = false
+		s.tstate[t].evicted = true
+		s.tstate[t].evictedAt = now
+		for _, w := range s.workers {
+			w.lanes[t].active = false
+		}
+		reseated = len(s.workers)
+		s.recomputeShares()
+		s.applyRate()
+		sealTenant = t
+	case reconfig.ShareRetune:
+		t := s.tenantIndex(ev.Tenant)
+		tenant, target = int32(t), int64(t)
+		s.tenants[t].Share = ev.Share //nbalint:allow sharedstate retune commits on the serial engine; any outside write to Share builds the config before Run starts
+		reseated = len(s.workers)
+		s.recomputeShares()
+		s.applyRate()
+	case reconfig.DeviceUnplug:
+		target = int64(ev.Device)
+		// With the socket's last device gone its controllers collapse to
+		// the CPU; the unplugged-rescue path covers aggregates already
+		// annotated for offload.
+		socket := s.cfg.Topology.Devices[ev.Device].Socket
+		if !s.socketHasPluggedDevice(socket) {
+			for t, ctl := range s.controllers[socket] {
+				if ctl != nil && s.tstate[t].active {
+					ctl.SetWBounds(0, 0)
+					reseated++
+				}
+			}
+		}
+	case reconfig.DevicePlug:
+		target = int64(ev.Device)
+		s.devPlugged[ev.Device] = true
+		socket := s.cfg.Topology.Devices[ev.Device].Socket
+		for t, ctl := range s.controllers[socket] {
+			if ctl != nil && s.tstate[t].active {
+				ctl.SetWBounds(0, 1)
+				reseated++
+			}
+		}
+	case reconfig.QueueResize:
+		target = int64(ev.Port)
+		for pid, p := range s.ports {
+			if ev.Port != -1 && ev.Port != pid {
+				continue
+			}
+			for _, q := range p.Rx {
+				q.SetCapacity(now, ev.Capacity)
+				reseated++
+			}
+		}
+	}
+
+	var forced int64
+	if s.rcForced {
+		forced = 1
+	}
+	if tr := s.cfg.Tracer; tr != nil {
+		tr.Emit(now, trace.KindReconfigDrain, -1, ev.Kind.String(),
+			int64(s.rcEpoch), int64(now-s.rcBegin), int64(s.rcRescued), forced)
+		tr.EmitT(now, trace.KindReconfigCommit, -1, tenant, ev.Kind.String(),
+			int64(s.rcEpoch), int64(ev.Kind), target, int64(reseated))
+	}
+	if sealTenant >= 0 {
+		s.cfg.Tracer.SealTenantDigest(sealTenant)
+		if !s.rcOrphaned {
+			// Epoch-boundary conservation: with the tenant's lanes and
+			// queues drained, every packet its queues ever delivered is
+			// already transmitted, dropped or shed — the evicted tenant's
+			// mempool footprint is provably returned.
+			d, tx, dr, sh := s.tenantTotals(sealTenant)
+			s.cfg.Checker.EpochConservation(now, s.rcEpoch, s.tenants[sealTenant].Name, d, tx, dr, sh)
+		}
+	}
+	s.rcActive = false
+	if s.rcNext < len(s.rcEvents) {
+		if next := s.rcEvents[s.rcNext]; next.At <= now {
+			// Its time passed while this epoch drained: begin immediately,
+			// preserving plan order.
+			s.pumpReconfig()
+		} else {
+			s.eng.At(next.At, s.pumpReconfig)
+		}
+	}
+}
+
+// admitTenant installs a latent tenant into slot len(tenants) at admit
+// commit: NodeLocal rows, tenant-major RX queues, one lane per worker, a
+// controller and governor per socket, a fresh per-tenant trace digest, a
+// re-split share vector and its own control loops — everything a
+// construction-time tenant gets, in the same order.
+func (s *System) admitTenant(ev reconfig.Event, now simtime.Time) int {
+	li, ok := s.latentIdx[ev.Tenant]
+	if !ok {
+		panic(fmt.Sprintf("core: admit of unknown latent tenant %q", ev.Tenant))
+	}
+	tn := s.cfg.LatentTenants[li]
+	if ev.Share > 0 {
+		tn.Share = ev.Share
+	}
+	t := len(s.tenants)
+	s.tenants = append(s.tenants, tn)
+	s.tstate = append(s.tstate, tenantLifecycle{active: true, admitted: now})
+	s.shareFrac = append(s.shareFrac, 0)
+	s.parsed = append(s.parsed, s.latentParsed[li])
+	s.curGens = append(s.curGens, tn.Generator)
+	for socket := range s.nodeLocals {
+		s.nodeLocals[socket] = append(s.nodeLocals[socket], element.NewNodeLocal())
+	}
+	// Queues before lanes: the tenant-major append puts the new tenant's
+	// queue for local worker wi at index t*WorkersPerSocket+wi on every
+	// port, exactly where buildLane looks.
+	for _, port := range s.ports {
+		for wi := 0; wi < s.cfg.WorkersPerSocket; wi++ {
+			q := port.AddQueue(now, netio.QueueSpec{Tenant: int32(t), Gen: tn.Generator}, s.cfg.Topology.RxQueueCapacity)
+			q.SetStop(s.stopTime)
+			//nbalint:allow sharedstate admit-epoch wiring of a queue born on the serial engine; NewSystem's writes ran before Run started
+			q.Tracer = s.cfg.Tracer
+			//nbalint:allow sharedstate admit-epoch wiring of a queue born on the serial engine; NewSystem's writes ran before Run started
+			q.Checker = s.cfg.Checker
+		}
+	}
+	for _, w := range s.workers {
+		ln, err := w.buildLane(t)
+		if err != nil {
+			// Latent graphs are trial-built at construction; failing here is
+			// a programming bug, not a plan-authoring error.
+			panic(fmt.Sprintf("core: admit %q: %v", ev.Tenant, err))
+		}
+		w.lanes = append(w.lanes, ln)
+	}
+	for socket := range s.controllers {
+		var ctl *lb.Controller
+		if st, ok := s.nodeLocals[socket][t].Get(lb.StateKey).(*lb.State); ok && st.AdaptiveUsers > 0 {
+			ctl = lb.NewController(st)
+			// The controller is born on the serial engine during an admit
+			// epoch; NewSystem wires the same fields for boot-time tenants,
+			// but those writes ran before Run started — never concurrently.
+			ctl.Bound = s.cfg.ALBLatencyBound //nbalint:allow sharedstate admit-epoch wiring of a controller born on the serial engine
+			ctl.Tracer = s.cfg.Tracer         //nbalint:allow sharedstate admit-epoch wiring of a controller born on the serial engine
+			ctl.TraceNow = s.eng.Now          //nbalint:allow sharedstate admit-epoch wiring of a controller born on the serial engine
+			ctl.TraceActor = int32(socket)    //nbalint:allow sharedstate admit-epoch wiring of a controller born on the serial engine
+			ctl.TraceTenant = int32(t)        //nbalint:allow sharedstate admit-epoch wiring of a controller born on the serial engine
+			ctl.Checker = s.cfg.Checker       //nbalint:allow sharedstate admit-epoch wiring of a controller born on the serial engine
+		}
+		s.controllers[socket] = append(s.controllers[socket], ctl)
+	}
+	if s.cfg.Overload != nil {
+		for socket := range s.governors {
+			s.governors[socket] = append(s.governors[socket], overload.NewGovernor(*s.cfg.Overload))
+		}
+	}
+	s.cfg.Tracer.EnsureTenantDigests(len(s.tenants))
+	s.recomputeShares()
+	s.applyRate()
+	for socket := range s.controllers {
+		if ctl := s.controllers[socket][t]; ctl != nil {
+			s.startALBLoops(socket, t, ctl)
+		}
+	}
+	if s.cfg.Overload != nil {
+		for socket := range s.governors {
+			s.startGovernorLoop(socket, t)
+		}
+	}
+	return t
+}
+
+// tenantIndex resolves a plan tenant name to its slot. Plan validation
+// guarantees evict/retune targets were admitted, so a miss is a bug.
+func (s *System) tenantIndex(name string) int {
+	for t := range s.tenants {
+		if s.tenants[t].Name == name {
+			return t
+		}
+	}
+	panic(fmt.Sprintf("core: reconfig references unknown tenant %q", name))
+}
+
+// recomputeShares re-normalizes the share split over the active tenants
+// (evicted slots pin to zero) and re-seats every worker's WRR rotation.
+func (s *System) recomputeShares() {
+	var sum float64
+	for t := range s.tenants {
+		if s.tstate[t].active {
+			sum += s.tenants[t].Share
+		}
+	}
+	for t := range s.tenants {
+		if s.tstate[t].active && sum > 0 {
+			s.shareFrac[t] = s.tenants[t].Share / sum
+		} else {
+			s.shareFrac[t] = 0
+		}
+	}
+	for _, w := range s.workers {
+		w.wrr.SetShares(s.shareFrac)
+	}
+}
+
+// socketHasPluggedDevice reports whether any of the socket's devices is in
+// service.
+func (s *System) socketHasPluggedDevice(socket int) bool {
+	for _, di := range s.cfg.Topology.DevicesOnSocket(socket) {
+		if s.devPlugged[di] {
+			return true
+		}
+	}
+	return false
+}
+
+// tenantTotals sums one tenant's sides of the conservation identity across
+// all its queues and lanes (cumulative over the run so far).
+func (s *System) tenantTotals(t int) (delivered, tx, drops, shed uint64) {
+	for _, p := range s.ports {
+		for _, q := range p.Rx {
+			if int(q.Tenant) != t {
+				continue
+			}
+			d, _, _ := q.Stats()
+			delivered += d
+		}
+	}
+	for _, w := range s.workers {
+		ln := w.lanes[t]
+		tx += ln.txPackets
+		drops += ln.graphDrops()
+		shed += ln.shedPkts
+	}
+	return delivered, tx, drops, shed
+}
+
 // governorTick runs one overload-governor window for a (socket, tenant):
 // observe saturation (bounded device queue full or backlogged = device-side,
 // shared across tenants; that tenant's RX drops or sheds still accruing =
@@ -484,6 +990,9 @@ func (s *System) governorTick(socket, tenant int, prevDrops, prevShed *uint64) {
 	devSat := false
 	cm := s.cfg.CostModel
 	for _, di := range s.cfg.Topology.DevicesOnSocket(socket) {
+		if !s.devPlugged[di] {
+			continue // hot-unplugged: no longer a saturation signal
+		}
 		d := s.devices[di]
 		if d.Saturated() || (cm.MaxDeviceBacklog > 0 && d.Backlog() > cm.MaxDeviceBacklog) {
 			devSat = true
@@ -658,8 +1167,17 @@ type TenantReport struct {
 	SLOP999 simtime.Time
 	SLOMet  bool
 	// Digest is the tenant's trace sub-digest ("" when the run's tracer
-	// was nil or tenancy was implicit).
+	// was nil or tenancy was implicit). For an evicted tenant this is the
+	// digest sealed at evict commit, not a zero-filled live value.
 	Digest string
+	// Admitted is the virtual time the tenant entered service (0 for
+	// tenants present at construction).
+	Admitted simtime.Time
+	// Evicted marks a sealed section: the tenant was drained and removed at
+	// EvictedAt, its counters are frozen at that point and Digest holds the
+	// sealed sub-digest.
+	Evicted   bool
+	EvictedAt simtime.Time
 }
 
 // Report is the outcome of a run.
@@ -880,6 +1398,13 @@ func (s *System) tenantReports(r *Report) {
 			tr.FinalW = ctl.W()
 		}
 		tr.SLOMet = tr.SLOP999 <= 0 || tr.Latency.Percentile(99.9) <= tr.SLOP999
+		// Evicted tenants keep a sealed section: counters frozen at the
+		// evict (their lanes and queues stopped accruing), the digest
+		// sealed at commit, and the exit time recorded — the section is
+		// retained, not dropped or zero-filled.
+		tr.Admitted = s.tstate[t].admitted
+		tr.Evicted = s.tstate[t].evicted
+		tr.EvictedAt = s.tstate[t].evictedAt
 		tr.Digest = s.cfg.Tracer.TenantDigest(t)
 	}
 }
@@ -914,6 +1439,19 @@ func (s *System) endOfRunChecks(r *Report) {
 	}
 	if ck == nil {
 		return
+	}
+	// Orphaned-lane checks: an epoch still mid-flight when the engine
+	// stopped, or plan events that never got their epoch, mean the handoff
+	// protocol lost track of work it promised to re-seat.
+	if s.rcActive {
+		ck.OrphanLane(now, s.rcEpoch, fmt.Sprintf(
+			"epoch %d (%s) still in progress at engine stop (begun %v)",
+			s.rcEpoch, s.rcEv.Kind, s.rcBegin))
+	}
+	if s.rcNext < len(s.rcEvents) {
+		ck.OrphanLane(now, s.rcEpoch, fmt.Sprintf(
+			"%d reconfig event(s) scheduled inside the run never began an epoch (next: %s at %v)",
+			len(s.rcEvents)-s.rcNext, s.rcEvents[s.rcNext].Kind, s.rcEvents[s.rcNext].At))
 	}
 	// Packet conservation over the whole run: every NIC-delivered packet is
 	// accounted exactly once as transmitted, dropped inside a pipeline, or

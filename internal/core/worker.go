@@ -56,6 +56,15 @@ type lane struct {
 	g      *graph.Graph
 	pctx   element.ProcContext
 
+	// active is cleared at evict commit: the lane stops being polled,
+	// flushed or counted toward retirement, but stays in place (tenant
+	// slots are grow-only so tenant-major queue indexing never shifts).
+	active bool
+	// inflightTasks counts this lane's outstanding device tasks — the
+	// lane-granular side of worker.inflight, read by the epoch drain
+	// predicate.
+	inflightTasks int
+
 	rxqs []*netio.RxQueue
 	agg  *offload.Aggregator
 
@@ -97,8 +106,17 @@ type worker struct {
 	id     int // global worker ID
 	socket int
 	local  int // index among the socket's workers (selects RX queues)
+	// localPorts / localDevs are the socket's port and device index sets,
+	// kept so lanes admitted at runtime build exactly like construction-time
+	// ones.
+	localPorts []int
+	localDevs  []int
 
 	lanes []*lane
+	// tasks tracks the outstanding submitted device tasks (bounded by
+	// MaxInflightTasks), so an epoch force-rescue can route them through the
+	// completion-timeout path without waiting for the device.
+	tasks []*inflightTask
 	// cur is the lane whose graph is executing; the Env callbacks attribute
 	// transmissions, drops and offloads to it. Set before any pipeline entry
 	// (injection, flush, resume).
@@ -128,54 +146,17 @@ type worker struct {
 
 func newWorker(s *System, id, socket, local int, localPorts, localDevs []int) (*worker, error) {
 	w := &worker{
-		sys:    s,
-		id:     id,
-		socket: socket,
-		local:  local,
+		sys:        s,
+		id:         id,
+		socket:     socket,
+		local:      local,
+		localPorts: localPorts,
+		localDevs:  localDevs,
 	}
 	for t := range s.tenants {
-		ln := &lane{tenant: int32(t)}
-		cctx := &element.ConfigContext{
-			Socket:     socket,
-			Worker:     id,
-			NodeLocal:  s.nodeLocals[socket][t],
-			NumPorts:   len(s.cfg.Topology.Ports),
-			NumDevices: len(localDevs),
-			Rand:       s.newLaneRand(id, int32(t)),
-		}
-		g, err := graph.Build(s.parsed[t], cctx, s.cfg.CostModel, *s.cfg.GraphOpts)
+		ln, err := w.buildLane(t)
 		if err != nil {
-			return nil, fmt.Errorf("core: worker %d tenant %d: %w", id, t, err)
-		}
-		ln.g = g
-		if s.cfg.Tracer != nil {
-			ln.g.Tracer = s.cfg.Tracer
-			ln.g.TraceNow = w.now
-			ln.g.TraceActor = int32(id)
-			ln.g.TraceTenant = int32(t)
-		}
-		ln.pctx = element.ProcContext{
-			Worker:    id,
-			Socket:    socket,
-			NodeLocal: s.nodeLocals[socket][t],
-			Rand:      cctx.Rand,
-			CostScale: 1,
-		}
-		// Memory-bandwidth contention: mild per-extra-worker inflation
-		// (paper Figure 11a's per-core droop).
-		ln.pctx.CostScale = 1 + s.cfg.CostModel.MemContentionPerWorker*float64(s.cfg.WorkersPerSocket-1)
-		if s.cfg.ForceRemoteMemory {
-			ln.pctx.CostScale *= s.cfg.CostModel.NUMAPenalty
-		}
-		// Tenant-major queue carve: tenant t's queue for this worker is
-		// index t*WorkersPerSocket+local on every local port.
-		for _, pid := range localPorts {
-			ln.rxqs = append(ln.rxqs, s.ports[pid].Rx[t*s.cfg.WorkersPerSocket+local])
-		}
-		ln.agg = offload.NewAggregator(s.cfg.CostModel)
-		if oc := s.cfg.Overload; oc != nil && oc.CoDelTarget > 0 {
-			ln.codel = overload.CoDel{Target: oc.CoDelTarget, Interval: oc.CoDelInterval}
-			ln.codelOn = true
+			return nil, err
 		}
 		w.lanes = append(w.lanes, ln)
 	}
@@ -189,6 +170,59 @@ func newWorker(s *System, id, socket, local int, localPorts, localDevs []int) (*
 	w.completions = mempool.NewRing[completion](256)
 	w.iterateFn = w.iterate
 	return w, nil
+}
+
+// buildLane constructs one tenant lane exactly as construction time does, so
+// a lane admitted mid-run (tenant.admit epoch commit) is indistinguishable
+// from one a fresh run with that tenant set would have built. The tenant's
+// parsed graph, NodeLocal rows and tenant-major RX queues must already be in
+// place at index t.
+func (w *worker) buildLane(t int) (*lane, error) {
+	s := w.sys
+	ln := &lane{tenant: int32(t), active: true}
+	cctx := &element.ConfigContext{
+		Socket:     w.socket,
+		Worker:     w.id,
+		NodeLocal:  s.nodeLocals[w.socket][t],
+		NumPorts:   len(s.cfg.Topology.Ports),
+		NumDevices: len(w.localDevs),
+		Rand:       s.newLaneRand(w.id, int32(t)),
+	}
+	g, err := graph.Build(s.parsed[t], cctx, s.cfg.CostModel, *s.cfg.GraphOpts)
+	if err != nil {
+		return nil, fmt.Errorf("core: worker %d tenant %d: %w", w.id, t, err)
+	}
+	ln.g = g
+	if s.cfg.Tracer != nil {
+		ln.g.Tracer = s.cfg.Tracer
+		ln.g.TraceNow = w.now
+		ln.g.TraceActor = int32(w.id)
+		ln.g.TraceTenant = int32(t)
+	}
+	ln.pctx = element.ProcContext{
+		Worker:    w.id,
+		Socket:    w.socket,
+		NodeLocal: s.nodeLocals[w.socket][t],
+		Rand:      cctx.Rand,
+		CostScale: 1,
+	}
+	// Memory-bandwidth contention: mild per-extra-worker inflation
+	// (paper Figure 11a's per-core droop).
+	ln.pctx.CostScale = 1 + s.cfg.CostModel.MemContentionPerWorker*float64(s.cfg.WorkersPerSocket-1)
+	if s.cfg.ForceRemoteMemory {
+		ln.pctx.CostScale *= s.cfg.CostModel.NUMAPenalty
+	}
+	// Tenant-major queue carve: tenant t's queue for this worker is
+	// index t*WorkersPerSocket+local on every local port.
+	for _, pid := range w.localPorts {
+		ln.rxqs = append(ln.rxqs, s.ports[pid].Rx[t*s.cfg.WorkersPerSocket+w.local])
+	}
+	ln.agg = offload.NewAggregator(s.cfg.CostModel)
+	if oc := s.cfg.Overload; oc != nil && oc.CoDelTarget > 0 {
+		ln.codel = overload.CoDel{Target: oc.CoDelTarget, Interval: oc.CoDelInterval}
+		ln.codelOn = true
+	}
+	return ln, nil
 }
 
 // now returns the worker's current position in virtual time: the iteration
@@ -251,6 +285,9 @@ func (w *worker) iterate() {
 	polling:
 		for _, t := range w.wrr.Round() {
 			ln := w.lanes[t]
+			if !ln.active {
+				continue
+			}
 			w.cur = ln
 			for _, q := range ln.rxqs {
 				if iterBudget > 0 && w.cycles >= iterBudget {
@@ -282,6 +319,9 @@ func (w *worker) iterate() {
 	// sequence deterministic regardless of the WRR phase.
 	pending := 0
 	for _, ln := range w.lanes {
+		if !ln.active {
+			continue
+		}
 		w.cur = ln
 		for _, p := range ln.agg.Expired(w.iterStart) {
 			w.flush(p)
@@ -290,6 +330,9 @@ func (w *worker) iterate() {
 	}
 	if !didWork && w.inflight == 0 && pending > 0 {
 		for _, ln := range w.lanes {
+			if !ln.active {
+				continue
+			}
 			w.cur = ln
 			for _, p := range ln.agg.TakeAll() {
 				w.flush(p)
@@ -311,6 +354,25 @@ func (w *worker) iterate() {
 	w.sys.eng.After(next, w.iterateFn)
 }
 
+// laneDrained is the epoch drain predicate for one lane: no outstanding
+// device tasks or unprocessed completions, no pending aggregates, and every
+// live RX queue empty. It intentionally mirrors done()'s per-lane terms.
+func (w *worker) laneDrained(t int, now simtime.Time) bool {
+	ln := w.lanes[t]
+	if ln.inflightTasks > 0 || ln.agg.PendingCount() > 0 {
+		return false
+	}
+	for _, q := range ln.rxqs {
+		if q.Down() {
+			continue
+		}
+		if q.Backlog(now) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // done reports whether the worker can retire: arrivals stopped, queues
 // drained, no pending aggregates or outstanding tasks on any lane.
 func (w *worker) done() bool {
@@ -321,6 +383,12 @@ func (w *worker) done() bool {
 		return false
 	}
 	for _, ln := range w.lanes {
+		// An evicted lane was drained by its epoch; stranded backlog on its
+		// zero-rated queues is finalized into drop accounting at report time
+		// and must not keep the worker alive.
+		if !ln.active {
+			continue
+		}
 		if ln.agg.PendingCount() > 0 {
 			return false
 		}
@@ -375,6 +443,13 @@ func (w *worker) flush(p *offload.Pending) {
 	ln := w.cur
 	w.cycles += cm.OffloadEnqueue + cm.OffloadPrePerPacket*simtime.Cycles(p.NPkts)
 	dev, err := w.sys.deviceFor(w.socket, ln.tenant, p.Device)
+	if err == errNoPluggedDevice {
+		// Every local device is hot-unplugged: the aggregate is rescued on
+		// the CPU (the hitless path), not dropped — unplug is a planned
+		// reconfiguration, not a misconfiguration.
+		w.rescueUnplugged(p)
+		return
+	}
 	if err != nil {
 		// No such device: treat as a misconfiguration drop of the whole
 		// aggregate (exercised by failure-injection tests).
@@ -457,9 +532,59 @@ func (w *worker) flush(p *offload.Pending) {
 		}
 		return
 	}
+	ln.inflightTasks++
+	w.tasks = append(w.tasks, it)
 	if w.inflight > w.inflightHWM {
 		w.inflightHWM = w.inflight
 	}
+}
+
+// rescueUnplugged runs an aggregate on the CPU because its socket has no
+// plugged device left (hot-unplug re-route of last resort). The device never
+// saw the task, so only the rescue is charged.
+func (w *worker) rescueUnplugged(p *offload.Pending) {
+	ln := w.cur
+	ln.fallbackPkts += uint64(p.NPkts)
+	if tr := w.sys.cfg.Tracer; tr != nil {
+		tr.EmitT(w.now(), trace.KindFallback, int32(w.id), ln.tenant, "fallback",
+			0, int64(p.NPkts), 3, 0)
+	}
+	w.execChainOnCPU(p)
+	w.resumeAggregate(p)
+}
+
+// rescueLane force-drains one lane at the epoch grace deadline: every
+// outstanding submitted task is routed through the completion-timeout path,
+// and every pending (unsubmitted) aggregate is wrapped in a synthetic task
+// and routed the same way, so the whole rescue flows through the one
+// CPU-fallback path with its normal accounting. Returns the number of tasks
+// and aggregates rescued; the completions drain on the worker's next
+// iteration.
+func (w *worker) rescueLane(ln *lane) int {
+	rescued := 0
+	for _, it := range w.tasks {
+		if it.ln != ln || it.done {
+			continue
+		}
+		rescued++
+		if !w.completions.Push(completion{it: it, timedOut: true}) {
+			panic(fmt.Sprintf("core: worker %d completion ring overflow", w.id))
+		}
+	}
+	for _, p := range ln.agg.TakeAll() {
+		rescued++
+		// Synthetic in-flight accounting so handleCompletion's decrements
+		// balance: the aggregate was never submitted, but it drains through
+		// the same path as a timed-out task.
+		it := &inflightTask{ln: ln, pending: p, task: &gpu.Task{NPkts: p.NPkts}}
+		w.inflight++
+		w.inflightPkts += p.NPkts
+		ln.inflightTasks++
+		if !w.completions.Push(completion{it: it, timedOut: true}) {
+			panic(fmt.Sprintf("core: worker %d completion ring overflow", w.id))
+		}
+	}
+	return rescued
 }
 
 // rescueRejected runs an admission-rejected aggregate on the CPU immediately
@@ -544,6 +669,17 @@ func (w *worker) handleCompletion(c completion) {
 	w.cur = it.ln
 	w.inflight--
 	w.inflightPkts -= p.NPkts
+	it.ln.inflightTasks--
+	// Drop the task from the tracked set (swap-delete; the set is bounded
+	// by MaxInflightTasks). Synthetic rescue tasks are never in it.
+	for i, t := range w.tasks {
+		if t == it {
+			w.tasks[i] = w.tasks[len(w.tasks)-1]
+			w.tasks[len(w.tasks)-1] = nil
+			w.tasks = w.tasks[:len(w.tasks)-1]
+			break
+		}
+	}
 	if c.timedOut || it.task.Failed {
 		w.fallback(it, c.timedOut)
 	}

@@ -402,6 +402,25 @@ func (d *Device) Fail() {
 	}
 }
 
+// AbortAll evacuates the device for hot-unplug: every scheduled and parked
+// task — including tasks parked by an active Hang — completes immediately
+// with Failed set so the submitting workers rescue the aggregates on the
+// CPU, and all engine reservations are voided. Unlike Fail it does NOT
+// touch the health state: the fault plan's device automaton (failed / hung
+// / slowed, and its pending Recover events) stays consistent, so unplugging
+// a hung device cannot strand its pending tasks and a later plug sees the
+// health the fault timeline says it should. Returns the number of tasks
+// evacuated.
+func (d *Device) AbortAll() int {
+	tasks := append(d.abortScheduled(), d.pending...)
+	d.pending = nil
+	d.resetTimelines()
+	for _, t := range tasks {
+		d.failTask(t)
+	}
+	return len(tasks)
+}
+
 // Hang freezes the device: in-flight tasks are unscheduled and parked, and
 // new submissions park too. Nothing completes (or fails) until Recover —
 // the workers' completion timeout is what rescues the parked aggregates.

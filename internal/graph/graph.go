@@ -176,7 +176,7 @@ func Build(cfg *conflang.Config, cctx *element.ConfigContext, cm *sysinfo.CostMo
 		if _, ok := elem.(element.Source); ok {
 			n.isSource = true
 		}
-		g.Nodes = append(g.Nodes, n)
+		g.Nodes = append(g.Nodes, n) //nbalint:allow sharedstate graphs also build inside admit epochs on the serial engine; report reads Nodes after the event loop drains
 		byName[d.Name] = n
 	}
 
@@ -363,7 +363,7 @@ func (g *Graph) step(env Env, pctx *element.ProcContext, item workItem) {
 		return
 	}
 	if item.node == unconnected {
-		g.DropUnrouted += uint64(b.Live()) //nbalint:allow sharedstate stats counter; read happens-after the event loop drains
+		g.DropUnrouted += uint64(b.Live())
 		g.dropAll(env, b, nil)
 		return
 	}

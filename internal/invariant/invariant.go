@@ -34,6 +34,10 @@
 //	queue.bound     — a bounded interior queue (device task queue) never
 //	                  exceeds its configured depth
 //	drain.stuck     — the run drained within the post-stop grace window
+//	conservation.epoch — the conservation identity holds at every
+//	                  reconfiguration epoch boundary (evict seal)
+//	reconfig.orphan — every reconfiguration epoch that began also committed;
+//	                  no lane is left quiesced at end of run
 package invariant
 
 import (
@@ -60,6 +64,18 @@ const (
 	CheckTenantConservation = "conservation.tenant"
 	CheckDrainStuck         = "drain.stuck"
 	CheckQueueBound         = "queue.bound"
+	// CheckEpochConservation is the conservation identity evaluated at a
+	// reconfiguration epoch boundary (tenant evict commit): everything the
+	// evicted tenant's lanes were ever handed must be fully accounted —
+	// transmitted, dropped or shed — before the handoff seals its digest.
+	// A non-zero residue is a leaked (still-outstanding) pooled packet,
+	// which is also how an evicted-tenant mempool leak manifests.
+	CheckEpochConservation = "conservation.epoch"
+	// CheckReconfigOrphan is the orphaned-lane check: every reconfiguration
+	// epoch that began must commit, and no lane may be left quiesced
+	// (draining) when the run ends — an orphaned lane holds packets no one
+	// will ever drain.
+	CheckReconfigOrphan = "reconfig.orphan"
 	// CheckDeterminism is recorded by the chaos driver, not the runtime
 	// hooks: two runs of the same case produced different trace digests.
 	CheckDeterminism = "determinism"
@@ -89,7 +105,7 @@ const maxPerCheck = 16
 // is a cheap no-op, mirroring the trace.Tracer contract.
 type Checker struct {
 	violations []Violation
-	perCheck   [12]int // indexed by checkIndex; counts all breaches
+	perCheck   [14]int // indexed by checkIndex; counts all breaches
 	suppressed int
 
 	lastDispatch simtime.Time
@@ -129,8 +145,12 @@ func checkIndex(check string) int {
 		return 9
 	case CheckTenantConservation:
 		return 10
-	default:
+	case CheckEpochConservation:
 		return 11
+	case CheckReconfigOrphan:
+		return 12
+	default:
+		return 13
 	}
 }
 
@@ -326,6 +346,33 @@ func (c *Checker) Conservation(at simtime.Time, delivered, transmitted, dropped,
 			delivered, transmitted, dropped, shed,
 			int64(transmitted+dropped+shed)-int64(delivered))
 	}
+}
+
+// EpochConservation checks the conservation identity at a reconfiguration
+// epoch boundary: an evicted tenant's handoff may only seal once everything
+// its lanes were handed is accounted. epoch and name identify the boundary
+// in the violation message; a positive residue (delivered minus the
+// accounted sum) is a leaked pooled packet.
+func (c *Checker) EpochConservation(at simtime.Time, epoch int, name string, delivered, transmitted, dropped, shed uint64) {
+	if c == nil {
+		return
+	}
+	if delivered != transmitted+dropped+shed {
+		c.Violatef(at, CheckEpochConservation,
+			"epoch %d tenant %s: delivered %d != transmitted %d + dropped %d + shed %d at evict seal (residue %+d)",
+			epoch, name, delivered, transmitted, dropped, shed,
+			int64(delivered)-int64(transmitted+dropped+shed))
+	}
+}
+
+// OrphanLane records a reconfiguration orphan: an epoch that began but
+// never committed, or a lane still quiesced when the run ended. detail
+// describes what was stranded.
+func (c *Checker) OrphanLane(at simtime.Time, epoch int, detail string) {
+	if c == nil {
+		return
+	}
+	c.Violatef(at, CheckReconfigOrphan, "epoch %d: %s", epoch, detail)
 }
 
 // TenantConservation checks one tenant's slice of the conservation identity

@@ -101,7 +101,7 @@ func (e *LoadBalance) Configure(ctx *element.ConfigContext, args []string) error
 		e.Alg = GPUOnly
 	case arg == "adaptive":
 		e.Alg = Adaptive
-		e.state.AdaptiveUsers++
+		e.state.AdaptiveUsers++ //nbalint:allow sharedstate parse-time count; admit-epoch parses run on the serial engine and NewSystem's read ran before Run started
 	case strings.HasPrefix(arg, "fixed="):
 		f, err := strconv.ParseFloat(strings.TrimPrefix(arg, "fixed="), 64)
 		if err != nil || f < 0 || f > 1 {
@@ -300,7 +300,7 @@ func (c *Controller) reactToFailures() bool {
 	c.bounces = 0
 	c.last = 0 // the throughput slope must be re-learned from scratch
 	c.avg.Reset()
-	c.Trace = append(c.Trace, TracePoint{At: c.now(), W: w, Throughput: 0})
+	c.Trace = append(c.Trace, TracePoint{At: c.now(), W: w, Throughput: 0}) //nbalint:allow sharedstate control trace; read happens-after the event loop drains
 	c.Checker.LBCollapse(c.now(), w)
 	c.emitTrace(w, 0)
 	return true

@@ -199,6 +199,23 @@ func (q *RxQueue) advance(now simtime.Time) {
 // (after head-drop accounting, so it never exceeds the ring capacity).
 func (q *RxQueue) HighWatermark() uint64 { return q.hwm }
 
+// Capacity returns the queue's current ring capacity in packets.
+func (q *RxQueue) Capacity() int { return q.capacity }
+
+// SetCapacity re-sizes the ring at time now (runtime reconfiguration).
+// Arrival accounting is brought up to date under the old capacity first;
+// shrinking below the surviving backlog then head-drops the overflow,
+// exactly as arrival overflow does, so the accounting identity is
+// unaffected. Growing simply leaves more head-room.
+func (q *RxQueue) SetCapacity(now simtime.Time, capacity int) {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("netio: rx queue capacity %d", capacity))
+	}
+	q.advance(now)
+	q.capacity = capacity
+	q.advance(now) // head-drop any backlog the smaller ring cannot hold
+}
+
 // Poll delivers up to burst packets into out, drawing buffers from pool.
 // It returns the packets received. Buffer-pool exhaustion drops packets
 // (and counts them in AllocFailed).
@@ -296,6 +313,18 @@ func NewPortWithQueues(hw sysinfo.Port, specs []QueueSpec, queueCap int) *Port {
 		p.Rx = append(p.Rx, q)
 	}
 	return p
+}
+
+// AddQueue appends one RX queue to the port mid-run (tenant admission).
+// The queue starts with zero rate — the caller re-splits per-queue rates
+// after the admit commit — and no arrivals accrue before `now` because the
+// rate segment's base is anchored there.
+func (p *Port) AddQueue(now simtime.Time, sp QueueSpec, queueCap int) *RxQueue {
+	q := NewRxQueue(p.HW.ID, len(p.Rx), sp.Gen, 0, queueCap)
+	q.Tenant = sp.Tenant //nbalint:allow sharedstate admit-epoch queue add on the serial engine; boot-time writes ran before Run started
+	q.baseTime = now
+	p.Rx = append(p.Rx, q) //nbalint:allow sharedstate admit-epoch queue add on the serial engine; NewSystem's reads ran before Run started and report's after it drains
+	return q
 }
 
 // Transmit accounts one outgoing frame.

@@ -94,6 +94,17 @@ func NewWRR(shares []float64) *WRR {
 	return w
 }
 
+// SetShares re-splits the scheduler over a new share vector (runtime
+// reconfiguration: admit grows the vector, evict zeroes a slot, retune
+// changes one). Weights are recomputed exactly as NewWRR computes them and
+// all credits reset to zero, so the post-commit rotation is a pure function
+// of the new shares — the same WRR a fresh run with these shares would
+// start with.
+func (w *WRR) SetShares(shares []float64) {
+	fresh := NewWRR(shares)
+	w.weights, w.credit, w.total, w.order = fresh.weights, fresh.credit, fresh.total, fresh.order
+}
+
 // Round returns the tenant service order for one scheduling round. The
 // returned slice is reused across calls; callers must not retain it.
 //

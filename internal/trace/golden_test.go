@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"nba/internal/bench"
+	"nba/internal/reconfig"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
 	"nba/internal/trace"
@@ -155,6 +156,27 @@ func TestGoldenTraces(t *testing.T) {
 					t.Errorf("  event %d: at=%v kind=%s actor=%d name=%s a=%d b=%d c=%d d=%d",
 						ev.Seq, ev.At, ev.Kind, ev.Actor, ev.Name, ev.A, ev.B, ev.C, ev.D)
 				}
+			}
+		})
+	}
+}
+
+// TestGoldenTracesUnchangedByEmptyReconfigPlan pins the reconfig disarm
+// contract at the golden layer: attaching an empty (non-nil) reconfig plan to
+// every canonical run must reproduce the committed golden digest
+// byte-identically — arming the subsystem without scripting any epoch may not
+// perturb the timeline at all.
+func TestGoldenTracesUnchangedByEmptyReconfigPlan(t *testing.T) {
+	for _, c := range goldenCases {
+		c := c
+		t.Run(caseName(c.app, c.lb), func(t *testing.T) {
+			spec := goldenSpec(c.app, c.lb)
+			spec.Reconfig = &reconfig.Plan{}
+			tr := runTraced(t, spec)
+			g := readGolden(t, caseName(c.app, c.lb))
+			if tr.Digest() != g.Digest || tr.Total() != g.Total {
+				t.Errorf("empty reconfig plan perturbed the golden run:\n  got  %s (%d events)\n  want %s (%d events)",
+					tr.Digest(), tr.Total(), g.Digest, g.Total)
 			}
 		})
 	}

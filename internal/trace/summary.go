@@ -82,6 +82,19 @@ type OverloadProfile struct {
 	BiasUpdates uint64
 }
 
+// ReconfigEpoch is one runtime-reconfiguration epoch reconstructed from its
+// begin/drain/commit events.
+type ReconfigEpoch struct {
+	Epoch    int64
+	Kind     string       // reconfig event kind (tenant.admit, device.unplug, ...)
+	Target   int64        // tenant index, device or port (kind-dependent)
+	Begin    simtime.Time // when the epoch opened (quiesce instant)
+	Drain    simtime.Time // drain-phase duration
+	Rescued  int64        // tasks/aggregates force-rescued via CPU fallback
+	Forced   bool         // drain hit the DrainGrace deadline
+	Reseated int64        // lanes / controllers / rings re-seated at commit
+}
+
 // Summary is the aggregate view of an event stream.
 type Summary struct {
 	Events    uint64
@@ -92,6 +105,7 @@ type Summary struct {
 	Balancers []*LBProfile
 	Sheds     []*ShedProfile
 	Overloads []*OverloadProfile
+	Reconfigs []*ReconfigEpoch
 }
 
 // Summarize folds an event stream into per-element / per-queue / per-device
@@ -104,6 +118,15 @@ func Summarize(events []Event) *Summary {
 	lbs := map[int32]*LBProfile{}
 	sheds := map[[2]int64]*ShedProfile{}
 	ovls := map[int32]*OverloadProfile{}
+	epochs := map[int64]*ReconfigEpoch{}
+	epoch := func(n int64) *ReconfigEpoch {
+		re := epochs[n]
+		if re == nil {
+			re = &ReconfigEpoch{Epoch: n}
+			epochs[n] = re
+		}
+		return re
+	}
 	mechIdx := func(name string) int64 {
 		if name == "admission" {
 			return 1
@@ -189,6 +212,21 @@ func Summarize(events []Event) *Summary {
 			}
 		case KindOverloadBias:
 			ovl(ev.Actor).BiasUpdates++
+		case KindReconfigBegin:
+			re := epoch(ev.A)
+			re.Kind = ev.Name
+			re.Target = ev.C
+			re.Begin = ev.At
+		case KindReconfigDrain:
+			re := epoch(ev.A)
+			re.Drain = simtime.Time(ev.B)
+			re.Rescued = ev.C
+			re.Forced = ev.D != 0
+		case KindReconfigCommit:
+			re := epoch(ev.A)
+			re.Kind = ev.Name
+			re.Target = ev.C
+			re.Reseated = ev.D
 		}
 	}
 
@@ -239,6 +277,14 @@ func Summarize(events []Event) *Summary {
 	sort.Ints(okeys)
 	for _, k := range okeys {
 		s.Overloads = append(s.Overloads, ovls[int32(k)])
+	}
+	ekeys := make([]int64, 0, len(epochs))
+	for k := range epochs {
+		ekeys = append(ekeys, k)
+	}
+	sort.Slice(ekeys, func(i, j int) bool { return ekeys[i] < ekeys[j] })
+	for _, k := range ekeys {
+		s.Reconfigs = append(s.Reconfigs, epochs[k])
 	}
 	return s
 }
@@ -306,6 +352,19 @@ func (s *Summary) Write(w io.Writer) error {
 		for _, o := range s.Overloads {
 			fmt.Fprintf(w, "  socket %d: %d level transitions, peak %s, final %s, %d bias updates\n",
 				o.Socket, o.Transitions, levelName(o.PeakLevel), levelName(o.FinalLevel), o.BiasUpdates)
+		}
+	}
+	if len(s.Reconfigs) > 0 {
+		fmt.Fprintf(w, "\nreconfig epochs:\n")
+		fmt.Fprintf(w, "  %-6s %-16s %7s %14s %14s %8s %7s %9s\n",
+			"epoch", "kind", "target", "begin", "drain", "rescued", "forced", "reseated")
+		for _, r := range s.Reconfigs {
+			forced := "-"
+			if r.Forced {
+				forced = "yes"
+			}
+			fmt.Fprintf(w, "  %-6d %-16s %7d %14v %14v %8d %7s %9d\n",
+				r.Epoch, r.Kind, r.Target, r.Begin, r.Drain, r.Rescued, forced, r.Reseated)
 		}
 	}
 	return nil

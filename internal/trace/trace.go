@@ -82,7 +82,8 @@ const (
 	// CPU after a device failure or completion timeout. Actor = worker.
 	// A = task ID (0 when the task was refused before getting one),
 	// B = packets, C = reason (0 = device failed, 1 = timeout,
-	// 2 = admission rejected), D = governor level (admission rescues only).
+	// 2 = admission rejected, 3 = socket has no plugged device),
+	// D = governor level (admission rescues only).
 	KindFallback
 	// KindOverloadShed is overload control dropping packets. Actor = worker,
 	// Name = mechanism ("codel" or "admission"). A = packets shed, B =
@@ -99,6 +100,25 @@ const (
 	// math.Float64bits(lo), B = math.Float64bits(hi), C = device-saturation
 	// flag, D = CPU-saturation flag.
 	KindOverloadBias
+	// KindReconfigBegin is a reconfiguration epoch opening: the affected
+	// lanes or device quiesce and the drain starts. Name = reconfig event
+	// kind. A = epoch number, B = reconfig.Kind, C = target (tenant index
+	// for tenant events, device for plug events, port for resizes),
+	// D = kind-specific payload (math.Float64bits(share) for retunes,
+	// capacity for resizes).
+	KindReconfigBegin
+	// KindReconfigDrain closes the drain phase of an epoch. Name = reconfig
+	// event kind. A = epoch number, B = drain duration (ps), C = tasks and
+	// aggregates force-rescued through the CPU-fallback path, D = 1 when
+	// the drain hit the DrainGrace deadline (0 = drained naturally).
+	KindReconfigDrain
+	// KindReconfigCommit is the epoch's handoff completing: shares
+	// re-split, queues re-mapped, controllers and governors re-seated, the
+	// datapath resumed. Name = reconfig event kind. A = epoch number,
+	// B = reconfig.Kind, C = target (as KindReconfigBegin), D = lanes
+	// re-seated (tenant events) or controllers re-seated (plug events) or
+	// rings resized (resize events).
+	KindReconfigCommit
 
 	numKinds
 )
@@ -120,6 +140,9 @@ var kindNames = [numKinds]string{
 	"overload.shed",
 	"overload.level",
 	"overload.bias",
+	"reconfig.begin",
+	"reconfig.drain",
+	"reconfig.commit",
 }
 
 func (k Kind) String() string {
@@ -223,6 +246,10 @@ type Tracer struct {
 	// the global digest but restricted to one tenant's events, giving each
 	// tenant a replay-stable sub-digest even with co-tenants present.
 	tenantHash []hash.Hash
+	// tenantFinal holds the frozen digest of a sealed tenant ("" while the
+	// tenant is live). Sealing happens at evict commit: the sub-digest
+	// stops accumulating and TenantDigest keeps returning the final value.
+	tenantFinal []string
 }
 
 // New creates a tracer.
@@ -288,7 +315,7 @@ func (t *Tracer) EmitT(at simtime.Time, k Kind, actor, tenant int32, name string
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(d))
 	t.scratch = buf[:0]
 	t.hash.Write(buf)
-	if tenant >= 0 && int(tenant) < len(t.tenantHash) {
+	if tenant >= 0 && int(tenant) < len(t.tenantHash) && t.tenantFinal[tenant] == "" {
 		t.tenantHash[tenant].Write(buf)
 	}
 
@@ -305,16 +332,50 @@ func (t *Tracer) ArmTenantDigests(n int) {
 		return
 	}
 	t.tenantHash = make([]hash.Hash, n)
+	t.tenantFinal = make([]string, n)
 	for i := range t.tenantHash {
 		t.tenantHash[i] = sha256.New()
 	}
 }
 
-// TenantDigest returns tenant i's sub-digest in the form "sha256:<hex>", or
-// "" when per-tenant digests are not armed or i is out of range.
+// EnsureTenantDigests grows the armed per-tenant digest set to n slots,
+// opening a fresh sub-digest for each new slot (tenant admission). Existing
+// slots — their accumulated state and any seals — are untouched. A no-op
+// when n slots already exist; safe on a nil tracer.
+func (t *Tracer) EnsureTenantDigests(n int) {
+	if t == nil || n <= len(t.tenantHash) {
+		return
+	}
+	for len(t.tenantHash) < n {
+		t.tenantHash = append(t.tenantHash, sha256.New())
+		t.tenantFinal = append(t.tenantFinal, "")
+	}
+}
+
+// SealTenantDigest freezes tenant i's sub-digest (evicted-tenant handoff):
+// later events attributed to i no longer accumulate, and TenantDigest keeps
+// returning the value at seal time. Returns the sealed digest, or "" when
+// per-tenant digests are not armed or i is out of range. Sealing twice is
+// idempotent.
+func (t *Tracer) SealTenantDigest(i int) string {
+	if t == nil || i < 0 || i >= len(t.tenantHash) {
+		return ""
+	}
+	if t.tenantFinal[i] == "" {
+		t.tenantFinal[i] = "sha256:" + hex.EncodeToString(t.tenantHash[i].Sum(nil))
+	}
+	return t.tenantFinal[i]
+}
+
+// TenantDigest returns tenant i's sub-digest in the form "sha256:<hex>" —
+// the live running value, or the frozen one once sealed — or "" when
+// per-tenant digests are not armed or i is out of range.
 func (t *Tracer) TenantDigest(i int) string {
 	if t == nil || i < 0 || i >= len(t.tenantHash) {
 		return ""
+	}
+	if t.tenantFinal[i] != "" {
+		return t.tenantFinal[i]
 	}
 	return "sha256:" + hex.EncodeToString(t.tenantHash[i].Sum(nil))
 }

@@ -21,14 +21,19 @@
 #                         zero divergence (dynamic determinism gate):
 #                         fault-free, with the canonical injected GPU outage
 #                         (-faults), with overload control armed under a
-#                         sustained load burst (-overload), and with two
+#                         sustained load burst (-overload), with two
 #                         co-resident tenant app graphs (-tenants: the merged
-#                         tenant-tagged timeline is part of the run identity)
+#                         tenant-tagged timeline is part of the run identity),
+#                         and with the canonical tenant-churn reconfiguration
+#                         armed (-reconfig: epoch drain-and-handoff events are
+#                         part of the run identity too)
 #   8. chaos smoke        fixed-seed nbachaos sweeps (every app, a couple of
 #                         seeds; then 2-tenant co-residency with
-#                         tenant-targeted fault plans): random-but-seeded
-#                         fault plans must pass the invariant oracle with
-#                         matching digests across the doubled runs
+#                         tenant-targeted fault plans; then -reconfig cases
+#                         layering random control-plane churn over the fault
+#                         plans): random-but-seeded fault plans must pass the
+#                         invariant oracle with matching digests across the
+#                         doubled runs
 #   9. parallel equiv     the same sweeps at -parallel 1 and -parallel 8 must
 #                         print byte-identical combined digests (internal/par
 #                         determinism contract; the tenant sweep also folds
@@ -95,12 +100,21 @@ go run ./cmd/nbatrace diff "$tracedir/oa.jsonl" "$tracedir/ob.jsonl"
 go run ./cmd/nbatrace record -tenants ipv4,ipsec -o "$tracedir/ta.jsonl" >/dev/null
 go run ./cmd/nbatrace record -tenants ipv4,ipsec -o "$tracedir/tb.jsonl" >/dev/null
 go run ./cmd/nbatrace diff "$tracedir/ta.jsonl" "$tracedir/tb.jsonl"
+# Runtime reconfiguration: the canonical churn plan (admit/retune/evict via
+# epoch drain-and-handoff) is part of the run identity, so armed recordings
+# must also be byte-identical across recordings.
+go run ./cmd/nbatrace record -tenants ipv4,ids -reconfig -o "$tracedir/ra.jsonl" >/dev/null
+go run ./cmd/nbatrace record -tenants ipv4,ids -reconfig -o "$tracedir/rb.jsonl" >/dev/null
+go run ./cmd/nbatrace diff "$tracedir/ra.jsonl" "$tracedir/rb.jsonl"
 
 echo "==> chaos smoke (fixed-seed fault sweep under the invariant oracle)"
 go run ./cmd/nbachaos sweep -seeds 2 -base 1
 
 echo "==> chaos tenant smoke (2 co-resident tenants per case, tenant-targeted faults)"
 go run ./cmd/nbachaos sweep -seeds 2 -base 1 -tenants 2
+
+echo "==> chaos reconfig smoke (control-plane churn plans on top of fault plans)"
+go run ./cmd/nbachaos sweep -seeds 2 -base 1 -reconfig
 
 echo "==> chaos parallel equivalence (same sweep, 8 workers, byte-identical digest)"
 d1=$(go run ./cmd/nbachaos sweep -seeds 2 -base 1 -parallel 1 -digest-only)
