@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -130,33 +131,52 @@ func sweep(args []string) {
 }
 
 func replay(args []string) {
+	os.Exit(replayExit(args, os.Stdout, os.Stderr))
+}
+
+// Replay exit codes — a contract scripts can rely on: 0 means the reproducer
+// ran clean, 1 means it reproduced at least one invariant violation, 2 means
+// the reproducer could not be run at all (usage, unreadable or malformed
+// file, invalid plan, unknown app).
+const (
+	replayClean    = 0
+	replayViolated = 1
+	replayUsage    = 2
+)
+
+// replayExit runs one reproducer and returns its exit code (factored out of
+// replay so the contract is testable without exec-ing the binary).
+func replayExit(args []string, stdout, stderr io.Writer) int {
 	if len(args) != 1 {
-		usage()
+		fmt.Fprintln(stderr, "usage: nbachaos replay <repro.json>")
+		return replayUsage
 	}
 	c, err := chaos.ReadRepro(args[0])
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "nbachaos:", err)
+		return replayUsage
 	}
 	out, err := chaos.RunTwice(c)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "nbachaos:", err)
+		return replayUsage
 	}
 	reconfigN := 0
 	if c.Reconfig != nil {
 		reconfigN = len(c.Reconfig.Events)
 	}
-	fmt.Printf("nbachaos: replay %s (app %s, seed %d, %d fault + %d reconfig event(s))\n",
+	fmt.Fprintf(stdout, "nbachaos: replay %s (app %s, seed %d, %d fault + %d reconfig event(s))\n",
 		args[0], c.Label(), c.Seed, len(c.Plan.Events), reconfigN)
-	fmt.Printf("trace digest: %s\n", out.Digest)
+	fmt.Fprintf(stdout, "trace digest: %s\n", out.Digest)
 	if !out.Failed() {
-		fmt.Println("clean: no invariant violations")
-		return
+		fmt.Fprintln(stdout, "clean: no invariant violations")
+		return replayClean
 	}
-	fmt.Printf("%d violation(s):\n", len(out.Violations))
+	fmt.Fprintf(stdout, "%d violation(s):\n", len(out.Violations))
 	for _, v := range out.Violations {
-		fmt.Printf("  %s\n", v)
+		fmt.Fprintf(stdout, "  %s\n", v)
 	}
-	os.Exit(1)
+	return replayViolated
 }
 
 func fatal(err error) {

@@ -115,6 +115,10 @@ var simPackagePrefixes = []string{
 	// (see parDispatchRoots) so undisciplined writes from pool jobs are
 	// findings.
 	"nba/internal/par",
+	// integrity's sentinel comparator runs on every sampled completion; its
+	// sampling stream is part of the run identity, so nondeterminism or
+	// hot-path allocation there corrupts replays.
+	"nba/internal/integrity",
 }
 
 func hasPathPrefix(path, prefix string) bool {

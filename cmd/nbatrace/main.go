@@ -11,6 +11,7 @@
 //	nbatrace record -app ipsec -lb fixed=0.8 -chrome run.chrome.json -o run.jsonl
 //	nbatrace record -app ipsec -lb fixed=0.8 -faults -o outage.jsonl
 //	nbatrace record -app ipsec -lb fixed=0.8 -overload -o shed.jsonl
+//	nbatrace record -app ipsec -lb fixed=0.8 -corrupt -o corrupt.jsonl
 //	nbatrace record -tenants ipv4,ipsec -o mt.jsonl
 //	nbatrace record -tenants ipv4,ids -reconfig -o churn.jsonl
 //	nbatrace summary run.jsonl
@@ -18,7 +19,12 @@
 //
 // -faults injects the canonical scripted GPU outage (internal/fault); the
 // plan is part of the run identity, so faulted recordings replay and diff
-// exactly like fault-free ones. -reconfig arms the canonical tenant-churn
+// exactly like fault-free ones. -corrupt injects the canonical
+// silent-corruption window (device 0 flips bits from 1/4 to 1/2 of the run)
+// with the integrity sentinel armed at full sampling: the trace carries the
+// sentinel checks, mismatches, quarantines and device escalation, and the
+// summary gains an "integrity sentinels" section. -reconfig arms the
+// canonical tenant-churn
 // reconfiguration (internal/reconfig): a latent ipsec "churn" tenant is
 // admitted at 1/4 of the run, retuned at 1/2 and evicted at 3/4 through
 // epoch drain-and-handoff; the plan is likewise part of the run identity.
@@ -34,6 +40,7 @@ import (
 	"nba/internal/bench"
 	"nba/internal/core"
 	"nba/internal/fault"
+	"nba/internal/integrity"
 	"nba/internal/overload"
 	"nba/internal/reconfig"
 	"nba/internal/simtime"
@@ -78,6 +85,7 @@ func record(args []string) {
 		seed     = fs.Uint64("seed", 42, "simulation seed")
 		events   = fs.Int("events", 1<<16, "ring capacity: trace events retained for export")
 		faults   = fs.Bool("faults", false, "inject the canonical GPU outage (device 0 fails at 1/4 of the run, recovers at 1/2)")
+		corrupt  = fs.Bool("corrupt", false, "inject the canonical silent-corruption window (device 0 corrupts from 1/4 to 1/2 of the run) with the integrity sentinel armed")
 		overl    = fs.Bool("overload", false, "arm overload control and inject a sustained 2.5x load burst over the middle half of the run")
 		rc       = fs.Bool("reconfig", false, "arm the canonical tenant-churn reconfiguration (requires -tenants): admit a latent ipsec tenant at 1/4 of the run, retune at 1/2, evict at 3/4")
 		out      = fs.String("o", "", "output JSONL path (required)")
@@ -148,12 +156,23 @@ func record(args []string) {
 		span := spec.Warmup + spec.Duration
 		spec.FaultPlan = fault.GPUOutage(span/4, span/2, 0)
 	}
+	if *corrupt {
+		// Silent corruption with the sentinel armed: the corruption stream,
+		// sampling coins and escalation are all part of the run identity, so
+		// -corrupt recordings are byte-identical across records too.
+		if spec.FaultPlan != nil {
+			fatal(fmt.Errorf("-corrupt and -faults are mutually exclusive"))
+		}
+		span := spec.Warmup + spec.Duration
+		spec.FaultPlan = fault.Corruption(span/4, span/2, 0, 1, 0x5a)
+		spec.Integrity = &integrity.Config{SampleRate: 1}
+	}
 	if *overl {
 		// Overload control plus a sustained burst: the shed decisions, level
 		// transitions and bias updates are ordinary trace events, so armed
 		// recordings replay and diff exactly like the rest.
 		if spec.FaultPlan != nil {
-			fatal(fmt.Errorf("-overload and -faults are mutually exclusive"))
+			fatal(fmt.Errorf("-overload and -faults/-corrupt are mutually exclusive"))
 		}
 		span := spec.Warmup + spec.Duration
 		spec.Overload = overload.Defaults()
@@ -167,8 +186,8 @@ func record(args []string) {
 	if *tenants != "" {
 		appLabel = "tenants:" + *tenants
 	}
-	label := fmt.Sprintf("app=%s lb=%s gbps=%g size=%d workers=%d seed=%d faults=%v overload=%v reconfig=%v",
-		appLabel, *lbAlg, *gbps, *size, *workers, *seed, *faults, *overl, *rc)
+	label := fmt.Sprintf("app=%s lb=%s gbps=%g size=%d workers=%d seed=%d faults=%v corrupt=%v overload=%v reconfig=%v",
+		appLabel, *lbAlg, *gbps, *size, *workers, *seed, *faults, *corrupt, *overl, *rc)
 	f, err := os.Create(*out)
 	if err != nil {
 		fatal(err)

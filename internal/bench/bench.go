@@ -15,6 +15,7 @@ import (
 	"nba/internal/fault"
 	"nba/internal/gen"
 	"nba/internal/graph"
+	"nba/internal/integrity"
 	"nba/internal/invariant"
 	"nba/internal/netio"
 	"nba/internal/overload"
@@ -205,6 +206,9 @@ type RunSpec struct {
 	// Overload, when non-nil, arms the overload-control subsystem
 	// (bounded device queue, backpressure, CoDel shedder, governor).
 	Overload *overload.Config
+	// Integrity, when non-nil, arms the silent-corruption sentinel
+	// (sampled re-execution, quarantine, device escalation).
+	Integrity *integrity.Config
 	// Checker, when non-nil, attaches the invariant oracle to the run.
 	Checker *invariant.Checker
 	// Tenants, when non-empty, co-hosts several app graphs as tenants on
@@ -266,6 +270,7 @@ func ExecuteConfig(cfgText string, spec RunSpec) (*core.Report, error) {
 		FaultPlan:         spec.FaultPlan,
 		TaskTimeout:       spec.TaskTimeout,
 		Overload:          spec.Overload,
+		Integrity:         spec.Integrity,
 		Checker:           spec.Checker,
 		Tenants:           spec.Tenants,
 		LatentTenants:     spec.LatentTenants,

@@ -20,6 +20,7 @@ import (
 	"nba/internal/bench"
 	"nba/internal/core"
 	"nba/internal/fault"
+	"nba/internal/integrity"
 	"nba/internal/invariant"
 	"nba/internal/overload"
 	"nba/internal/reconfig"
@@ -76,6 +77,12 @@ type Case struct {
 	// Reconfig cases require tenant mode (Tenants non-empty).
 	Latent   []string
 	Reconfig *reconfig.Plan
+	// DisarmSampling arms the integrity sentinel without sampling (rate 0
+	// instead of the default 1): the corrupt-leak oracle stays live but
+	// nothing is re-executed or quarantined, so a DeviceCorrupt plan becomes
+	// a seeded corruption-leak bug (used to prove the oracle catches what
+	// the sentinel normally contains).
+	DisarmSampling bool
 }
 
 // tenantName / latentName are the deterministic tenant names a case's apps
@@ -231,6 +238,15 @@ func Run(c Case) (*Outcome, error) {
 		// (queue.bound, conservation-with-shed, determinism of the shed
 		// decisions across the doubled runs).
 		Overload: overload.Defaults(),
+		// And with the integrity sentinel at full sampling: every DeviceCorrupt
+		// window a random plan opens must be detected and quarantined, so a
+		// corrupted frame reaching TX (corrupt.leak) or an unbalanced
+		// quarantine count (conservation) is a caught violation, and the
+		// escalation path itself is under the determinism oracle.
+		Integrity: &integrity.Config{SampleRate: 1},
+	}
+	if c.DisarmSampling {
+		cfg.Integrity.SampleRate = 0
 	}
 	if len(c.Tenants) > 0 {
 		for i, app := range c.Tenants {

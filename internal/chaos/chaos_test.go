@@ -470,3 +470,102 @@ func TestSweepParallelStress(t *testing.T) {
 		t.Errorf("case %s/%d failed: %v", f.Case.App, f.Case.Seed, f.Outcome.Violations)
 	}
 }
+
+// --- corruption / integrity ---
+
+// TestCorruptionQuarantineClean: a seeded corruption window with sentinel
+// sampling armed (the sweep default) must be contained — mismatches detected,
+// packets quarantined, no invariant violation — and byte-identical across
+// the RunTwice digest cross-check.
+func TestCorruptionQuarantineClean(t *testing.T) {
+	c := Case{
+		App: "ipv4", Seed: 7,
+		Plan: fault.Corruption(500*simtime.Microsecond, 2*ms, 0, 0.6, 0xa5),
+	}
+	out, err := RunTwice(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failed() {
+		t.Fatalf("armed corruption run violated invariants: %v", out.Violations)
+	}
+	if out.Report.CorruptionDetected == 0 {
+		t.Fatal("sentinel detected no corruption under a 0.6-probability window")
+	}
+	if out.Report.QuarantinedPackets == 0 {
+		t.Fatal("no packets quarantined despite detected corruption")
+	}
+}
+
+// TestCorruptionLeakCaughtAndShrinks seeds the corruption-leak bug: the same
+// corruption window with sentinel sampling disarmed, so tainted packets reach
+// TX. The corrupt.leak oracle must catch it, the shrinker must reduce the
+// noisy plan while keeping the corruption window, and the written reproducer
+// must replay to the same violation with DisarmSampling preserved.
+func TestCorruptionLeakCaughtAndShrinks(t *testing.T) {
+	noisy := &fault.Plan{Events: []fault.Event{
+		{At: 300 * simtime.Microsecond, Kind: fault.RateBurst, RateFactor: 2},
+		{At: 700 * simtime.Microsecond, Kind: fault.RateBurst, RateFactor: 1},
+		{At: 500 * simtime.Microsecond, Kind: fault.DeviceCorrupt, Device: 0, CorruptProb: 0.6, FlipPattern: 0xa5},
+		{At: 2 * ms, Kind: fault.CorruptRecover, Device: 0},
+		{At: 1 * ms, Kind: fault.RxQueueDown, Port: 1, Queue: 0},
+		{At: 1400 * simtime.Microsecond, Kind: fault.RxQueueUp, Port: 1, Queue: 0},
+	}}
+	bug := Case{App: "ipv4", Seed: 7, Plan: noisy, DisarmSampling: true}
+
+	out, err := RunTwice(bug)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Failed() {
+		t.Fatal("disarmed corruption run produced no violation")
+	}
+	sawLeak := false
+	for _, v := range out.Violations {
+		if v.Check == invariant.CheckCorruptLeak {
+			sawLeak = true
+		}
+	}
+	if !sawLeak {
+		t.Fatalf("expected a corrupt.leak violation, got %v", out.Violations)
+	}
+
+	stillFails := func(p *fault.Plan) bool {
+		o, err := Run(Case{App: bug.App, Seed: bug.Seed, Plan: p, DisarmSampling: true})
+		return err == nil && o.Failed()
+	}
+	shrunk, runs := Shrink(noisy, stillFails, validForProfile, 40)
+	if len(shrunk.Events) > 2 {
+		t.Fatalf("shrunk to %d events, want <= 2: %v (%d runs)", len(shrunk.Events), shrunk.Events, runs)
+	}
+	hasCorrupt := false
+	for _, ev := range shrunk.Events {
+		if ev.Kind == fault.DeviceCorrupt {
+			hasCorrupt = true
+		}
+	}
+	if !hasCorrupt {
+		t.Fatalf("shrunk plan lost the corruption window: %v", shrunk.Events)
+	}
+
+	path := filepath.Join(t.TempDir(), "repro.json")
+	minimal := Case{App: bug.App, Seed: bug.Seed, Plan: shrunk, DisarmSampling: true}
+	if err := WriteRepro(path, minimal); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := ReadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !replayed.DisarmSampling {
+		t.Fatal("reproducer lost DisarmSampling")
+	}
+	ro, err := Run(replayed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ro.Failed() {
+		t.Fatal("replayed reproducer no longer fails")
+	}
+	t.Logf("shrunk %d -> %d events in %d probe runs", len(noisy.Events), len(shrunk.Events), runs)
+}

@@ -1,0 +1,72 @@
+package chaos
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"nba/internal/fault"
+	"nba/internal/simtime"
+)
+
+// FuzzReproRoundTrip fuzzes the reproducer file format: any bytes ReadRepro
+// accepts must survive WriteRepro -> ReadRepro as a fixed point (same case,
+// same plan, same flags), and plan validity must be stable across the round
+// trip. Rejected inputs must only error, never panic — reproducers come from
+// bug reports, not from this tree.
+func FuzzReproRoundTrip(f *testing.F) {
+	seedCase := func(c Case) {
+		dir, err := os.MkdirTemp("", "nbafuzzseed")
+		if err != nil {
+			f.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "repro.json")
+		if err := WriteRepro(path, c); err != nil {
+			f.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	seedCase(Case{App: "ipv4", Seed: 3, Plan: &fault.Plan{}})
+	seedCase(Case{
+		App: "ipsec", Seed: 17, TaskTimeout: -1,
+		Plan:           fault.Corruption(300*simtime.Microsecond, 2*simtime.Millisecond, 0, 0.5, 0xa5),
+		DisarmSampling: true,
+	})
+	f.Add([]byte(`{"app":"ipv4","seed":1,"events":[{"at_ps":1,"kind":"device.explode"}]}`))
+	f.Add([]byte(`{not json`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		in := filepath.Join(dir, "in.json")
+		if err := os.WriteFile(in, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		c, err := ReadRepro(in)
+		if err != nil {
+			return // rejected input: fine, as long as it never panics
+		}
+		out := filepath.Join(dir, "out.json")
+		if err := WriteRepro(out, c); err != nil {
+			t.Fatalf("write of accepted case failed: %v", err)
+		}
+		c2, err := ReadRepro(out)
+		if err != nil {
+			t.Fatalf("re-read of written repro failed: %v", err)
+		}
+		if !reflect.DeepEqual(c, c2) {
+			t.Fatalf("round trip not a fixed point:\n%+v\nvs\n%+v", c, c2)
+		}
+		prof := Profile()
+		e1 := c.Plan.Validate(prof.Devices, prof.Ports, prof.Queues)
+		e2 := c2.Plan.Validate(prof.Devices, prof.Ports, prof.Queues)
+		if (e1 == nil) != (e2 == nil) {
+			t.Fatalf("plan validity changed across round trip: %v vs %v", e1, e2)
+		}
+	})
+}

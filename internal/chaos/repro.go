@@ -30,6 +30,9 @@ type reproFile struct {
 	// form, tenants by their in-run names).
 	Latent         []string             `json:"latent,omitempty"`
 	ReconfigEvents []reproReconfigEvent `json:"reconfig_events,omitempty"`
+	// DisarmSampling replays the case with the integrity sentinel armed but
+	// not sampling (the seeded corruption-leak configuration).
+	DisarmSampling bool `json:"disarm_sampling,omitempty"`
 }
 
 type reproEvent struct {
@@ -41,6 +44,8 @@ type reproEvent struct {
 	KernelFactor float64 `json:"kernel_factor,omitempty"`
 	CopyFactor   float64 `json:"copy_factor,omitempty"`
 	RateFactor   float64 `json:"rate_factor,omitempty"`
+	CorruptProb  float64 `json:"corrupt_prob,omitempty"`
+	FlipPattern  byte    `json:"flip_pattern,omitempty"`
 }
 
 type reproReconfigEvent struct {
@@ -55,14 +60,19 @@ type reproReconfigEvent struct {
 
 // WriteRepro writes the case as a replayable reproducer file.
 func WriteRepro(path string, c Case) error {
-	rf := reproFile{App: c.App, Tenants: c.Tenants, Seed: c.Seed, TaskTimeoutPs: int64(c.TaskTimeout), Latent: c.Latent}
+	rf := reproFile{
+		App: c.App, Tenants: c.Tenants, Seed: c.Seed,
+		TaskTimeoutPs: int64(c.TaskTimeout), Latent: c.Latent,
+		DisarmSampling: c.DisarmSampling,
+	}
 	if c.Plan != nil {
 		for _, ev := range c.Plan.Events {
 			rf.Events = append(rf.Events, reproEvent{
 				AtPs: int64(ev.At), Kind: ev.Kind.String(),
 				Device: ev.Device, Port: ev.Port, Queue: ev.Queue,
 				KernelFactor: ev.KernelFactor, CopyFactor: ev.CopyFactor,
-				RateFactor: ev.RateFactor,
+				RateFactor:  ev.RateFactor,
+				CorruptProb: ev.CorruptProb, FlipPattern: ev.FlipPattern,
 			})
 		}
 	}
@@ -93,12 +103,13 @@ func ReadRepro(path string) (Case, error) {
 		return Case{}, fmt.Errorf("chaos: %s: %w", path, err)
 	}
 	c := Case{
-		App:         rf.App,
-		Tenants:     rf.Tenants,
-		Seed:        rf.Seed,
-		TaskTimeout: simtime.Time(rf.TaskTimeoutPs),
-		Plan:        &fault.Plan{},
-		Latent:      rf.Latent,
+		App:            rf.App,
+		Tenants:        rf.Tenants,
+		Seed:           rf.Seed,
+		TaskTimeout:    simtime.Time(rf.TaskTimeoutPs),
+		Plan:           &fault.Plan{},
+		Latent:         rf.Latent,
+		DisarmSampling: rf.DisarmSampling,
 	}
 	for i, ev := range rf.Events {
 		kind, err := fault.KindFromString(ev.Kind)
@@ -109,7 +120,8 @@ func ReadRepro(path string) (Case, error) {
 			At: simtime.Time(ev.AtPs), Kind: kind,
 			Device: ev.Device, Port: ev.Port, Queue: ev.Queue,
 			KernelFactor: ev.KernelFactor, CopyFactor: ev.CopyFactor,
-			RateFactor: ev.RateFactor,
+			RateFactor:  ev.RateFactor,
+			CorruptProb: ev.CorruptProb, FlipPattern: ev.FlipPattern,
 		})
 	}
 	if len(rf.ReconfigEvents) > 0 {

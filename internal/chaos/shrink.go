@@ -93,6 +93,17 @@ func shrinkOnce(cur *fault.Plan, try func(*fault.Plan) bool) (*fault.Plan, bool)
 			if try(cand) {
 				return cand, true
 			}
+		case fault.DeviceCorrupt:
+			// Halve the corruption probability toward zero (the validator
+			// rejects 0, so the halving bottoms out on its own).
+			if ev.CorruptProb <= 0.05 {
+				continue
+			}
+			cand := clonePlan(cur)
+			cand.Events[i].CorruptProb = ev.CorruptProb / 2
+			if try(cand) {
+				return cand, true
+			}
 		}
 	}
 	// 4. Halve fault windows: move each closing event halfway toward its
@@ -238,7 +249,8 @@ func sameTarget(a, b fault.Event) bool {
 
 func deviceKind(k fault.Kind) bool {
 	switch k {
-	case fault.DeviceFail, fault.DeviceRecover, fault.DeviceSlowdown, fault.DeviceHang:
+	case fault.DeviceFail, fault.DeviceRecover, fault.DeviceSlowdown, fault.DeviceHang,
+		fault.DeviceCorrupt, fault.CorruptRecover:
 		return true
 	}
 	return false

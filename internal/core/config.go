@@ -10,6 +10,7 @@ import (
 	"nba/internal/batch"
 	"nba/internal/fault"
 	"nba/internal/graph"
+	"nba/internal/integrity"
 	"nba/internal/invariant"
 	"nba/internal/netio"
 	"nba/internal/overload"
@@ -191,6 +192,15 @@ type Config struct {
 	// event timelines and golden trace digests are unchanged.
 	Overload *overload.Config
 
+	// Integrity, when non-nil, arms the silent-corruption detection
+	// subsystem: sentinel re-execution of a sampled fraction of offloaded
+	// aggregates, quarantine of mismatched batches, and per-device EWMA
+	// escalation (ALB demotion, then fail-stop with a recovery probe). Nil
+	// disables all of it — no extra engine events, no behavioural change —
+	// so pre-integrity event timelines and golden trace digests are
+	// unchanged.
+	Integrity *integrity.Config
+
 	// TaskTimeout is the worker-side completion timeout for offloaded
 	// tasks: a task not completed within it is re-executed on the CPU (the
 	// rescue path for hung devices). 0 selects the default (5 ms, far above
@@ -337,6 +347,13 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Overload != nil {
 		oc := c.Overload.WithDefaults()
 		c.Overload = &oc
+	}
+	if c.Integrity != nil {
+		ic := c.Integrity.WithDefaults()
+		if err := ic.Validate(); err != nil {
+			return c, err
+		}
+		c.Integrity = ic
 	}
 	if c.DrainGrace == 0 && c.Checker != nil {
 		c.DrainGrace = simtime.Second

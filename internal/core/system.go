@@ -10,6 +10,7 @@ import (
 	"nba/internal/fault"
 	"nba/internal/gpu"
 	"nba/internal/graph"
+	"nba/internal/integrity"
 	"nba/internal/lb"
 	"nba/internal/netio"
 	"nba/internal/overload"
@@ -64,6 +65,11 @@ type System struct {
 	rcForced     bool
 	rcOrphaned   bool
 	rcPollFn     func()
+
+	// Integrity escalation state (nil/zero when cfg.Integrity is nil).
+	integrityTracker *integrity.Tracker
+	mismatchSeen     bool
+	firstMismatchAt  simtime.Time
 
 	stopTime  simtime.Time // warmup + duration
 	measuring bool
@@ -195,6 +201,9 @@ func NewSystem(cfg Config) (*System, error) {
 	s.devPlugged = make([]bool, len(s.devices))
 	for i := range s.devPlugged {
 		s.devPlugged[i] = true
+	}
+	if cfg.Integrity != nil {
+		s.integrityTracker = integrity.NewTracker(cfg.Integrity, len(s.devices))
 	}
 
 	// Ports, carved tenant-major: tenant t's queue for same-socket worker w
@@ -351,6 +360,13 @@ func (s *System) applyFault(ev fault.Event) {
 	case fault.RateBurst:
 		s.rateFactor = ev.RateFactor
 		s.applyRate()
+	case fault.DeviceCorrupt:
+		// The byte-flip stream is seeded from (run seed, event time, device),
+		// so the corruption pattern is part of the run's identity: replaying
+		// the same plan under the same seed corrupts the same bytes.
+		s.devices[ev.Device].SetCorrupt(ev.CorruptProb, ev.FlipPattern, s.newCorruptRand(ev))
+	case fault.CorruptRecover:
+		s.devices[ev.Device].ClearCorrupt()
 	}
 	if tr := s.cfg.Tracer; tr != nil {
 		kind := trace.KindFaultInject
@@ -363,6 +379,8 @@ func (s *System) applyFault(ev fault.Event) {
 			target, queue = int64(ev.Port), int64(ev.Queue)
 		case fault.RateBurst:
 			target = int64(math.Float64bits(ev.RateFactor))
+		case fault.DeviceCorrupt:
+			queue = int64(math.Float64bits(ev.CorruptProb))
 		}
 		tr.Emit(s.eng.Now(), kind, -1, ev.Kind.String(), int64(ev.Kind), target, queue, 0)
 	}
@@ -816,8 +834,8 @@ func (s *System) commitEpoch() {
 			// queues drained, every packet its queues ever delivered is
 			// already transmitted, dropped or shed — the evicted tenant's
 			// mempool footprint is provably returned.
-			d, tx, dr, sh := s.tenantTotals(sealTenant)
-			s.cfg.Checker.EpochConservation(now, s.rcEpoch, s.tenants[sealTenant].Name, d, tx, dr, sh)
+			d, tx, dr, sh, qr := s.tenantTotals(sealTenant)
+			s.cfg.Checker.EpochConservation(now, s.rcEpoch, s.tenants[sealTenant].Name, d, tx, dr, sh, qr)
 		}
 	}
 	s.rcActive = false
@@ -959,7 +977,7 @@ func (s *System) socketHasPluggedDevice(socket int) bool {
 
 // tenantTotals sums one tenant's sides of the conservation identity across
 // all its queues and lanes (cumulative over the run so far).
-func (s *System) tenantTotals(t int) (delivered, tx, drops, shed uint64) {
+func (s *System) tenantTotals(t int) (delivered, tx, drops, shed, quarantined uint64) {
 	for _, p := range s.ports {
 		for _, q := range p.Rx {
 			if int(q.Tenant) != t {
@@ -974,8 +992,9 @@ func (s *System) tenantTotals(t int) (delivered, tx, drops, shed uint64) {
 		tx += ln.txPackets
 		drops += ln.graphDrops()
 		shed += ln.shedPkts
+		quarantined += ln.quarantinedPkts
 	}
-	return delivered, tx, drops, shed
+	return delivered, tx, drops, shed, quarantined
 }
 
 // governorTick runs one overload-governor window for a (socket, tenant):
@@ -1047,6 +1066,97 @@ func (s *System) governorTick(socket, tenant int, prevDrops, prevShed *uint64) {
 			s.emitBias(socket, tenant, lo, hi, devSat, cpuSat)
 		}
 	}
+}
+
+// noteIntegrity folds one sentinel verification outcome into the per-device
+// corruption tracker and applies whatever escalation it triggers. Called from
+// the worker's completion path, on the serial engine.
+func (s *System) noteIntegrity(w *worker, it *inflightTask, match bool) {
+	now := w.now()
+	dev := it.dev
+	devIdx := int(dev.TraceActor)
+	mismatch := !match
+	if tr := s.cfg.Tracer; tr != nil {
+		tr.EmitT(now, trace.KindIntegrityCheck, int32(w.id), it.ln.tenant, dev.Name,
+			int64(it.task.ID), int64(it.pending.NPkts), b2i(mismatch), int64(devIdx))
+	}
+	action := s.integrityTracker.Observe(devIdx, mismatch)
+	if mismatch {
+		if !s.mismatchSeen {
+			s.mismatchSeen = true
+			s.firstMismatchAt = now
+		}
+		if tr := s.cfg.Tracer; tr != nil {
+			tr.EmitT(now, trace.KindIntegrityMismatch, int32(w.id), it.ln.tenant, dev.Name,
+				int64(it.task.ID), int64(it.pending.NPkts),
+				int64(math.Float64bits(s.integrityTracker.Score(devIdx))), int64(devIdx))
+		}
+	}
+	switch action {
+	case integrity.ActionDemote:
+		s.demoteDevice(devIdx, now)
+	case integrity.ActionFailStop:
+		s.failStopDevice(devIdx, now)
+	}
+}
+
+// demoteDevice ratchets the ALB weight ceiling on the suspect device's socket
+// down by DemoteStep for every active tenant, steering traffic toward the CPU
+// without taking the device out of service (the same mechanism as the
+// overload governor's bias ratchet, driven by corruption instead of
+// saturation).
+func (s *System) demoteDevice(devIdx int, now simtime.Time) {
+	socket := s.cfg.Topology.Devices[devIdx].Socket
+	for t, ctl := range s.controllers[socket] {
+		if ctl == nil || !s.tstate[t].active {
+			continue
+		}
+		lo, hi := ctl.WBounds()
+		hi = math.Max(lo, hi-s.cfg.Integrity.DemoteStep)
+		ctl.SetWBounds(lo, hi)
+	}
+	s.emitIntegrityEscalation(now, devIdx, 0)
+}
+
+// failStopDevice takes a device whose corruption score crossed FailScore out
+// of service (queued tasks fail back through the workers' CPU rescue path)
+// and schedules the recovery probe that re-admits it after ProbeAfter.
+func (s *System) failStopDevice(devIdx int, now simtime.Time) {
+	s.devices[devIdx].Fail()
+	s.emitIntegrityEscalation(now, devIdx, 1)
+	s.eng.After(s.cfg.Integrity.ProbeAfter, func() { s.probeDevice(devIdx) })
+}
+
+// probeDevice re-admits a fail-stopped device with a clean score and released
+// weight bounds, so a transient corrupter regains service; a device that
+// still corrupts is re-demoted by the sentinel on its next sampled mismatch.
+func (s *System) probeDevice(devIdx int) {
+	if !s.integrityTracker.FailStopped(devIdx) {
+		return // already re-admitted (or never integrity-failed)
+	}
+	s.integrityTracker.Readmit(devIdx)
+	s.devices[devIdx].Recover()
+	socket := s.cfg.Topology.Devices[devIdx].Socket
+	for t, ctl := range s.controllers[socket] {
+		if ctl == nil || !s.tstate[t].active {
+			continue
+		}
+		ctl.SetWBounds(0, 1)
+	}
+	s.emitIntegrityEscalation(s.eng.Now(), devIdx, 2)
+}
+
+// emitIntegrityEscalation emits one integrity.demote trace record (phase 0 =
+// ALB demotion, 1 = fail-stop, 2 = probe re-admit).
+func (s *System) emitIntegrityEscalation(now simtime.Time, devIdx int, phase int64) {
+	tr := s.cfg.Tracer
+	if tr == nil {
+		return
+	}
+	socket := s.cfg.Topology.Devices[devIdx].Socket
+	tr.Emit(now, trace.KindIntegrityDemote, int32(socket), s.devices[devIdx].Name,
+		phase, int64(math.Float64bits(s.integrityTracker.Score(devIdx))),
+		int64(s.integrityTracker.Consecutive(devIdx)), int64(devIdx))
 }
 
 func (s *System) emitBias(socket, tenant int, lo, hi float64, devSat, cpuSat bool) {
@@ -1142,11 +1252,12 @@ type TenantReport struct {
 	RxDelivered uint64
 	RxDropped   uint64
 	AllocFailed uint64
-	// TxPackets + GraphDrops + ShedPackets must equal RxDelivered for a
-	// drained run (the per-tenant conservation identity).
-	TxPackets   uint64
-	GraphDrops  uint64
-	ShedPackets uint64
+	// TxPackets + GraphDrops + ShedPackets + QuarantinedPackets must equal
+	// RxDelivered for a drained run (the per-tenant conservation identity).
+	TxPackets          uint64
+	GraphDrops         uint64
+	ShedPackets        uint64
+	QuarantinedPackets uint64
 	// TxGbps is the tenant's transmitted wire throughput over the
 	// measurement window.
 	TxGbps float64
@@ -1222,8 +1333,25 @@ type Report struct {
 	TimedOutTasks uint64
 	// ShedPackets counts packets dropped by overload control (CoDel sojourn
 	// shedding plus admission-rejected aggregates at LevelShed). Part of the
-	// conservation identity RxDelivered == TxPackets + GraphDrops + Shed.
+	// conservation identity RxDelivered == TxPackets + GraphDrops + Shed +
+	// Quarantined.
 	ShedPackets uint64
+	// QuarantinedPackets counts packets discarded because sentinel
+	// re-execution disagreed with the device's results (never transmitted,
+	// never resumed). Part of the conservation identity; zero when
+	// Config.Integrity is nil.
+	QuarantinedPackets uint64
+	// IntegrityChecks / CorruptionDetected count sentinel re-executions and
+	// the mismatches among them across all workers.
+	IntegrityChecks    uint64
+	CorruptionDetected uint64
+	// DeviceCorruptionScores is each device's final EWMA corruption score
+	// (nil when Config.Integrity is nil).
+	DeviceCorruptionScores []float64
+	// FirstMismatchAt is the virtual time of the first sentinel mismatch
+	// (detection latency relative to the corruption window's start); zero
+	// when CorruptionDetected is zero.
+	FirstMismatchAt simtime.Time
 	// RejectedTasks counts device submissions refused by admission control
 	// (the bounded task queue was full), whether rescued or shed.
 	RejectedTasks uint64
@@ -1300,11 +1428,22 @@ func (s *System) report() *Report {
 			r.TimedOutTasks += ln.timedOutTasks
 			r.ShedPackets += ln.shedPkts
 			r.RejectedTasks += ln.rejectedTasks
+			r.QuarantinedPackets += ln.quarantinedPkts
+		}
+		if w.sentinel != nil {
+			r.IntegrityChecks += w.sentinel.Checks
+			r.CorruptionDetected += w.sentinel.Mismatches
 		}
 		if w.inflightHWM > r.WorkerInflightHWM {
 			r.WorkerInflightHWM = w.inflightHWM
 		}
 		r.PoolOutstanding += w.pktPool.Stats().Outstanding
+	}
+	if s.integrityTracker != nil {
+		for i := range s.devices {
+			r.DeviceCorruptionScores = append(r.DeviceCorruptionScores, s.integrityTracker.Score(i))
+		}
+		r.FirstMismatchAt = s.firstMismatchAt
 	}
 	for _, d := range s.devices {
 		st := d.Stats()
@@ -1383,6 +1522,7 @@ func (s *System) tenantReports(r *Report) {
 			tr.TxPackets += ln.txPackets
 			tr.GraphDrops += ln.graphDrops()
 			tr.ShedPackets += ln.shedPkts
+			tr.QuarantinedPackets += ln.quarantinedPkts
 			tr.OffloadedPackets += ln.offloadedPkts
 			tr.FallbackPackets += ln.fallbackPkts
 			tr.FailedTasks += ln.failedTasks
@@ -1454,17 +1594,18 @@ func (s *System) endOfRunChecks(r *Report) {
 			len(s.rcEvents)-s.rcNext, s.rcEvents[s.rcNext].Kind, s.rcEvents[s.rcNext].At))
 	}
 	// Packet conservation over the whole run: every NIC-delivered packet is
-	// accounted exactly once as transmitted, dropped inside a pipeline, or
-	// shed by overload control — globally and within each tenant, so no
-	// tenant's loss can hide behind a co-tenant's surplus.
+	// accounted exactly once as transmitted, dropped inside a pipeline, shed
+	// by overload control, or quarantined by the integrity sentinel —
+	// globally and within each tenant, so no tenant's loss can hide behind a
+	// co-tenant's surplus.
 	if drained {
-		ck.Conservation(now, r.RxDelivered, r.TxPackets, r.GraphDrops, r.ShedPackets)
+		ck.Conservation(now, r.RxDelivered, r.TxPackets, r.GraphDrops, r.ShedPackets, r.QuarantinedPackets)
 		for _, tr := range r.Tenants {
 			name := tr.Name
 			if name == "" {
 				name = "t0"
 			}
-			ck.TenantConservation(now, name, tr.RxDelivered, tr.TxPackets, tr.GraphDrops, tr.ShedPackets)
+			ck.TenantConservation(now, name, tr.RxDelivered, tr.TxPackets, tr.GraphDrops, tr.ShedPackets, tr.QuarantinedPackets)
 		}
 	}
 	for i, d := range s.devices {
@@ -1498,4 +1639,19 @@ type NodeStat struct {
 // single-tenant digest stability depends on.
 func (s *System) newLaneRand(id int, tenant int32) *rng.Rand {
 	return rng.New(s.cfg.Seed*0x9E3779B97F4A7C15 + uint64(id) + 1 + uint64(tenant)*0x9D2C5680F4A7C159)
+}
+
+// newSentinelRand derives the per-worker sentinel sampling stream. The salt
+// keeps it disjoint from every lane stream, so arming the sentinel never
+// perturbs element-level randomness.
+func (s *System) newSentinelRand(id int) *rng.Rand {
+	return rng.New((s.cfg.Seed*0x9E3779B97F4A7C15 ^ 0xC2B2AE3D27D4EB4F) + uint64(id) + 1)
+}
+
+// newCorruptRand derives the byte-flip stream for one DeviceCorrupt event
+// from (run seed, event time, device), making the corruption pattern part of
+// the run's identity.
+func (s *System) newCorruptRand(ev fault.Event) *rng.Rand {
+	return rng.New((s.cfg.Seed*0x9E3779B97F4A7C15 ^ 0xD6E8FEB86659FD93) +
+		uint64(ev.At)*0x9D2C5680F4A7C159 + uint64(ev.Device) + 1)
 }

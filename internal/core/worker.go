@@ -7,6 +7,7 @@ import (
 	"nba/internal/element"
 	"nba/internal/gpu"
 	"nba/internal/graph"
+	"nba/internal/integrity"
 	"nba/internal/mempool"
 	"nba/internal/netio"
 	"nba/internal/offload"
@@ -28,6 +29,12 @@ type inflightTask struct {
 	pending *offload.Pending
 	task    *gpu.Task
 	timer   simtime.Timer // completion timeout, zero when disabled
+	// dev is the device the task was submitted to (nil for synthetic
+	// epoch-rescue tasks, which are never sampled).
+	dev *gpu.Device
+	// shadow is the sentinel's pre-execution copy of the aggregate, non-nil
+	// only when the integrity subsystem sampled this task for re-execution.
+	shadow *integrity.Shadow
 	// executed records that the device-side functional computation ran, so
 	// a CPU fallback never re-runs it (re-encrypting IPsec packets would
 	// corrupt them).
@@ -85,6 +92,7 @@ type lane struct {
 	timedOutTasks       uint64 // tasks rescued by the completion timeout
 	shedPkts            uint64 // packets dropped by overload control (CoDel or admission shed)
 	rejectedTasks       uint64 // device submissions refused by admission control
+	quarantinedPkts     uint64 // packets discarded because sentinel re-execution disagreed with the device
 }
 
 // graphDrops sums packets dropped inside this lane's pipeline.
@@ -128,6 +136,11 @@ type worker struct {
 	pktPool   *netio.PacketPool
 	batchPool *batch.Pool
 
+	// sentinel is the integrity re-execution sampler, non-nil only when
+	// cfg.Integrity is set. Its RNG stream is seeded per worker so sampling
+	// decisions are deterministic and independent of other workers.
+	sentinel *integrity.Sentinel
+
 	completions  *mempool.Ring[completion]
 	sockDev      *gpu.Device // first local device (admission signal), may be nil
 	inflight     int         // outstanding device tasks
@@ -168,6 +181,9 @@ func newWorker(s *System, id, socket, local int, localPorts, localDevs []int) (*
 	w.pktPool = netio.NewPacketPool(fmt.Sprintf("pkt.w%d", id), s.cfg.PacketPoolPerWorker)
 	w.batchPool = batch.NewPool(fmt.Sprintf("batch.w%d", id), s.cfg.BatchPoolPerWorker)
 	w.completions = mempool.NewRing[completion](256)
+	if s.cfg.Integrity != nil {
+		w.sentinel = integrity.NewSentinel(s.cfg.Integrity, s.newSentinelRand(id))
+	}
 	w.iterateFn = w.iterate
 	return w, nil
 }
@@ -474,7 +490,7 @@ func (w *worker) flush(p *offload.Pending) {
 		KernelTime: p.KernelTime(cm),
 		Kernels:    len(p.Chain),
 	}
-	it := &inflightTask{ln: ln, pending: p, task: task}
+	it := &inflightTask{ln: ln, pending: p, task: task, dev: dev}
 	task.Execute = func() {
 		// Device-side functional computation (timed by the kernel model).
 		// Guarded so a hung task rescheduled after recovery cannot run it a
@@ -487,6 +503,21 @@ func (w *worker) flush(p *offload.Pending) {
 		for _, node := range p.Chain {
 			for _, b := range p.Batches {
 				node.Offloadable().ProcessOffloaded(&it.ln.pctx, b)
+			}
+		}
+		if dev.Corrupting() && dev.CorruptCoin() {
+			// Silent data corruption (DeviceCorrupt fault window): flip one
+			// byte per live frame using the event's seeded pattern stream.
+			// The device reports success and the results stay plausible —
+			// only sentinel re-execution (or the chaos leak oracle) can tell.
+			for _, b := range p.Batches {
+				b.ForEachLive(func(i int, pkt *packet.Packet) {
+					if n := pkt.Length(); n > 0 {
+						off, pat := dev.CorruptByte(n)
+						pkt.Data()[off] ^= pat
+						pkt.Tainted = true
+					}
+				})
 			}
 		}
 	}
@@ -536,6 +567,12 @@ func (w *worker) flush(p *offload.Pending) {
 	w.tasks = append(w.tasks, it)
 	if w.inflight > w.inflightHWM {
 		w.inflightHWM = w.inflight
+	}
+	if w.sentinel.Sample() {
+		// Sentinel sampling draws one coin per *accepted* task (refused
+		// submissions never reach the device, so there is nothing to
+		// cross-check) and snapshots the aggregate's pre-execution state.
+		it.shadow = w.sentinel.Snapshot(p.Batches)
 	}
 }
 
@@ -680,10 +717,78 @@ func (w *worker) handleCompletion(c completion) {
 			break
 		}
 	}
+	if it.shadow != nil {
+		sh := it.shadow
+		it.shadow = nil
+		if !it.executed {
+			// The device never ran the computation (failed/hung rescue):
+			// there is nothing to cross-check, and the CPU fallback below
+			// recomputes from scratch anyway.
+			w.sentinel.Release(sh)
+		} else if !w.verifyAggregate(it, sh) {
+			w.quarantineAggregate(it)
+			return
+		}
+	}
 	if c.timedOut || it.task.Failed {
 		w.fallback(it, c.timedOut)
 	}
 	w.resumeAggregate(p)
+}
+
+// verifyAggregate re-executes a sampled aggregate's device-side computation
+// on the CPU over the sentinel's pre-execution shadow copy and compares
+// result digests against what the device produced. The re-execution is
+// charged at the honest CPU element cost, so sentinel sampling carries a real
+// throughput price. The observation (and any escalation it triggers) is
+// reported to the system's per-device corruption tracker.
+func (w *worker) verifyAggregate(it *inflightTask, sh *integrity.Shadow) bool {
+	cm := w.sys.cfg.CostModel
+	p := it.pending
+	pctx := &it.ln.pctx
+	var cycles simtime.Cycles
+	for _, node := range p.Chain {
+		cost := cm.ElementCostOf(node.Elem.Class())
+		for _, b := range sh.Batches() {
+			b.ForEachLive(func(i int, pkt *packet.Packet) {
+				cycles += cost.Cycles(pkt.Length())
+			})
+		}
+	}
+	if pctx.CostScale != 0 && pctx.CostScale != 1 {
+		cycles = simtime.Cycles(float64(cycles) * pctx.CostScale)
+	}
+	w.cycles += cycles
+	match := w.sentinel.Verify(sh, func(b *batch.Batch) {
+		for _, node := range p.Chain {
+			node.Offloadable().ProcessOffloaded(pctx, b)
+		}
+	})
+	w.sys.noteIntegrity(w, it, match)
+	return match
+}
+
+// quarantineAggregate discards every live packet of an aggregate whose
+// sentinel re-execution disagreed with the device's results: nothing from it
+// may reach TX or the resumed pipeline. The packets land in a dedicated
+// counted drop class so end-to-end conservation still balances.
+func (w *worker) quarantineAggregate(it *inflightTask) {
+	p := it.pending
+	ln := it.ln
+	var n int64
+	for _, b := range p.Batches {
+		b.ForEachLive(func(i int, pkt *packet.Packet) {
+			n++
+			ln.quarantinedPkts++
+			w.pktPool.Put(pkt)
+		})
+		b.Reset()
+		w.batchPool.Put(b)
+	}
+	if tr := w.sys.cfg.Tracer; tr != nil {
+		tr.EmitT(w.now(), trace.KindIntegrityQuarantine, int32(w.id), ln.tenant, it.dev.Name,
+			int64(it.task.ID), n, 0, int64(it.dev.TraceActor))
+	}
 }
 
 // resumeAggregate postprocesses a completed aggregate and resumes its
@@ -777,6 +882,11 @@ func (w *worker) execChainOnCPU(p *offload.Pending) {
 //nba:hotpath
 func (w *worker) Transmit(pkt *packet.Packet) {
 	ln := w.cur
+	if pkt.Tainted && w.sentinel != nil {
+		// Oracle, not behaviour: a corrupted frame reaching TX while the
+		// sentinel is armed means quarantine failed to contain it.
+		w.sys.cfg.Checker.CorruptLeak(w.now(), w.id, pkt.Seq)
+	}
 	port := int(pkt.Anno[packet.AnnoOutPort]) % len(w.sys.ports)
 	if w.sys.cfg.CaptureTx > 0 && len(w.sys.captured) < w.sys.cfg.CaptureTx {
 		//nbalint:allow hotalloc TX capture is a bounded debug facility, off in production runs

@@ -25,6 +25,10 @@
 //	    overflow into drop counters, but no packets are delivered.
 //	RateBurst — the offered load is scaled by a factor (use a second event
 //	    with factor 1 to end the burst).
+//	DeviceCorrupt / CorruptRecover — the device silently returns wrong
+//	    results: completed aggregates have bytes flipped with a seeded
+//	    per-event RNG stream. Detection and containment live in
+//	    internal/integrity (sentinel re-execution, quarantine, demotion).
 package fault
 
 import (
@@ -57,6 +61,16 @@ const (
 	// RateBurst scales the current offered load by RateFactor. A second
 	// RateBurst with factor 1 restores the nominal rate.
 	RateBurst
+	// DeviceCorrupt starts a silent-data-corruption window: each offloaded
+	// aggregate completing on the device is, with probability CorruptProb,
+	// corrupted by XORing FlipPattern into one byte of every live packet.
+	// The byte offsets and the per-aggregate coin come from an RNG stream
+	// seeded from (run seed, event time, device), so the corruption is part
+	// of the run identity like every other fault.
+	DeviceCorrupt
+	// CorruptRecover ends the corruption window. (DeviceRecover does not:
+	// corruption is orthogonal to the fail/hang/slow health state.)
+	CorruptRecover
 
 	numKinds
 )
@@ -69,6 +83,8 @@ var kindNames = [numKinds]string{
 	"rxq.down",
 	"rxq.up",
 	"rate.burst",
+	"device.corrupt",
+	"corrupt.recover",
 }
 
 func (k Kind) String() string {
@@ -90,7 +106,9 @@ func KindFromString(s string) (Kind, error) {
 
 // IsRecovery reports whether the kind restores capacity rather than taking
 // it away (used to pick the trace event kind).
-func (k Kind) IsRecovery() bool { return k == DeviceRecover || k == RxQueueUp }
+func (k Kind) IsRecovery() bool {
+	return k == DeviceRecover || k == RxQueueUp || k == CorruptRecover
+}
 
 // Event is one scheduled fault. Only the fields relevant to the Kind are
 // read; the rest stay zero.
@@ -113,6 +131,13 @@ type Event struct {
 
 	// RateFactor scales the offered load (RateBurst; must be >= 0).
 	RateFactor float64
+
+	// CorruptProb is the per-aggregate corruption probability of a
+	// DeviceCorrupt window (must be in (0, 1]).
+	CorruptProb float64
+	// FlipPattern is the byte XORed into corrupted payloads (DeviceCorrupt;
+	// must be nonzero — a zero XOR would be a no-op window).
+	FlipPattern byte
 }
 
 // Plan is a scripted fault timeline. The zero value is an empty plan.
@@ -159,6 +184,20 @@ func (p *Plan) Validate(ndev, nports, nqueues int) error {
 			if ev.RateFactor < 0 {
 				return fmt.Errorf("fault: event %d (%s) has negative rate factor %v", i, ev.Kind, ev.RateFactor)
 			}
+		case DeviceCorrupt:
+			if ev.Device < 0 || ev.Device >= ndev {
+				return fmt.Errorf("fault: event %d (%s) targets device %d of %d", i, ev.Kind, ev.Device, ndev)
+			}
+			if ev.CorruptProb <= 0 || ev.CorruptProb > 1 {
+				return fmt.Errorf("fault: event %d (%s) has corruption probability %v outside (0,1]", i, ev.Kind, ev.CorruptProb)
+			}
+			if ev.FlipPattern == 0 {
+				return fmt.Errorf("fault: event %d (%s) is a no-op: zero flip pattern", i, ev.Kind)
+			}
+		case CorruptRecover:
+			if ev.Device < 0 || ev.Device >= ndev {
+				return fmt.Errorf("fault: event %d (%s) targets device %d of %d", i, ev.Kind, ev.Device, ndev)
+			}
 		default:
 			return fmt.Errorf("fault: event %d has unknown kind %d", i, ev.Kind)
 		}
@@ -190,6 +229,11 @@ func (p *Plan) validateTimeline(ndev, nports, nqueues int) error {
 	})
 
 	devs := make([]devState, ndev)
+	// Corruption is orthogonal to the health automaton: a slowed device can
+	// corrupt, but corruption windows must not overlap fail/hang outages —
+	// a failed device completes no tasks, so the overlap would silently
+	// shrink the window the plan claims to apply.
+	corrupting := make([]bool, ndev)
 	qDown := make([]bool, nports*nqueues)
 	queuesOf := func(ev Event) []int {
 		if ev.Queue >= 0 {
@@ -212,6 +256,9 @@ func (p *Plan) validateTimeline(ndev, nports, nqueues int) error {
 			case devHung:
 				return fmt.Errorf("fault: event %d (%s) fails device %d during an active Hang window", i, ev.Kind, ev.Device)
 			}
+			if corrupting[ev.Device] {
+				return fmt.Errorf("fault: event %d (%s) fails device %d during an active Corrupt window", i, ev.Kind, ev.Device)
+			}
 			devs[ev.Device] = devFailed
 		case DeviceHang:
 			switch devs[ev.Device] {
@@ -219,6 +266,9 @@ func (p *Plan) validateTimeline(ndev, nports, nqueues int) error {
 				return fmt.Errorf("fault: event %d (%s) hangs device %d during an active Fail window", i, ev.Kind, ev.Device)
 			case devHung:
 				return fmt.Errorf("fault: event %d (%s) hangs device %d which is already hung", i, ev.Kind, ev.Device)
+			}
+			if corrupting[ev.Device] {
+				return fmt.Errorf("fault: event %d (%s) hangs device %d during an active Corrupt window", i, ev.Kind, ev.Device)
 			}
 			devs[ev.Device] = devHung
 		case DeviceSlowdown:
@@ -232,6 +282,20 @@ func (p *Plan) validateTimeline(ndev, nports, nqueues int) error {
 				return fmt.Errorf("fault: event %d (%s) recovers device %d with no prior failure, hang or slowdown", i, ev.Kind, ev.Device)
 			}
 			devs[ev.Device] = devNominal
+		case DeviceCorrupt:
+			if corrupting[ev.Device] {
+				return fmt.Errorf("fault: event %d (%s) corrupts device %d which is already corrupting", i, ev.Kind, ev.Device)
+			}
+			switch devs[ev.Device] {
+			case devFailed, devHung:
+				return fmt.Errorf("fault: event %d (%s) corrupts device %d during an active outage", i, ev.Kind, ev.Device)
+			}
+			corrupting[ev.Device] = true
+		case CorruptRecover:
+			if !corrupting[ev.Device] {
+				return fmt.Errorf("fault: event %d (%s) clears corruption on device %d which is not corrupting", i, ev.Kind, ev.Device)
+			}
+			corrupting[ev.Device] = false
 		case RxQueueDown:
 			for _, q := range queuesOf(ev) {
 				if qDown[q] {
@@ -267,6 +331,17 @@ func GPUOutage(failAt, recoverAt simtime.Time, dev int) *Plan {
 	return &Plan{Events: []Event{
 		{At: failAt, Kind: DeviceFail, Device: dev},
 		{At: recoverAt, Kind: DeviceRecover, Device: dev},
+	}}
+}
+
+// Corruption is the canonical silent-corruption scenario: device dev starts
+// flipping bits at `at` (per-aggregate probability prob, XOR pattern) and
+// stops at recoverAt. It is the plan behind the `integrity` bench scenario
+// and the nbatrace record -corrupt self-check.
+func Corruption(at, recoverAt simtime.Time, dev int, prob float64, pattern byte) *Plan {
+	return &Plan{Events: []Event{
+		{At: at, Kind: DeviceCorrupt, Device: dev, CorruptProb: prob, FlipPattern: pattern},
+		{At: recoverAt, Kind: CorruptRecover, Device: dev},
 	}}
 }
 

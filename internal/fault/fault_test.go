@@ -23,6 +23,7 @@ func TestIsRecovery(t *testing.T) {
 	want := map[Kind]bool{
 		DeviceFail: false, DeviceRecover: true, DeviceSlowdown: false,
 		DeviceHang: false, RxQueueDown: false, RxQueueUp: true, RateBurst: false,
+		DeviceCorrupt: false, CorruptRecover: true,
 	}
 	for k, w := range want {
 		if k.IsRecovery() != w {
@@ -49,6 +50,13 @@ func TestValidate(t *testing.T) {
 		{"rxq bad queue", Event{At: ms, Kind: RxQueueUp, Port: 0, Queue: 2}, "queue 2 of 2"},
 		{"burst ok", Event{At: ms, Kind: RateBurst, RateFactor: 3}, ""},
 		{"burst negative", Event{At: ms, Kind: RateBurst, RateFactor: -0.5}, "negative rate"},
+		{"corrupt ok", Event{At: ms, Kind: DeviceCorrupt, Device: 1, CorruptProb: 0.5, FlipPattern: 0xa5}, ""},
+		{"corrupt full prob ok", Event{At: ms, Kind: DeviceCorrupt, Device: 0, CorruptProb: 1, FlipPattern: 1}, ""},
+		{"corrupt bad device", Event{At: ms, Kind: DeviceCorrupt, Device: 2, CorruptProb: 0.5, FlipPattern: 1}, "device 2 of 2"},
+		{"corrupt zero prob", Event{At: ms, Kind: DeviceCorrupt, Device: 0, FlipPattern: 1}, "outside (0,1]"},
+		{"corrupt prob over one", Event{At: ms, Kind: DeviceCorrupt, Device: 0, CorruptProb: 1.5, FlipPattern: 1}, "outside (0,1]"},
+		{"corrupt zero pattern", Event{At: ms, Kind: DeviceCorrupt, Device: 0, CorruptProb: 0.5}, "zero flip pattern"},
+		{"corrupt recover bad device", Event{At: ms, Kind: CorruptRecover, Device: -1}, "device -1"},
 		{"unknown kind", Event{At: ms, Kind: numKinds}, "unknown kind"},
 	}
 	for _, c := range cases {
@@ -101,6 +109,17 @@ func TestHelpers(t *testing.T) {
 	b := Burst(ms, 2*ms, 4)
 	if len(b) != 2 || b[0].RateFactor != 4 || b[1].RateFactor != 1 || b[1].At != 3*ms {
 		t.Fatalf("unexpected burst events %v", b)
+	}
+
+	c := Corruption(ms, 4*ms, 1, 0.25, 0x80)
+	if err := c.Validate(2, 1, 1); err != nil {
+		t.Fatalf("Corruption plan invalid: %v", err)
+	}
+	if len(c.Events) != 2 || c.Events[0].Kind != DeviceCorrupt || c.Events[1].Kind != CorruptRecover {
+		t.Fatalf("unexpected corruption plan %v", c.Events)
+	}
+	if c.Events[0].CorruptProb != 0.25 || c.Events[0].FlipPattern != 0x80 || c.Events[1].At != 4*ms {
+		t.Fatalf("unexpected corruption parameters %v", c.Events)
 	}
 }
 
@@ -179,6 +198,39 @@ func TestValidateTimeline(t *testing.T) {
 			{At: 2 * ms, Kind: DeviceRecover, Device: 0},
 			{At: ms, Kind: DeviceFail, Device: 0},
 		}, ""},
+		{"corrupt window ok", []Event{
+			{At: ms, Kind: DeviceCorrupt, Device: 0, CorruptProb: 0.5, FlipPattern: 1},
+			{At: 2 * ms, Kind: CorruptRecover, Device: 0},
+		}, ""},
+		{"double corrupt", []Event{
+			{At: ms, Kind: DeviceCorrupt, Device: 0, CorruptProb: 0.5, FlipPattern: 1},
+			{At: 2 * ms, Kind: DeviceCorrupt, Device: 0, CorruptProb: 0.5, FlipPattern: 1},
+		}, "already corrupting"},
+		{"corrupt during fail", []Event{
+			{At: ms, Kind: DeviceFail, Device: 0},
+			{At: 2 * ms, Kind: DeviceCorrupt, Device: 0, CorruptProb: 0.5, FlipPattern: 1},
+		}, "active outage"},
+		{"fail during corrupt", []Event{
+			{At: ms, Kind: DeviceCorrupt, Device: 0, CorruptProb: 0.5, FlipPattern: 1},
+			{At: 2 * ms, Kind: DeviceFail, Device: 0},
+		}, "active Corrupt window"},
+		{"hang during corrupt", []Event{
+			{At: ms, Kind: DeviceCorrupt, Device: 0, CorruptProb: 0.5, FlipPattern: 1},
+			{At: 2 * ms, Kind: DeviceHang, Device: 0},
+		}, "active Corrupt window"},
+		{"corrupt recover not corrupting", []Event{
+			{At: ms, Kind: CorruptRecover, Device: 0},
+		}, "not corrupting"},
+		{"slowdown during corrupt ok", []Event{
+			{At: ms, Kind: DeviceCorrupt, Device: 0, CorruptProb: 0.5, FlipPattern: 1},
+			{At: 2 * ms, Kind: DeviceSlowdown, Device: 0, KernelFactor: 2},
+			{At: 3 * ms, Kind: DeviceRecover, Device: 0},
+			{At: 4 * ms, Kind: CorruptRecover, Device: 0},
+		}, ""},
+		{"corrupt on second device during first's outage ok", []Event{
+			{At: ms, Kind: DeviceFail, Device: 0},
+			{At: 2 * ms, Kind: DeviceCorrupt, Device: 1, CorruptProb: 0.5, FlipPattern: 1},
+		}, ""},
 	}
 	for _, c := range cases {
 		p := Plan{Events: c.evs}
@@ -250,5 +302,32 @@ func TestRandomPlanDeterministic(t *testing.T) {
 		if same {
 			t.Fatal("different seeds produced identical plans")
 		}
+	}
+}
+
+// TestRandomPlanGeneratesCorruption: the generator's episode mix must
+// include silent-corruption windows, and every generated corruption event
+// must carry in-range parameters (the validator would panic inside
+// RandomPlan otherwise, but pin the bounds explicitly).
+func TestRandomPlanGeneratesCorruption(t *testing.T) {
+	prof := Profile{Horizon: 3 * simtime.Millisecond, Devices: 2, Ports: 2, Queues: 2}
+	r := rng.New(42)
+	corruptEvents := 0
+	for i := 0; i < 500; i++ {
+		for _, ev := range RandomPlan(r, prof).Events {
+			if ev.Kind != DeviceCorrupt {
+				continue
+			}
+			corruptEvents++
+			if ev.CorruptProb <= 0 || ev.CorruptProb > 1 {
+				t.Fatalf("plan %d: corruption probability %v outside (0,1]", i, ev.CorruptProb)
+			}
+			if ev.FlipPattern == 0 {
+				t.Fatalf("plan %d: zero flip pattern", i)
+			}
+		}
+	}
+	if corruptEvents == 0 {
+		t.Fatal("500 random plans generated no corruption episode")
 	}
 }

@@ -96,7 +96,7 @@ func RandomPlan(r *rng.Rand, prof Profile) *Plan {
 		// Weighted pick over the episode kinds the topology supports.
 		kinds := []int{4} // rate burst always possible
 		if prof.Devices > 0 {
-			kinds = append(kinds, 0, 1, 2)
+			kinds = append(kinds, 0, 1, 2, 6)
 		}
 		if prof.Ports > 0 && prof.Queues > 0 {
 			kinds = append(kinds, 3)
@@ -188,6 +188,25 @@ func RandomPlan(r *rng.Rand, prof Profile) *Plan {
 			plan.Events = append(plan.Events, Event{At: start, Kind: RateBurst, RateFactor: factor})
 			plan.Events = append(plan.Events, Event{At: start + dur, Kind: RateBurst, RateFactor: 1})
 			rateCursor = start + dur + timeGrid
+		case 6: // silent corruption → recover (sharing the device cursor
+			// keeps corruption windows disjoint from outages by construction)
+			dev := r.Intn(prof.Devices)
+			start, end, ok := window(devCursor[dev])
+			if !ok {
+				continue
+			}
+			prob := 0.25 + r.Float64()*0.75  // 0.25 .. 1.0 per aggregate
+			pattern := byte(1 + r.Intn(255)) // any nonzero XOR mask
+			plan.Events = append(plan.Events, Event{
+				At: start, Kind: DeviceCorrupt, Device: dev,
+				CorruptProb: prob, FlipPattern: pattern,
+			})
+			if r.Bool(prof.OpenEnded) {
+				devCursor[dev] = prof.Horizon // corrupts to the end of the run
+				continue
+			}
+			plan.Events = append(plan.Events, Event{At: end, Kind: CorruptRecover, Device: dev})
+			devCursor[dev] = end + timeGrid
 		}
 	}
 

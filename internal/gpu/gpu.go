@@ -32,6 +32,7 @@ import (
 	"fmt"
 
 	"nba/internal/invariant"
+	"nba/internal/rng"
 	"nba/internal/simtime"
 	"nba/internal/sysinfo"
 	"nba/internal/trace"
@@ -137,6 +138,16 @@ type Device struct {
 	hung       bool
 	kernelSlow float64
 	copySlow   float64
+
+	// Silent-corruption state (DeviceCorrupt/CorruptRecover faults). While
+	// corrupting, each completing aggregate is — with probability
+	// corruptProb, drawn from the per-event corruptRng stream — corrupted
+	// by the worker's Execute closure: flipPattern is XORed into one byte
+	// of every live packet at an offset drawn from the same stream.
+	corrupting  bool
+	corruptProb float64
+	flipPattern byte
+	corruptRng  *rng.Rand
 
 	inflight []*inflight
 	// pending holds tasks accepted while hung; Recover reschedules them in
@@ -459,6 +470,36 @@ func (d *Device) Recover() {
 
 // Healthy reports whether the device is neither failed nor hung.
 func (d *Device) Healthy() bool { return !d.failed && !d.hung }
+
+// SetCorrupt starts a silent-corruption window: completing aggregates are
+// corrupted with per-aggregate probability prob by XORing pattern into one
+// byte of each live packet. r is the seeded per-event RNG stream, so the
+// corruption pattern is part of the run identity.
+func (d *Device) SetCorrupt(prob float64, pattern byte, r *rng.Rand) {
+	d.corrupting = true
+	d.corruptProb = prob
+	d.flipPattern = pattern
+	d.corruptRng = r
+}
+
+// ClearCorrupt ends the corruption window.
+func (d *Device) ClearCorrupt() {
+	d.corrupting = false
+	d.corruptRng = nil
+}
+
+// Corrupting reports whether a corruption window is active.
+func (d *Device) Corrupting() bool { return d.corrupting }
+
+// CorruptCoin draws the per-aggregate corruption coin from the window's RNG
+// stream. Only valid while Corrupting.
+func (d *Device) CorruptCoin() bool { return d.corruptRng.Float64() < d.corruptProb }
+
+// CorruptByte draws the byte offset to flip within a payload of n bytes and
+// returns it with the window's XOR pattern. Only valid while Corrupting.
+func (d *Device) CorruptByte(n int) (offset int, pattern byte) {
+	return d.corruptRng.Intn(n), d.flipPattern
+}
 
 func (d *Device) copyTime(bytes int) simtime.Time {
 	if bytes <= 0 {

@@ -1,0 +1,61 @@
+package integrity
+
+import (
+	"testing"
+
+	"nba/internal/batch"
+	"nba/internal/rng"
+)
+
+// BenchmarkSentinelCompare measures the sentinel compare path — snapshot,
+// shadow re-execution, digest comparison, release — at steady state. The
+// free-lists make it allocation-free after the first iteration, which
+// ReportAllocs pins in review.
+func BenchmarkSentinelCompare(b *testing.B) {
+	s := NewSentinel((&Config{SampleRate: 1}).WithDefaults(), rng.New(3))
+	src := fill(32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sh := s.Snapshot([]*batch.Batch{src})
+		s.Verify(sh, deviceExec)
+	}
+}
+
+// TestCompareSteadyStateAllocFree gates the benchmark's claim: once the
+// free-lists are warm, a full snapshot/verify/release cycle allocates
+// nothing.
+func TestCompareSteadyStateAllocFree(t *testing.T) {
+	s := NewSentinel((&Config{SampleRate: 1}).WithDefaults(), rng.New(3))
+	src := fill(32)
+	s.Release(s.Snapshot([]*batch.Batch{src})) // warm the free-lists
+	allocs := testing.AllocsPerRun(100, func() {
+		sh := s.Snapshot([]*batch.Batch{src})
+		s.Verify(sh, deviceExec)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state compare path allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// TestDisarmedSampleAllocFree is the disarm gate: with sampling disabled
+// (rate 0) and on a nil sentinel, the per-aggregate hot-path coin must not
+// allocate at all.
+func TestDisarmedSampleAllocFree(t *testing.T) {
+	disarmed := NewSentinel((&Config{SampleRate: 0}).WithDefaults(), rng.New(3))
+	var nilS *Sentinel
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if disarmed.Sample() {
+			t.Error("rate-0 sentinel sampled")
+		}
+	}); allocs != 0 {
+		t.Fatalf("disarmed Sample allocates %v objects per run, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() {
+		if nilS.Sample() {
+			t.Error("nil sentinel sampled")
+		}
+	}); allocs != 0 {
+		t.Fatalf("nil Sample allocates %v objects per run, want 0", allocs)
+	}
+}

@@ -28,9 +28,10 @@
 //	lb.collapse     — a control step that observed task failures collapses W
 //	rxq.accounting  — delivered + dropped ≤ arrivals; backlog ≤ capacity
 //	pool.drained    — every mempool has Outstanding == 0 after the drain
-//	conservation    — every delivered packet is exactly once TX'd, dropped
-//	                  or shed (shed = dropped by overload control: CoDel or
-//	                  admission rejection at LevelShed)
+//	conservation    — every delivered packet is exactly once TX'd, dropped,
+//	                  shed (dropped by overload control: CoDel or admission
+//	                  rejection at LevelShed) or quarantined (dropped by the
+//	                  integrity sentinel after a corruption mismatch)
 //	queue.bound     — a bounded interior queue (device task queue) never
 //	                  exceeds its configured depth
 //	drain.stuck     — the run drained within the post-stop grace window
@@ -38,6 +39,8 @@
 //	                  reconfiguration epoch boundary (evict seal)
 //	reconfig.orphan — every reconfiguration epoch that began also committed;
 //	                  no lane is left quiesced at end of run
+//	corrupt.leak    — a payload tainted by a DeviceCorrupt fault never
+//	                  reaches TX while the integrity sentinel is armed
 package invariant
 
 import (
@@ -76,6 +79,11 @@ const (
 	// (draining) when the run ends — an orphaned lane holds packets no one
 	// will ever drain.
 	CheckReconfigOrphan = "reconfig.orphan"
+	// CheckCorruptLeak is the corruption-containment check: a packet whose
+	// payload was tainted by a DeviceCorrupt fault reached TX. With the
+	// integrity sentinel armed at full sampling every corrupted aggregate
+	// must be quarantined, so a leak means detection or containment failed.
+	CheckCorruptLeak = "corrupt.leak"
 	// CheckDeterminism is recorded by the chaos driver, not the runtime
 	// hooks: two runs of the same case produced different trace digests.
 	CheckDeterminism = "determinism"
@@ -105,7 +113,7 @@ const maxPerCheck = 16
 // is a cheap no-op, mirroring the trace.Tracer contract.
 type Checker struct {
 	violations []Violation
-	perCheck   [14]int // indexed by checkIndex; counts all breaches
+	perCheck   [15]int // indexed by checkIndex; counts all breaches
 	suppressed int
 
 	lastDispatch simtime.Time
@@ -149,8 +157,10 @@ func checkIndex(check string) int {
 		return 11
 	case CheckReconfigOrphan:
 		return 12
-	default:
+	case CheckCorruptLeak:
 		return 13
+	default:
+		return 14
 	}
 }
 
@@ -332,19 +342,19 @@ func (c *Checker) PoolDrained(at simtime.Time, err error) {
 }
 
 // Conservation checks end-of-run packet conservation: every buffer the NIC
-// layer materialised was either transmitted, dropped in the graph, or shed
-// by overload control — each exactly once. (Double accounting shows up as
-// tx+drops+shed exceeding delivered; a leak shows up as the opposite plus a
-// pool.drained breach.)
-func (c *Checker) Conservation(at simtime.Time, delivered, transmitted, dropped, shed uint64) {
+// layer materialised was either transmitted, dropped in the graph, shed by
+// overload control, or quarantined by the integrity sentinel — each exactly
+// once. (Double accounting shows up as the accounted sum exceeding
+// delivered; a leak shows up as the opposite plus a pool.drained breach.)
+func (c *Checker) Conservation(at simtime.Time, delivered, transmitted, dropped, shed, quarantined uint64) {
 	if c == nil {
 		return
 	}
-	if delivered != transmitted+dropped+shed {
+	if delivered != transmitted+dropped+shed+quarantined {
 		c.Violatef(at, CheckConservation,
-			"delivered %d != transmitted %d + dropped %d + shed %d (diff %+d)",
-			delivered, transmitted, dropped, shed,
-			int64(transmitted+dropped+shed)-int64(delivered))
+			"delivered %d != transmitted %d + dropped %d + shed %d + quarantined %d (diff %+d)",
+			delivered, transmitted, dropped, shed, quarantined,
+			int64(transmitted+dropped+shed+quarantined)-int64(delivered))
 	}
 }
 
@@ -353,15 +363,15 @@ func (c *Checker) Conservation(at simtime.Time, delivered, transmitted, dropped,
 // its lanes were handed is accounted. epoch and name identify the boundary
 // in the violation message; a positive residue (delivered minus the
 // accounted sum) is a leaked pooled packet.
-func (c *Checker) EpochConservation(at simtime.Time, epoch int, name string, delivered, transmitted, dropped, shed uint64) {
+func (c *Checker) EpochConservation(at simtime.Time, epoch int, name string, delivered, transmitted, dropped, shed, quarantined uint64) {
 	if c == nil {
 		return
 	}
-	if delivered != transmitted+dropped+shed {
+	if delivered != transmitted+dropped+shed+quarantined {
 		c.Violatef(at, CheckEpochConservation,
-			"epoch %d tenant %s: delivered %d != transmitted %d + dropped %d + shed %d at evict seal (residue %+d)",
-			epoch, name, delivered, transmitted, dropped, shed,
-			int64(delivered)-int64(transmitted+dropped+shed))
+			"epoch %d tenant %s: delivered %d != transmitted %d + dropped %d + shed %d + quarantined %d at evict seal (residue %+d)",
+			epoch, name, delivered, transmitted, dropped, shed, quarantined,
+			int64(delivered)-int64(transmitted+dropped+shed+quarantined))
 	}
 }
 
@@ -378,16 +388,28 @@ func (c *Checker) OrphanLane(at simtime.Time, epoch int, detail string) {
 // TenantConservation checks one tenant's slice of the conservation identity
 // at end of run (same caveats as Conservation). name identifies the tenant
 // in the violation message.
-func (c *Checker) TenantConservation(at simtime.Time, name string, delivered, transmitted, dropped, shed uint64) {
+func (c *Checker) TenantConservation(at simtime.Time, name string, delivered, transmitted, dropped, shed, quarantined uint64) {
 	if c == nil {
 		return
 	}
-	if delivered != transmitted+dropped+shed {
+	if delivered != transmitted+dropped+shed+quarantined {
 		c.Violatef(at, CheckTenantConservation,
-			"tenant %s: delivered %d != transmitted %d + dropped %d + shed %d (diff %+d)",
-			name, delivered, transmitted, dropped, shed,
-			int64(transmitted+dropped+shed)-int64(delivered))
+			"tenant %s: delivered %d != transmitted %d + dropped %d + shed %d + quarantined %d (diff %+d)",
+			name, delivered, transmitted, dropped, shed, quarantined,
+			int64(transmitted+dropped+shed+quarantined)-int64(delivered))
 	}
+}
+
+// CorruptLeak records a corruption-containment breach: a packet whose
+// payload a DeviceCorrupt fault tainted was transmitted. Called from the TX
+// path only while the integrity sentinel is armed (a disarmed run is allowed
+// to leak — that is precisely the failure mode the sentinel exists to stop).
+func (c *Checker) CorruptLeak(at simtime.Time, worker int, seq uint64) {
+	if c == nil {
+		return
+	}
+	c.Violatef(at, CheckCorruptLeak,
+		"worker %d transmitted corrupted packet seq %d with the sentinel armed", worker, seq)
 }
 
 // DeviceQueue observes a bounded device task queue's occupancy after an

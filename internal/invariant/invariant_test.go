@@ -36,7 +36,8 @@ func TestNilCheckerIsSafe(t *testing.T) {
 	c.RxQueue(ms, 0, 0, 10, 5, 1, 64)
 	c.DeviceUtil(ms, "g", ms, ms, 2*ms)
 	c.PoolDrained(ms, nil)
-	c.Conservation(ms, 1, 1, 0, 0)
+	c.Conservation(ms, 1, 1, 0, 0, 0)
+	c.CorruptLeak(ms, 0, 1)
 	c.DeviceQueue(ms, "g", 5, 4)
 	c.StuckDrain(ms, 1)
 	c.EndOfRun(ms)
@@ -124,15 +125,24 @@ func TestDeviceUtil(t *testing.T) {
 
 func TestConservation(t *testing.T) {
 	c := New()
-	c.Conservation(ms, 100, 90, 10, 0)
-	c.Conservation(ms, 100, 80, 10, 10) // shed packets balance the identity
+	c.Conservation(ms, 100, 90, 10, 0, 0)
+	c.Conservation(ms, 100, 80, 10, 10, 0) // shed packets balance the identity
+	c.Conservation(ms, 100, 80, 10, 5, 5)  // quarantined packets balance it too
 	wantClean(t, c)
-	c.Conservation(2*ms, 100, 95, 10, 0) // double account
+	c.Conservation(2*ms, 100, 95, 10, 0, 0) // double account
 	wantCheck(t, c, CheckConservation, "diff +5")
-	c.Conservation(3*ms, 100, 90, 5, 0) // leak
+	c.Conservation(3*ms, 100, 90, 5, 0, 0) // leak
 	wantCheck(t, c, CheckConservation, "diff -5")
-	c.Conservation(4*ms, 100, 90, 5, 15) // shed over-account
+	c.Conservation(4*ms, 100, 90, 5, 15, 0) // shed over-account
 	wantCheck(t, c, CheckConservation, "shed 15")
+	c.Conservation(5*ms, 100, 90, 5, 0, 10) // quarantine over-account
+	wantCheck(t, c, CheckConservation, "diff +5")
+}
+
+func TestCorruptLeak(t *testing.T) {
+	c := New()
+	c.CorruptLeak(ms, 3, 42)
+	wantCheck(t, c, CheckCorruptLeak, "worker 3 transmitted corrupted packet seq 42")
 }
 
 func TestDeviceQueueBound(t *testing.T) {

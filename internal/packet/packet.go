@@ -58,6 +58,12 @@ type Packet struct {
 	Tenant int32
 	// Anno is the per-packet annotation set.
 	Anno [NumAnnos]uint64
+	// Tainted is the corruption injector's ground-truth mark: set when a
+	// DeviceCorrupt fault flips bytes in this frame, cleared on Reset. The
+	// invariant oracle uses it to prove corrupted payloads never reach TX
+	// while the integrity sentinel is armed; no framework logic may read it
+	// to influence behaviour.
+	Tainted bool
 }
 
 // Reset clears the packet for reuse (mempool.Resetter).
@@ -69,6 +75,7 @@ func (p *Packet) Reset() {
 	p.OrigLen = 0
 	p.Tenant = 0
 	p.Anno = [NumAnnos]uint64{}
+	p.Tainted = false
 }
 
 // Data returns the frame contents.

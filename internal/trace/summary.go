@@ -95,17 +95,30 @@ type ReconfigEpoch struct {
 	Reseated int64        // lanes / controllers / rings re-seated at commit
 }
 
+// IntegrityProfile aggregates sentinel re-execution activity per device.
+type IntegrityProfile struct {
+	Device      string
+	Checks      uint64 // sentinel comparisons against this device
+	Mismatches  uint64 // digest disagreements
+	Quarantined uint64 // packets discarded on mismatch
+	Demotions   uint64 // ALB weight-bound ratchets
+	FailStops   uint64 // devices taken out of service
+	Readmits    uint64 // recovery-probe re-admissions
+	LastScore   float64
+}
+
 // Summary is the aggregate view of an event stream.
 type Summary struct {
-	Events    uint64
-	Dispatch  uint64
-	Elements  []*ElementProfile
-	Queues    []*QueueProfile
-	Devices   []*DeviceProfile
-	Balancers []*LBProfile
-	Sheds     []*ShedProfile
-	Overloads []*OverloadProfile
-	Reconfigs []*ReconfigEpoch
+	Events      uint64
+	Dispatch    uint64
+	Elements    []*ElementProfile
+	Queues      []*QueueProfile
+	Devices     []*DeviceProfile
+	Balancers   []*LBProfile
+	Sheds       []*ShedProfile
+	Overloads   []*OverloadProfile
+	Reconfigs   []*ReconfigEpoch
+	Integrities []*IntegrityProfile
 }
 
 // Summarize folds an event stream into per-element / per-queue / per-device
@@ -118,6 +131,15 @@ func Summarize(events []Event) *Summary {
 	lbs := map[int32]*LBProfile{}
 	sheds := map[[2]int64]*ShedProfile{}
 	ovls := map[int32]*OverloadProfile{}
+	ints := map[string]*IntegrityProfile{}
+	integ := func(name string) *IntegrityProfile {
+		ip := ints[name]
+		if ip == nil {
+			ip = &IntegrityProfile{Device: name}
+			ints[name] = ip
+		}
+		return ip
+	}
 	epochs := map[int64]*ReconfigEpoch{}
 	epoch := func(n int64) *ReconfigEpoch {
 		re := epochs[n]
@@ -227,6 +249,25 @@ func Summarize(events []Event) *Summary {
 			re.Kind = ev.Name
 			re.Target = ev.C
 			re.Reseated = ev.D
+		case KindIntegrityCheck:
+			integ(ev.Name).Checks++
+		case KindIntegrityMismatch:
+			ip := integ(ev.Name)
+			ip.Mismatches++
+			ip.LastScore = math.Float64frombits(uint64(ev.C))
+		case KindIntegrityQuarantine:
+			integ(ev.Name).Quarantined += uint64(ev.B)
+		case KindIntegrityDemote:
+			ip := integ(ev.Name)
+			switch ev.A {
+			case 0:
+				ip.Demotions++
+			case 1:
+				ip.FailStops++
+			case 2:
+				ip.Readmits++
+			}
+			ip.LastScore = math.Float64frombits(uint64(ev.B))
 		}
 	}
 
@@ -285,6 +326,9 @@ func Summarize(events []Event) *Summary {
 	sort.Slice(ekeys, func(i, j int) bool { return ekeys[i] < ekeys[j] })
 	for _, k := range ekeys {
 		s.Reconfigs = append(s.Reconfigs, epochs[k])
+	}
+	for _, name := range stats.SortedKeys(ints) {
+		s.Integrities = append(s.Integrities, ints[name])
 	}
 	return s
 }
@@ -365,6 +409,16 @@ func (s *Summary) Write(w io.Writer) error {
 			}
 			fmt.Fprintf(w, "  %-6d %-16s %7d %14v %14v %8d %7s %9d\n",
 				r.Epoch, r.Kind, r.Target, r.Begin, r.Drain, r.Rescued, forced, r.Reseated)
+		}
+	}
+	if len(s.Integrities) > 0 {
+		fmt.Fprintf(w, "\nintegrity sentinels:\n")
+		fmt.Fprintf(w, "  %-16s %8s %10s %12s %8s %9s %8s %8s\n",
+			"device", "checks", "mismatch", "quarantined", "demoted", "failstop", "readmit", "score")
+		for _, ip := range s.Integrities {
+			fmt.Fprintf(w, "  %-16s %8d %10d %12d %8d %9d %8d %8.3f\n",
+				ip.Device, ip.Checks, ip.Mismatches, ip.Quarantined,
+				ip.Demotions, ip.FailStops, ip.Readmits, ip.LastScore)
 		}
 	}
 	return nil

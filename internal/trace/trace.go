@@ -119,6 +119,29 @@ const (
 	// re-seated (tenant events) or controllers re-seated (plug events) or
 	// rings resized (resize events).
 	KindReconfigCommit
+	// KindIntegrityCheck is the sentinel re-executing a sampled offloaded
+	// aggregate on the CPU and comparing digests. Actor = worker, Name =
+	// device. A = task ID, B = packets compared, C = 1 on mismatch (0 =
+	// digests agreed), D = device index.
+	KindIntegrityCheck
+	// KindIntegrityMismatch is a sentinel digest mismatch: the device's
+	// result disagrees with the host re-execution. Actor = worker, Name =
+	// device. A = task ID, B = packets in the aggregate, C =
+	// math.Float64bits(device corruption score after the bump), D = device
+	// index.
+	KindIntegrityMismatch
+	// KindIntegrityQuarantine is a mismatched aggregate being quarantined:
+	// its packets are counted in QuarantinedPackets and never transmitted.
+	// Actor = worker, Name = device. A = task ID, B = packets quarantined,
+	// C = 0, D = device index.
+	KindIntegrityQuarantine
+	// KindIntegrityDemote is the integrity tracker escalating against a
+	// device: ratcheting the ALB weight bounds down (A = 0), fail-stopping
+	// the device (A = 1), or re-admitting it after a recovery probe
+	// (A = 2). Actor = socket, Name = device. B =
+	// math.Float64bits(corruption score), C = consecutive mismatches,
+	// D = device index.
+	KindIntegrityDemote
 
 	numKinds
 )
@@ -143,6 +166,10 @@ var kindNames = [numKinds]string{
 	"reconfig.begin",
 	"reconfig.drain",
 	"reconfig.commit",
+	"integrity.check",
+	"integrity.mismatch",
+	"integrity.quarantine",
+	"integrity.demote",
 }
 
 func (k Kind) String() string {

@@ -20,7 +20,9 @@
 #   7. nbatrace self-check the same config+seed recorded twice must diff to
 #                         zero divergence (dynamic determinism gate):
 #                         fault-free, with the canonical injected GPU outage
-#                         (-faults), with overload control armed under a
+#                         (-faults), with the canonical silent-corruption
+#                         window and the integrity sentinel armed (-corrupt),
+#                         with overload control armed under a
 #                         sustained load burst (-overload), with two
 #                         co-resident tenant app graphs (-tenants: the merged
 #                         tenant-tagged timeline is part of the run identity),
@@ -33,7 +35,10 @@
 #                         layering random control-plane churn over the fault
 #                         plans): random-but-seeded fault plans must pass the
 #                         invariant oracle with matching digests across the
-#                         doubled runs
+#                         doubled runs; plus a fixed corruption case replayed
+#                         both contained (sentinel sampling) and leaking
+#                         (sampling disarmed), exercising the replay
+#                         exit-code contract (0/1/2)
 #   9. parallel equiv     the same sweeps at -parallel 1 and -parallel 8 must
 #                         print byte-identical combined digests (internal/par
 #                         determinism contract; the tenant sweep also folds
@@ -94,6 +99,12 @@ go run ./cmd/nbatrace diff "$tracedir/fa.jsonl" "$tracedir/fb.jsonl"
 go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -gbps 3 -overload -o "$tracedir/oa.jsonl" >/dev/null
 go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -gbps 3 -overload -o "$tracedir/ob.jsonl" >/dev/null
 go run ./cmd/nbatrace diff "$tracedir/oa.jsonl" "$tracedir/ob.jsonl"
+# Silent corruption with the integrity sentinel armed: the corruption stream,
+# sampling coins, quarantines and device escalation are all part of the run
+# identity, so -corrupt recordings must be byte-identical too.
+go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -corrupt -o "$tracedir/ca.jsonl" >/dev/null
+go run ./cmd/nbatrace record -app ipsec -lb fixed=0.8 -corrupt -o "$tracedir/cb.jsonl" >/dev/null
+go run ./cmd/nbatrace diff "$tracedir/ca.jsonl" "$tracedir/cb.jsonl"
 # Multi-tenant: two co-resident app graphs share the workers and queues;
 # the merged timeline (every event tagged with its tenant) must still be
 # byte-identical across recordings.
@@ -115,6 +126,33 @@ go run ./cmd/nbachaos sweep -seeds 2 -base 1 -tenants 2
 
 echo "==> chaos reconfig smoke (control-plane churn plans on top of fault plans)"
 go run ./cmd/nbachaos sweep -seeds 2 -base 1 -reconfig
+
+echo "==> corruption chaos smoke (sentinel contains the window; disarmed sampling must trip corrupt.leak)"
+# One fixed corruption case, both ways through the replay exit-code contract
+# (0 = clean, 1 = violation reproduced, 2 = usage/load error): with the
+# sentinel sampling (the sweep default) the window is contained and conserved;
+# with sampling disarmed the same plan must leak tainted frames to TX and be
+# caught by the corrupt.leak oracle.
+cat > "$tracedir/corrupt-armed.json" <<'JSON'
+{
+  "app": "ipv4",
+  "seed": 3,
+  "events": [
+    {"at_ps": 300000000, "kind": "device.corrupt", "corrupt_prob": 0.5, "flip_pattern": 255},
+    {"at_ps": 2000000000, "kind": "corrupt.recover"}
+  ]
+}
+JSON
+sed 's/"seed": 3,/"seed": 3,\n  "disarm_sampling": true,/' \
+    "$tracedir/corrupt-armed.json" > "$tracedir/corrupt-leak.json"
+go run ./cmd/nbachaos replay "$tracedir/corrupt-armed.json"
+rc=0
+go run ./cmd/nbachaos replay "$tracedir/corrupt-leak.json" || rc=$?
+if [[ "$rc" != 1 ]]; then
+    echo "disarmed corruption replay exited $rc, want 1 (corrupt.leak violation)" >&2
+    exit 1
+fi
+echo "corrupt.leak reproduced with sampling disarmed (replay exit 1, as contracted)"
 
 echo "==> chaos parallel equivalence (same sweep, 8 workers, byte-identical digest)"
 d1=$(go run ./cmd/nbachaos sweep -seeds 2 -base 1 -parallel 1 -digest-only)
